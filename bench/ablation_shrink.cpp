@@ -1,0 +1,48 @@
+/// \file ablation_shrink.cpp
+/// Ablation for the paper's FFT grid-shrinking feature (Algorithm 1,
+/// line 2; no dedicated figure in the paper): when a small transform is
+/// spread over many ranks, latency-bound exchanges dominate; remapping to
+/// a smaller compute grid pre/post transform should win. Sweeps the
+/// compute-grid size for small transforms on large allocations.
+
+#include "bench_common.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+int main() {
+  banner("Ablation: FFT grid shrinking",
+         "small transforms on large rank counts, shrink_to sweep",
+         "\"the smaller the number of processes controlling the "
+         "computation\" the better, once the transform is latency-bound");
+
+  for (int cube : {32, 64, 128}) {
+    const int gpus = 192;  // 32 nodes
+    std::printf("%d^3 transform on %d GPUs:\n", cube, gpus);
+    Table t({"compute ranks", "time/FFT", "comm", "speedup vs full"});
+    double full = 0;
+    double best = 1e30;
+    int best_ranks = 0;
+    for (int shrink : {0, 96, 48, 24, 12, 6}) {
+      core::SimConfig cfg;
+      cfg.n = {cube, cube, cube};
+      cfg.nranks = gpus;
+      cfg.options.decomp = core::Decomposition::Pencil;
+      cfg.options.shrink_to = shrink;
+      const auto rep = core::simulate(cfg);
+      if (shrink == 0) full = rep.per_transform;
+      if (rep.per_transform < best) {
+        best = rep.per_transform;
+        best_ranks = shrink == 0 ? gpus : shrink;
+      }
+      t.add_row({shrink == 0 ? std::to_string(gpus) + " (no shrink)"
+                             : std::to_string(shrink),
+                 format_time(rep.per_transform), format_time(rep.kernels.comm),
+                 format_fixed(full / rep.per_transform, 2) + "x"});
+    }
+    t.print(std::cout);
+    std::printf("  best compute-grid size: %d ranks (%.2fx vs full grid)\n\n",
+                best_ranks, full / best);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared helpers for the figure/table reproduction binaries: the paper's
+/// standard experiment configuration (512^3 complex-to-complex transforms,
+/// Table III processor grids, 6 V100 per node, 1 MPI rank per GPU, 8 timed
+/// FFTs after 2 warm-ups => 10 transforms and 40 reshape calls), plus
+/// uniform output formatting.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/grids.hpp"
+#include "core/simulate.hpp"
+
+namespace parfft::bench {
+
+/// The paper's measurement protocol.
+inline constexpr int kWarmups = 2;
+inline constexpr int kTimed = 8;
+inline constexpr int kRepeats = kWarmups + kTimed;  // 10 transforms
+inline constexpr std::array<int, 3> kN512 = {512, 512, 512};
+
+/// Prints the standard figure banner.
+inline void banner(const std::string& id, const std::string& what,
+                   const std::string& paper_expectation) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s -- %s\n", id.c_str(), what.c_str());
+  std::printf("paper: %s\n", paper_expectation.c_str());
+  std::printf("==============================================================="
+              "=========\n\n");
+}
+
+/// Standard 512^3 experiment on `gpus` Summit GPUs with Table III brick
+/// input/output grids (when the count is in the table; minimum-surface
+/// bricks otherwise).
+inline core::SimConfig experiment512(int gpus) {
+  core::SimConfig cfg;
+  cfg.n = kN512;
+  cfg.nranks = gpus;
+  cfg.machine = net::summit();
+  cfg.repeats = kRepeats;
+  cfg.warmed = false;  // warm-up transforms pay the plan spikes
+  cfg.options.decomp = core::Decomposition::Pencil;
+  bool in_table = false;
+  for (int g : core::table3_gpu_counts()) in_table |= g == gpus;
+  if (in_table) {
+    const auto row = core::table3_row(gpus);
+    cfg.in_boxes = core::grid_boxes(cfg.n, row.input, gpus);
+    cfg.out_boxes = core::grid_boxes(cfg.n, row.output, gpus);
+  }
+  return cfg;
+}
+
+/// Average per-timed-transform value, discarding warm-ups: the paper
+/// reports the average of 8 transforms after 2 warm-ups.
+inline double timed_average(double total_all_repeats) {
+  return total_all_repeats / kRepeats;  // plan spikes are negligible at 512^3
+}
+
+/// Per-call series (e.g. the 40 MPI calls of Figs. 2/3) as y-values.
+inline std::vector<double> call_series(const std::vector<core::CallRecord>& calls) {
+  std::vector<double> y;
+  y.reserve(calls.size());
+  for (const auto& c : calls) y.push_back(c.seconds);
+  return y;
+}
+
+inline std::vector<std::string> call_ticks(std::size_t ncalls) {
+  std::vector<std::string> t;
+  for (std::size_t i = 1; i <= ncalls; ++i) t.push_back(std::to_string(i));
+  return t;
+}
+
+}  // namespace parfft::bench

@@ -1,0 +1,77 @@
+/// \file fig01_decompositions.cpp
+/// Reproduces paper Fig. 1 (the algorithmic-approaches diagram) as
+/// executable output: for each decomposition, the stage pipeline a 3-D FFT
+/// actually takes -- per-stage processor grids, one rank's boxes, and the
+/// number of communication phases (1 transfer for slabs, 2 for pencils, 4
+/// for bricks, as the paper describes in Section I).
+
+#include "bench_common.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+namespace {
+
+std::string box_str(const core::Box3& b) {
+  if (b.empty()) return "(empty)";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%ld..%ld]x[%ld..%ld]x[%ld..%ld]",
+                static_cast<long>(b.lo[0]), static_cast<long>(b.hi[0]),
+                static_cast<long>(b.lo[1]), static_cast<long>(b.hi[1]),
+                static_cast<long>(b.lo[2]), static_cast<long>(b.hi[2]));
+  return buf;
+}
+
+void show(core::Decomposition d, const char* name) {
+  const std::array<int, 3> n = {64, 64, 64};
+  const int ranks = 8;
+  core::PlanOptions opt;
+  opt.decomp = d;
+  const auto io = core::brick_layout(n, ranks);
+  const auto plan = core::build_stages(n, ranks, io, io, opt, net::summit());
+
+  std::printf("%s decomposition (64^3, 8 ranks; rank 0's view):\n", name);
+  int phase = 0;
+  for (const auto& s : plan.stages) {
+    if (s.kind == core::Stage::Kind::Reshape) {
+      ++phase;
+      std::printf("  transfer %d: %-24s -> %s\n", phase,
+                  box_str(s.reshape.from()[0]).c_str(),
+                  box_str(s.reshape.to()[0]).c_str());
+    } else {
+      std::printf("  local FFT along %s", s.axes.size() > 1 ? "axes" : "axis");
+      for (int a : s.axes) std::printf(" %d", a);
+      std::printf(" on %s\n", box_str(s.boxes[0]).c_str());
+    }
+  }
+  std::printf("  => %d communication phases total (%d internal + "
+              "input/output remaps)\n\n",
+              plan.reshape_count(),
+              plan.reshape_count() - 2);
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 1", "algorithmic approaches for parallel 3-D FFT",
+         "slabs: 1 internal transfer (scalable to N2 processes); pencils: "
+         "2; bricks: 4 (intermediate 3-D grids)");
+  show(core::Decomposition::Slab, "Slabs");
+  show(core::Decomposition::Pencil, "Pencils");
+  show(core::Decomposition::Brick, "Bricks");
+
+  // The scalability limit the paper states for slabs.
+  std::printf("slab scalability limit: a 64^3 transform accepts at most 64 "
+              "slab ranks; requesting 96 throws:\n");
+  try {
+    core::PlanOptions opt;
+    opt.decomp = core::Decomposition::Slab;
+    const auto io = core::brick_layout({64, 64, 64}, 96);
+    (void)core::build_stages({64, 64, 64}, 96, io, io, opt, net::summit());
+    std::puts("ERROR: expected a failure");
+    return 1;
+  } catch (const Error& e) {
+    std::printf("  %s\n", e.what());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file fig02_alltoall_calls.cpp
+/// Reproduces paper Fig. 2: per-MPI-call communication time of the
+/// GPU-aware All-to-All variants during a 512^3 complex FFT on 24 V100s
+/// (4 Summit nodes): MPI_Alltoall and MPI_Alltoallv from SpectrumMPI vs
+/// MPI_Alltoallw from MVAPICH (SpectrumMPI's Alltoallw is not GPU-aware).
+/// 10 transforms x 4 reshapes = 40 MPI calls.
+
+#include "bench_common.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+int main() {
+  banner("Figure 2", "per-call GPU-aware All-to-All comparison, 512^3 on 24 GPUs",
+         "Alltoall ~ Alltoallv on the pencil-to-pencil calls; large gap on "
+         "the brick<->pencil remaps (padding); Alltoallw (MVAPICH) slowest");
+
+  struct Variant {
+    const char* name;
+    core::Backend backend;
+    net::MpiFlavor flavor;
+  };
+  const std::vector<Variant> variants = {
+      {"MPI_Alltoall  (SpectrumMPI)", core::Backend::Alltoall,
+       net::MpiFlavor::SpectrumMPI},
+      {"MPI_Alltoallv (SpectrumMPI)", core::Backend::Alltoallv,
+       net::MpiFlavor::SpectrumMPI},
+      {"MPI_Alltoallw (MVAPICH-GDR)", core::Backend::Alltoallw,
+       net::MpiFlavor::Mvapich},
+  };
+
+  std::vector<Series> series;
+  std::vector<std::vector<double>> calls;
+  for (const auto& v : variants) {
+    core::SimConfig cfg = experiment512(24);
+    cfg.options.backend = v.backend;
+    cfg.flavor = v.flavor;
+    const auto rep = core::simulate(cfg);
+    calls.push_back(call_series(rep.comm_calls));
+    series.push_back({v.name, calls.back()});
+  }
+
+  Table t({"call", "MPI_Alltoall", "MPI_Alltoallv", "MPI_Alltoallw"});
+  for (std::size_t i = 0; i < calls[0].size(); ++i)
+    t.add_row({std::to_string(i + 1), format_time(calls[0][i]),
+               format_time(calls[1][i]), format_time(calls[2][i])});
+  t.print(std::cout);
+
+  std::printf("\n");
+  ascii_plot(std::cout, call_ticks(calls[0].size()), series,
+             {.width = 72, .height = 14, .log_y = true,
+              .x_label = "MPI call index (40 calls = 10 FFTs x 4 reshapes)",
+              .y_label = "communication time per call [s]"});
+
+  // Summary: totals over the timed calls.
+  std::printf("\nper-transform communication totals (avg of all calls):\n");
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    double sum = 0;
+    for (double x : calls[v]) sum += x;
+    std::printf("  %-28s %s\n", variants[v].name,
+                format_time(sum / kRepeats).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// \file fig03_p2p_calls.cpp
+/// Reproduces paper Fig. 3: per-MPI-call communication time of the
+/// GPU-aware Point-to-Point variants (blocking MPI_Send vs non-blocking
+/// MPI_Isend, both with MPI_Irecv) during a 512^3 FFT on 24 V100s.
+
+#include "bench_common.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+int main() {
+  banner("Figure 3", "per-call P2P comparison (blocking vs non-blocking), "
+                     "512^3 on 24 GPUs",
+         "not much difference between blocking and non-blocking exchanges");
+
+  std::vector<Series> series;
+  std::vector<std::vector<double>> calls;
+  for (auto [name, backend] :
+       {std::pair{"MPI_Isend/Irecv (non-blocking)",
+                  core::Backend::P2PNonBlocking},
+        std::pair{"MPI_Send/Irecv  (blocking)", core::Backend::P2PBlocking}}) {
+    core::SimConfig cfg = experiment512(24);
+    cfg.options.backend = backend;
+    const auto rep = core::simulate(cfg);
+    calls.push_back(call_series(rep.comm_calls));
+    series.push_back({name, calls.back()});
+  }
+
+  Table t({"call", "Isend/Irecv", "Send/Irecv", "ratio"});
+  for (std::size_t i = 0; i < calls[0].size(); ++i)
+    t.add_row({std::to_string(i + 1), format_time(calls[0][i]),
+               format_time(calls[1][i]),
+               format_fixed(calls[1][i] / calls[0][i], 3)});
+  t.print(std::cout);
+
+  std::printf("\n");
+  ascii_plot(std::cout, call_ticks(calls[0].size()), series,
+             {.width = 72, .height = 12, .log_y = true,
+              .x_label = "MPI call index",
+              .y_label = "communication time per call [s]"});
+
+  double nb = 0, b = 0;
+  for (double x : calls[0]) nb += x;
+  for (double x : calls[1]) b += x;
+  std::printf("\nper-transform comm: non-blocking %s, blocking %s "
+              "(+%.1f%%)\n",
+              format_time(nb / kRepeats).c_str(),
+              format_time(b / kRepeats).c_str(), 100.0 * (b - nb) / nb);
+  return 0;
+}

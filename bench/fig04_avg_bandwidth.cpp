@@ -1,0 +1,65 @@
+/// \file fig04_avg_bandwidth.cpp
+/// Reproduces paper Fig. 4: average bandwidth per process achieved during
+/// a 512^3 complex FFT, strong scaling from 1 to 128 Summit nodes (6 V100
+/// per node), GPU-aware MPI on vs off. The measured communication time of
+/// the two pencil transfer phases is inverted through the paper's eq. (5)
+/// to an average bandwidth. Expect an exponential-looking decay as the
+/// network saturates -- the cause of the strong-scaling breakdown.
+
+#include "bench_common.hpp"
+#include "model/bandwidth.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+int main() {
+  banner("Figure 4",
+         "average bandwidth per process (eq. 5), 512^3, 1..128 nodes",
+         "exponential decrease with node count for both modes; GPU-aware "
+         "above non-GPU-aware");
+
+  const double N = 512.0 * 512.0 * 512.0;
+  const auto machine = net::summit();
+
+  std::vector<std::string> ticks;
+  Series aware{"GPU-aware MPI", {}};
+  Series staged{"no GPU-aware (-no-gpu-aware)", {}};
+  Table t({"nodes", "GPUs", "PxQ", "comm/FFT (aware)", "B aware",
+           "comm/FFT (staged)", "B staged"});
+
+  for (int gpus : {6, 12, 24, 48, 96, 192, 384, 768}) {
+    const auto [p, q] = core::near_square_factors(gpus);
+    double comm[2], bw[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      core::SimConfig cfg = experiment512(gpus);
+      cfg.gpu_aware = mode == 0;
+      // Pencil-shaped input/output: the transform's communication is then
+      // exactly the two transfer phases eq. (3)/(5) model.
+      cfg.in_boxes =
+          core::grid_boxes(cfg.n, core::pencil_grid(gpus, 0), gpus);
+      cfg.out_boxes =
+          core::grid_boxes(cfg.n, core::pencil_grid(gpus, 2), gpus);
+      const auto rep = core::simulate(cfg);
+      comm[mode] = rep.kernels.comm;
+      bw[mode] = model::b_pencils(N, p, q, comm[mode],
+                                  machine.latency_inter);
+    }
+    ticks.push_back(std::to_string(gpus / 6));
+    aware.y.push_back(bw[0]);
+    staged.y.push_back(bw[1]);
+    t.add_row({std::to_string(gpus / 6), std::to_string(gpus),
+               std::to_string(p) + "x" + std::to_string(q),
+               format_time(comm[0]), format_bandwidth(bw[0]),
+               format_time(comm[1]), format_bandwidth(bw[1])});
+  }
+  t.print(std::cout);
+
+  std::printf("\n");
+  ascii_plot(std::cout, ticks, {aware, staged},
+             {.width = 64, .height = 14, .log_y = true, .x_label = "nodes",
+              .y_label = "average bandwidth per process [B/s]"});
+
+  std::printf("\ndecay: aware %.1f GB/s @1 node -> %.2f GB/s @128 nodes\n",
+              aware.y.front() / 1e9, aware.y.back() / 1e9);
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file fig05_best_regions.cpp
+/// Reproduces paper Fig. 5: strong-scaling curve of the best configuration
+/// for a 512^3 complex FFT on 1..512 Summit nodes, with the fastest
+/// algorithmic setting labelled per region. The paper (and its bandwidth
+/// model) predicts slabs below 64 nodes and pencils from 64 nodes on, with
+/// GPU-aware SpectrumMPI All-to-All winning overall.
+
+#include "bench_common.hpp"
+#include "model/bandwidth.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+int main() {
+  banner("Figure 5", "best-setting regions, 512^3 strong scaling to 3072 GPUs",
+         "slabs fastest below 64 nodes, pencils from 64 nodes; linear "
+         "scaling of the tuned configuration");
+
+  const auto machine = net::summit();
+  struct Setting {
+    const char* name;
+    core::Decomposition decomp;
+    core::Backend backend;
+  };
+  const std::vector<Setting> settings = {
+      {"slab+a2av", core::Decomposition::Slab, core::Backend::Alltoallv},
+      {"pencil+a2av", core::Decomposition::Pencil, core::Backend::Alltoallv},
+      {"pencil+p2p", core::Decomposition::Pencil,
+       core::Backend::P2PNonBlocking},
+  };
+
+  Series best_curve{"best setting", {}};
+  std::vector<std::string> ticks;
+  Table t({"nodes", "GPUs", "best time/FFT", "best setting", "model says",
+           "slab+a2av", "pencil+a2av", "pencil+p2p"});
+
+  for (int gpus : core::table3_gpu_counts()) {
+    std::vector<double> times;
+    double best = 1e30;
+    std::string best_name;
+    for (const auto& s : settings) {
+      if (s.decomp == core::Decomposition::Slab && gpus > 512) {
+        times.push_back(-1);  // infeasible: more ranks than planes
+        continue;
+      }
+      core::SimConfig cfg = experiment512(gpus);
+      cfg.options.decomp = s.decomp;
+      cfg.options.backend = s.backend;
+      const auto rep = core::simulate(cfg);
+      times.push_back(rep.per_transform);
+      if (rep.per_transform < best) {
+        best = rep.per_transform;
+        best_name = s.name;
+      }
+    }
+    const auto model_choice = model::choose_decomposition(
+        kN512, gpus, machine.nic_bw, machine.latency_inter);
+    ticks.push_back(std::to_string(gpus / 6));
+    best_curve.y.push_back(best);
+    auto fmt = [&](double v) {
+      return v < 0 ? std::string("--") : format_time(v);
+    };
+    t.add_row({std::to_string(gpus / 6), std::to_string(gpus),
+               format_time(best), best_name,
+               model_choice == model::Choice::Slab ? "slab" : "pencil",
+               fmt(times[0]), fmt(times[1]), fmt(times[2])});
+  }
+  t.print(std::cout);
+
+  std::printf("\n");
+  ascii_plot(std::cout, ticks, {best_curve},
+             {.width = 64, .height = 14, .log_y = true, .x_label = "nodes",
+              .y_label = "best time per 512^3 FFT [s]"});
+
+  const double speedup = best_curve.y.front() / best_curve.y.back();
+  std::printf("\noverall strong-scaling speedup 1 -> 512 nodes: %.1fx "
+              "(ideal 512x within a node-type; network saturation costs the "
+              "rest)\n",
+              speedup);
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// \file fig08_scaling_alltoall.cpp
+/// Reproduces paper Fig. 8: strong scaling of the All-to-All approach for
+/// a 512^3 FFT, with and without GPU-aware MPI: communication cost (left
+/// panel) and total time (right panel) per transform, 1..128 nodes.
+/// Expect both modes to keep scaling, with GPU-aware consistently faster.
+
+#include "bench_common.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+int main() {
+  banner("Figure 8", "All-to-All strong scaling, GPU-aware on/off, 512^3",
+         "A2A scales well to 768 GPUs in both modes; disabling GPU-aware "
+         "costs ~30% in communication");
+
+  Series comm_aware{"comm, GPU-aware", {}}, comm_staged{"comm, staged", {}};
+  Series tot_aware{"total, GPU-aware", {}}, tot_staged{"total, staged", {}};
+  std::vector<std::string> ticks;
+  Table t({"nodes", "GPUs", "comm aware", "comm staged", "total aware",
+           "total staged", "staged/aware"});
+
+  for (int gpus : {6, 12, 24, 48, 96, 192, 384, 768}) {
+    double comm[2], total[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      core::SimConfig cfg = experiment512(gpus);
+      cfg.options.backend = core::Backend::Alltoallv;
+      cfg.gpu_aware = mode == 0;
+      const auto rep = core::simulate(cfg);
+      comm[mode] = rep.kernels.comm;
+      total[mode] = rep.per_transform;
+    }
+    ticks.push_back(std::to_string(gpus / 6));
+    comm_aware.y.push_back(comm[0]);
+    comm_staged.y.push_back(comm[1]);
+    tot_aware.y.push_back(total[0]);
+    tot_staged.y.push_back(total[1]);
+    t.add_row({std::to_string(gpus / 6), std::to_string(gpus),
+               format_time(comm[0]), format_time(comm[1]),
+               format_time(total[0]), format_time(total[1]),
+               format_fixed(comm[1] / comm[0], 2) + "x"});
+  }
+  t.print(std::cout);
+
+  std::printf("\ncommunication cost:\n");
+  ascii_plot(std::cout, ticks, {comm_aware, comm_staged},
+             {.width = 60, .height = 12, .log_y = true, .x_label = "nodes",
+              .y_label = "comm time per FFT [s]"});
+  std::printf("\ntotal time:\n");
+  ascii_plot(std::cout, ticks, {tot_aware, tot_staged},
+             {.width = 60, .height = 12, .log_y = true, .x_label = "nodes",
+              .y_label = "total time per FFT [s]"});
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// \file micro_localfft.cpp
+/// google-benchmark micro-suite for the local FFT engine -- the CPU
+/// substrate that stands in for cuFFT/rocFFT. These are real wall-clock
+/// numbers (unlike the figure benches, which report virtual time).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "fft/many.hpp"
+#include "fft/real.hpp"
+
+using namespace parfft;
+
+namespace {
+
+void BM_Fft1D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dft::Plan1D plan(n);
+  Rng rng(1);
+  auto x = rng.complex_vector(static_cast<std::size_t>(n));
+  std::vector<cplx> y(x.size());
+  for (auto _ : state) {
+    plan.execute(x.data(), y.data(), dft::Direction::Forward);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft1D)->Arg(64)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_Fft1DPrimeBluestein(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dft::Plan1D plan(n);
+  Rng rng(2);
+  auto x = rng.complex_vector(static_cast<std::size_t>(n));
+  std::vector<cplx> y(x.size());
+  for (auto _ : state) {
+    plan.execute(x.data(), y.data(), dft::Direction::Forward);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft1DPrimeBluestein)->Arg(509)->Arg(1009);
+
+void BM_Fft1DBatchedStrided(benchmark::State& state) {
+  const int n = 512, batch = static_cast<int>(state.range(0));
+  dft::ManyPlan plan(n, {.count = batch, .istride = batch, .idist = 1,
+                         .ostride = batch, .odist = 1});
+  Rng rng(3);
+  auto x = rng.complex_vector(static_cast<std::size_t>(n) * batch);
+  for (auto _ : state) {
+    plan.execute(x.data(), x.data(), dft::Direction::Forward);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * batch);
+}
+BENCHMARK(BM_Fft1DBatchedStrided)->Arg(4)->Arg(32);
+
+void BM_Fft3DLocal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  auto x = rng.complex_vector(static_cast<std::size_t>(n) * n * n);
+  for (auto _ : state) {
+    dft::fft3d_local(x.data(), {n, n, n}, dft::Direction::Forward);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Fft3DLocal)->Arg(32)->Arg(64);
+
+void BM_RealFft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dft::RealPlan1D plan(n);
+  Rng rng(5);
+  auto x = rng.real_vector(static_cast<std::size_t>(n));
+  std::vector<cplx> spec(static_cast<std::size_t>(plan.spectrum_size()));
+  for (auto _ : state) {
+    plan.r2c(x.data(), spec.data());
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_RealFft)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

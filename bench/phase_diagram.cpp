@@ -1,0 +1,73 @@
+/// \file phase_diagram.cpp
+/// The phase diagram of Section IV-A (from the paper's reference [36]):
+/// which decomposition the bandwidth model predicts fastest for each
+/// (transform size, GPU count) cell, cross-checked against the simulator's
+/// verdict. The paper uses this diagram plus eqs. (4)/(5) to pick slabs or
+/// pencils ahead of time.
+
+#include "bench_common.hpp"
+#include "model/bandwidth.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+int main() {
+  banner("Phase diagram", "model-predicted best decomposition per (N, GPUs)",
+         "slabs for small process counts / large transforms; pencils "
+         "beyond (crossover at 64 nodes for 512^3)");
+
+  const auto machine = net::summit();
+  const std::vector<int> cubes = {64, 128, 256, 512, 1024, 2048};
+  const std::vector<int> gpus = {6, 12, 24, 48, 96, 192, 384, 768, 1536};
+
+  std::printf("model prediction (S = slab, P = pencil, - = slab "
+              "infeasible):\n\n        ");
+  for (int g : gpus) std::printf("%6d", g);
+  std::printf("  GPUs\n");
+  for (int c : cubes) {
+    std::printf("  %4d^3", c);
+    for (int g : gpus) {
+      char mark;
+      if (g > c) {
+        mark = '-';
+      } else {
+        mark = model::choose_decomposition({c, c, c}, g, machine.nic_bw,
+                                           machine.latency_inter) ==
+                       model::Choice::Slab
+                   ? 'S'
+                   : 'P';
+      }
+      std::printf("%6c", mark);
+    }
+    std::printf("\n");
+  }
+
+  // Cross-check one column against the full simulator.
+  std::printf("\nsimulator cross-check (512^3 column):\n");
+  Table t({"GPUs", "model", "simulated slab", "simulated pencil",
+           "simulator agrees"});
+  int agree = 0, total = 0;
+  for (int g : {24, 96, 192, 384}) {
+    const auto choice = model::choose_decomposition(
+        {512, 512, 512}, g, machine.nic_bw, machine.latency_inter);
+    double times[2];
+    for (int i = 0; i < 2; ++i) {
+      core::SimConfig cfg = experiment512(g);
+      cfg.options.decomp =
+          i == 0 ? core::Decomposition::Slab : core::Decomposition::Pencil;
+      times[i] = core::simulate(cfg).per_transform;
+    }
+    const bool sim_slab = times[0] < times[1];
+    const bool model_slab = choice == model::Choice::Slab;
+    agree += sim_slab == model_slab;
+    ++total;
+    t.add_row({std::to_string(g), model_slab ? "slab" : "pencil",
+               format_time(times[0]), format_time(times[1]),
+               sim_slab == model_slab ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::printf("\nmodel/simulator agreement: %d/%d (the paper reports the "
+              "model 'gives the best chance' of picking right)\n",
+              agree, total);
+  return agree == total ? 0 : 1;
+}

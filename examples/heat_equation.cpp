@@ -1,0 +1,103 @@
+/// \file heat_equation.cpp
+/// Spectral time stepping of the 3-D heat equation on a distributed mesh
+/// using the real-to-complex transform (RealPlan3D): the transform class
+/// real-field applications (LAMMPS KSPACE, CFD solvers) use, moving half
+/// the data of a complex transform.
+///
+///   u_t = alpha * laplacian(u),  periodic box
+///   u_hat(k, t) = u_hat(k, 0) * exp(-alpha k^2 t)
+///
+/// One forward r2c, an exponential decay per mode, one backward c2r; the
+/// result is checked against the exact solution for a superposition of
+/// modes.
+///
+/// Build & run:  ./examples/heat_equation
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/units.hpp"
+#include "core/pack.hpp"
+#include "core/real_plan.hpp"
+#include "core/simulate.hpp"
+#include "pppm/ewald.hpp"
+
+using namespace parfft;
+
+int main() {
+  const std::array<int, 3> n = {24, 24, 24};
+  const auto nc = core::RealPlan3D::spectrum_dims(n);
+  const double L = 2.0 * std::numbers::pi;
+  const double alpha = 0.05, t_end = 0.7;
+  constexpr int kRanks = 6;
+
+  auto initial = [](double x, double y, double z) {
+    return 2.0 + std::sin(x) * std::sin(y) * std::sin(z) +
+           0.5 * std::cos(3 * x) + 0.25 * std::sin(2 * y) * std::cos(z);
+  };
+  auto exact = [&](double x, double y, double z) {
+    const double d3 = std::exp(-alpha * 3.0 * t_end);   // k^2 = 3 mode
+    const double d9 = std::exp(-alpha * 9.0 * t_end);   // cos(3x)
+    const double d5 = std::exp(-alpha * 5.0 * t_end);   // sin(2y)cos(z)
+    return 2.0 + d3 * std::sin(x) * std::sin(y) * std::sin(z) +
+           0.5 * d9 * std::cos(3 * x) +
+           0.25 * d5 * std::sin(2 * y) * std::cos(z);
+  };
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = kRanks;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& comm) {
+    const auto in_all = core::brick_layout(n, comm.size());
+    const auto out_all = core::brick_layout(nc, comm.size());
+    const core::Box3& rbox = in_all[static_cast<std::size_t>(comm.rank())];
+    const core::Box3& sbox = out_all[static_cast<std::size_t>(comm.rank())];
+
+    core::PlanOptions opt;
+    opt.scaling = core::Scaling::Full;
+    core::RealPlan3D plan(comm, n, rbox, sbox, opt);
+
+    const double h = L / n[0];
+    std::vector<double> u(static_cast<std::size_t>(rbox.count()));
+    idx_t i = 0;
+    for (idx_t a = rbox.lo[0]; a <= rbox.hi[0]; ++a)
+      for (idx_t b = rbox.lo[1]; b <= rbox.hi[1]; ++b)
+        for (idx_t c = rbox.lo[2]; c <= rbox.hi[2]; ++c, ++i)
+          u[static_cast<std::size_t>(i)] = initial(a * h, b * h, c * h);
+
+    std::vector<cplx> uhat(static_cast<std::size_t>(sbox.count()));
+    plan.forward(u.data(), uhat.data());
+    i = 0;
+    for (idx_t a = sbox.lo[0]; a <= sbox.hi[0]; ++a)
+      for (idx_t b = sbox.lo[1]; b <= sbox.hi[1]; ++b)
+        for (idx_t c = sbox.lo[2]; c <= sbox.hi[2]; ++c, ++i) {
+          const double kx = pppm::mesh_wavenumber(a, n[0], L);
+          const double ky = pppm::mesh_wavenumber(b, n[1], L);
+          const double kz = pppm::mesh_wavenumber(c, n[2], L);
+          const double k2 = kx * kx + ky * ky + kz * kz;
+          uhat[static_cast<std::size_t>(i)] *= std::exp(-alpha * k2 * t_end);
+        }
+    plan.backward(uhat.data(), u.data());
+
+    double err = 0;
+    i = 0;
+    for (idx_t a = rbox.lo[0]; a <= rbox.hi[0]; ++a)
+      for (idx_t b = rbox.lo[1]; b <= rbox.hi[1]; ++b)
+        for (idx_t c = rbox.lo[2]; c <= rbox.hi[2]; ++c, ++i)
+          err = std::max(err, std::abs(u[static_cast<std::size_t>(i)] -
+                                       exact(a * h, b * h, c * h)));
+    comm.allreduce(&err, 1, smpi::Op::Max);
+    if (comm.rank() == 0) {
+      std::printf("heat equation, %d^3 real mesh, %d GPUs, t = %.2f\n", n[0],
+                  kRanks, t_end);
+      std::printf("max |u - exact| = %.3e\n", err);
+      std::printf("r2c+c2r virtual time: %s (vs a complex transform, the "
+                  "real path ships half the bytes)\n",
+                  format_time(plan.kernels().total()).c_str());
+    }
+    if (err > 1e-10) throw Error("spectral heat step inaccurate");
+  });
+  std::puts("OK");
+  return 0;
+}

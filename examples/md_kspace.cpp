@@ -1,0 +1,118 @@
+/// \file md_kspace.cpp
+/// Miniature molecular-dynamics driver exercising the PPPM/KSPACE solver
+/// (the paper's LAMMPS workload, Section IV-D): a charge-neutral synthetic
+/// system, several KSPACE steps, and a LAMMPS-style per-category step
+/// breakdown comparing an fftMPI-like FFT configuration against the tuned
+/// heFFTe-like one.
+///
+/// Build & run:  ./examples/md_kspace
+
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/tune.hpp"
+#include "pppm/proxy.hpp"
+#include "pppm/solver.hpp"
+
+using namespace parfft;
+using pppm::Particle;
+
+namespace {
+
+struct RunResult {
+  double energy = 0;
+  double kspace = 0;  // max-rank virtual seconds per step
+};
+
+RunResult run_steps(const core::PlanOptions& fft_opt, bool gpu_aware,
+                    bool real_transform) {
+  const std::array<int, 3> grid = {32, 32, 32};
+  const int kRanks = 12, kSteps = 3;
+  const auto atoms = pppm::make_molecular_system(2000, 1.0, 2026);
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = kRanks;
+  ro.gpu_aware = gpu_aware;
+  smpi::Runtime rt(ro);
+  RunResult out;
+  std::mutex mu;
+  rt.run([&](smpi::Comm& comm) {
+    pppm::SolverOptions opt;
+    opt.grid = grid;
+    opt.alpha = 8.0;
+    opt.fft = fft_opt;
+    opt.real_transform = real_transform;
+    pppm::KspaceSolver solver(comm, opt);
+    std::vector<Particle> mine;
+    for (const auto& a : atoms)
+      if (solver.owns(a)) mine.push_back(a);
+
+    double kspace = 0, energy = 0;
+    std::vector<std::array<double, 3>> forces;
+    for (int s = 0; s < kSteps; ++s) {
+      const auto res = solver.step(mine, &forces);
+      kspace += res.kspace_time / kSteps;
+      energy = res.energy;
+    }
+    std::lock_guard lk(mu);
+    out.energy = energy;
+    out.kspace = std::max(out.kspace, kspace);
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Configuration A: fftMPI-like (pencils, point-to-point, host-staged
+  // GPU buffers). Configuration B: whatever the paper's tuning
+  // methodology picks for this size and scale (the autotuner simulates
+  // the candidates and returns the fastest -- at 2 nodes that is often
+  // GPU-aware P2P, exactly the paper's small-scale observation).
+  core::PlanOptions fftmpi;
+  fftmpi.decomp = core::Decomposition::Pencil;
+  fftmpi.backend = core::Backend::P2PNonBlocking;
+
+  core::SimConfig tune_cfg;
+  tune_cfg.n = {32, 32, 32};
+  tune_cfg.nranks = 12;
+  const core::TuneReport tr = core::autotune(tune_cfg);
+  core::PlanOptions tuned;
+  bool tuned_aware = true;
+  core::apply(tr.best, &tuned, &tuned_aware);
+  std::printf("autotuner pick for 32^3 on 12 GPUs: %s\n\n",
+              tr.best.describe().c_str());
+
+  const RunResult a = run_steps(fftmpi, /*gpu_aware=*/false,
+                                /*real_transform=*/false);
+  const RunResult b = run_steps(tuned, tuned_aware,
+                                /*real_transform=*/false);
+  // LAMMPS' PPPM additionally uses real-to-complex transforms (half the
+  // traffic on the bandwidth-bound exchanges).
+  const RunResult r = run_steps(tuned, tuned_aware,
+                                /*real_transform=*/true);
+
+  std::printf("PPPM KSPACE mini-driver: 2000 atoms, 32^3 mesh, 12 GPUs\n\n");
+  Table t({"configuration", "KSPACE / step", "energy"});
+  t.add_row({"fftMPI-like (pencil, P2P, staged)", format_time(a.kspace),
+             format_fixed(a.energy, 6)});
+  t.add_row({"autotuned", format_time(b.kspace),
+             format_fixed(b.energy, 6)});
+  t.add_row({"tuned + real-to-complex transforms", format_time(r.kspace),
+             format_fixed(r.energy, 6)});
+  t.print(std::cout);
+  std::printf("\nKSPACE speedup from tuning: %.2fx\n", a.kspace / b.kspace);
+
+  // Energies must agree: tuning changes time, never physics.
+  if (std::abs(a.energy - b.energy) > 1e-9 * std::abs(a.energy) ||
+      std::abs(a.energy - r.energy) > 1e-9 * std::abs(a.energy)) {
+    std::puts("ERROR: energies disagree between configurations");
+    return 1;
+  }
+  std::puts("OK");
+  return 0;
+}

@@ -1,0 +1,94 @@
+/// \file poisson.cpp
+/// Spectral Poisson solver on a distributed mesh -- the classic pattern
+/// behind pseudo-spectral fluid and electrostatics codes:
+///
+///     laplacian(phi) = -rho   on a periodic box
+///     phi_hat(k) = rho_hat(k) / k^2,   phi_hat(0) = 0
+///
+/// We manufacture rho from an analytic phi, solve on 6 simulated GPUs, and
+/// verify the recovered field against the analytic solution.
+///
+/// Build & run:  ./examples/poisson
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/units.hpp"
+#include "core/pack.hpp"
+#include "core/plan.hpp"
+#include "core/simulate.hpp"
+#include "pppm/ewald.hpp"
+
+using namespace parfft;
+
+int main() {
+  const std::array<int, 3> n = {32, 32, 32};
+  const double L = 2.0 * std::numbers::pi;  // box length
+  constexpr int kRanks = 6;
+
+  // Analytic solution phi(x) = sin(x) * sin(2y) * cos(3z); then
+  // rho = -laplacian(phi) = (1 + 4 + 9) * phi = 14 * phi.
+  auto phi_exact = [](double x, double y, double z) {
+    return std::sin(x) * std::sin(2 * y) * std::cos(3 * z);
+  };
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = kRanks;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& comm) {
+    const auto boxes = core::brick_layout(n, comm.size());
+    const core::Box3& box = boxes[static_cast<std::size_t>(comm.rank())];
+    core::PlanOptions opt;
+    opt.decomp = core::Decomposition::Pencil;
+    core::Plan3D plan(comm, n, box, box, opt);
+
+    // Fill the local brick with rho = 14 * phi at mesh points.
+    const double h = L / n[0];
+    std::vector<cplx> rho(static_cast<std::size_t>(box.count()));
+    idx_t i = 0;
+    for (idx_t a = box.lo[0]; a <= box.hi[0]; ++a)
+      for (idx_t b = box.lo[1]; b <= box.hi[1]; ++b)
+        for (idx_t c = box.lo[2]; c <= box.hi[2]; ++c, ++i)
+          rho[static_cast<std::size_t>(i)] =
+              14.0 * phi_exact(a * h, b * h, c * h);
+
+    // Forward transform, divide by k^2, backward transform.
+    std::vector<cplx> hat(rho.size());
+    plan.execute(rho.data(), hat.data(), dft::Direction::Forward);
+    i = 0;
+    for (idx_t a = box.lo[0]; a <= box.hi[0]; ++a)
+      for (idx_t b = box.lo[1]; b <= box.hi[1]; ++b)
+        for (idx_t c = box.lo[2]; c <= box.hi[2]; ++c, ++i) {
+          const double kx = pppm::mesh_wavenumber(a, n[0], L);
+          const double ky = pppm::mesh_wavenumber(b, n[1], L);
+          const double kz = pppm::mesh_wavenumber(c, n[2], L);
+          const double k2 = kx * kx + ky * ky + kz * kz;
+          hat[static_cast<std::size_t>(i)] =
+              k2 > 0 ? hat[static_cast<std::size_t>(i)] / k2 : cplx{};
+        }
+    std::vector<cplx> phi(rho.size());
+    plan.execute(hat.data(), phi.data(), dft::Direction::Backward);
+    const double norm = 1.0 / (static_cast<double>(n[0]) * n[1] * n[2]);
+
+    double err = 0;
+    i = 0;
+    for (idx_t a = box.lo[0]; a <= box.hi[0]; ++a)
+      for (idx_t b = box.lo[1]; b <= box.hi[1]; ++b)
+        for (idx_t c = box.lo[2]; c <= box.hi[2]; ++c, ++i)
+          err = std::max(err,
+                         std::abs(phi[static_cast<std::size_t>(i)] * norm -
+                                  phi_exact(a * h, b * h, c * h)));
+    comm.allreduce(&err, 1, smpi::Op::Max);
+    if (comm.rank() == 0) {
+      std::printf("Poisson solve on %d^3 mesh, %d simulated GPUs\n", n[0],
+                  kRanks);
+      std::printf("max |phi - phi_exact| = %.3e\n", err);
+      std::printf("virtual time per solve (fwd + bwd): %s\n",
+                  format_time(plan.trace().kernels().total()).c_str());
+    }
+    if (err > 1e-10) throw Error("Poisson solution inaccurate");
+  });
+  std::puts("OK");
+  return 0;
+}

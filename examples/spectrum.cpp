@@ -1,0 +1,111 @@
+/// \file spectrum.cpp
+/// Pseudo-spectral analysis example: compute the radial energy spectrum
+/// E(k) of a synthetic turbulent velocity field on a distributed mesh --
+/// the analysis loop of the extreme-scale turbulence codes the paper cites
+/// ([28]: GPU pseudo-spectral simulations). Demonstrates batched
+/// distributed transforms: the three velocity components are transformed
+/// as one batch.
+///
+/// Build & run:  ./examples/spectrum
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <numbers>
+
+#include "common/ascii_plot.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "core/pack.hpp"
+#include "core/plan.hpp"
+#include "core/simulate.hpp"
+#include "pppm/ewald.hpp"
+
+using namespace parfft;
+
+int main() {
+  const std::array<int, 3> n = {32, 32, 32};
+  const int kRanks = 6;
+  const double L = 2.0 * std::numbers::pi;
+  const int kmax = n[0] / 2;
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = kRanks;
+  smpi::Runtime rt(ro);
+
+  std::vector<double> spectrum(static_cast<std::size_t>(kmax) + 1, 0.0);
+  std::mutex mu;
+  rt.run([&](smpi::Comm& comm) {
+    const auto boxes = core::brick_layout(n, comm.size());
+    const core::Box3& box = boxes[static_cast<std::size_t>(comm.rank())];
+
+    // Batched plan: the 3 velocity components share one transform.
+    core::PlanOptions opt;
+    opt.decomp = core::Decomposition::Pencil;
+    opt.batch = 3;
+    core::Plan3D plan(comm, n, box, box, opt);
+
+    // Synthetic solenoidal-ish field: random Fourier-like superposition.
+    const double h = L / n[0];
+    const idx_t cnt = box.count();
+    std::vector<cplx> u(static_cast<std::size_t>(3 * cnt));
+    idx_t i = 0;
+    for (idx_t a = box.lo[0]; a <= box.hi[0]; ++a)
+      for (idx_t b = box.lo[1]; b <= box.hi[1]; ++b)
+        for (idx_t c = box.lo[2]; c <= box.hi[2]; ++c, ++i) {
+          const double x = a * h, y = b * h, z = c * h;
+          u[static_cast<std::size_t>(i)] =
+              std::sin(x) * std::cos(y) * std::cos(z);          // ux
+          u[static_cast<std::size_t>(cnt + i)] =
+              -std::cos(x) * std::sin(y) * std::cos(z);         // uy  (Taylor-Green)
+          u[static_cast<std::size_t>(2 * cnt + i)] =
+              0.3 * std::sin(2 * x) * std::sin(3 * y) * std::sin(z);
+        }
+
+    std::vector<cplx> uhat(u.size());
+    plan.execute(u.data(), uhat.data(), dft::Direction::Forward);
+
+    // Radial binning of |u_hat|^2 over the local k-brick.
+    std::vector<double> local(spectrum.size(), 0.0);
+    const double norm =
+        1.0 / std::pow(static_cast<double>(n[0]) * n[1] * n[2], 2);
+    i = 0;
+    for (idx_t a = box.lo[0]; a <= box.hi[0]; ++a)
+      for (idx_t b = box.lo[1]; b <= box.hi[1]; ++b)
+        for (idx_t c = box.lo[2]; c <= box.hi[2]; ++c, ++i) {
+          const double kx = pppm::mesh_wavenumber(a, n[0], L);
+          const double ky = pppm::mesh_wavenumber(b, n[1], L);
+          const double kz = pppm::mesh_wavenumber(c, n[2], L);
+          const int bin = static_cast<int>(
+              std::lround(std::sqrt(kx * kx + ky * ky + kz * kz)));
+          if (bin > kmax) continue;
+          double e = 0;
+          for (int d = 0; d < 3; ++d)
+            e += std::norm(uhat[static_cast<std::size_t>(d * cnt + i)]);
+          local[static_cast<std::size_t>(bin)] += 0.5 * e * norm;
+        }
+    comm.allreduce(local.data(), static_cast<int>(local.size()),
+                   smpi::Op::Sum);
+    if (comm.rank() == 0) {
+      std::lock_guard lk(mu);
+      spectrum = local;
+      std::printf("Energy spectrum of a Taylor-Green-like field "
+                  "(32^3, %d GPUs, batched x3):\n\n",
+                  kRanks);
+      std::printf("  k   E(k)\n  ---------------\n");
+      for (int k = 1; k <= 6; ++k)
+        std::printf("  %2d  %.6e\n", k,
+                    spectrum[static_cast<std::size_t>(k)]);
+      std::printf("\nbatched transform virtual time: %s\n",
+                  format_time(plan.trace().kernels().total()).c_str());
+    }
+  });
+
+  // The Taylor-Green mode lives at |k| = sqrt(3) ~ 2; that bin dominates.
+  if (spectrum[2] < spectrum[5]) {
+    std::puts("ERROR: spectrum shape unexpected");
+    return 1;
+  }
+  std::puts("OK");
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// \file tuning_advisor.cpp
+/// The paper's tuning methodology as a tool (Section IV-A): given a
+/// transform size and a GPU count, print the bandwidth-model prediction
+/// (eqs. 2/3), the phase diagram around the working point, and a simulated
+/// comparison of the candidate configurations, ending with a recommended
+/// setting.
+///
+/// Usage:  ./examples/tuning_advisor [cube_size] [gpus]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/simulate.hpp"
+#include "model/bandwidth.hpp"
+
+using namespace parfft;
+
+int main(int argc, char** argv) {
+  const int cube = argc > 1 ? std::atoi(argv[1]) : 256;
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 96;
+  if (cube < 8 || gpus < 1) {
+    std::puts("usage: tuning_advisor [cube_size >= 8] [gpus >= 1]");
+    return 1;
+  }
+  const net::MachineSpec machine = net::summit();
+  const std::array<int, 3> n = {cube, cube, cube};
+  const double N = static_cast<double>(cube) * cube * cube;
+
+  std::printf("Tuning advisor: %d^3 complex FFT on %d GPUs (%s)\n\n", cube,
+              gpus, machine.name.c_str());
+
+  // --- Bandwidth-model prediction (paper eqs. 2 and 3). ----------------
+  const auto [p, q] = core::near_square_factors(gpus);
+  std::printf("model (B = %s, L = %s):\n",
+              format_bandwidth(machine.nic_bw).c_str(),
+              format_time(machine.latency_inter).c_str());
+  if (gpus <= cube) {
+    std::printf("  slabs   (eq. 2): %s\n",
+                format_time(model::t_slabs(N, gpus, machine.nic_bw,
+                                           machine.latency_inter)).c_str());
+  } else {
+    std::printf("  slabs   (eq. 2): infeasible (%d ranks > N1 = %d)\n",
+                gpus, cube);
+  }
+  std::printf("  pencils (eq. 3): %s  (P x Q = %d x %d)\n",
+              format_time(model::t_pencils(N, p, q, machine.nic_bw,
+                                           machine.latency_inter)).c_str(),
+              p, q);
+
+  // --- Phase diagram around the working point. -------------------------
+  std::printf("\nphase diagram (S = slabs, P = pencils):\n        ");
+  std::vector<int> proc_axis;
+  for (int g = 6; g <= 4 * gpus && g <= 3072; g *= 2) proc_axis.push_back(g);
+  for (int g : proc_axis) std::printf("%6d", g);
+  std::printf("  GPUs\n");
+  for (int c : {cube / 2, cube, 2 * cube}) {
+    if (c < 8) continue;
+    std::printf("  %4d^3", c);
+    for (int g : proc_axis) {
+      const auto choice = model::choose_decomposition(
+          {c, c, c}, g, machine.nic_bw, machine.latency_inter);
+      std::printf("%6c", choice == model::Choice::Slab ? 'S' : 'P');
+    }
+    std::printf("\n");
+  }
+
+  // --- Simulated comparison of candidate settings. ---------------------
+  std::printf("\nsimulated per-transform times:\n");
+  Table t({"decomposition", "backend", "gpu-aware", "time", "comm share"});
+  struct Cand {
+    core::Decomposition d;
+    core::Backend b;
+    bool aware;
+    const char* dn;
+    const char* bn;
+  };
+  std::vector<Cand> cands = {
+      {core::Decomposition::Pencil, core::Backend::Alltoallv, true, "pencil", "MPI_Alltoallv"},
+      {core::Decomposition::Pencil, core::Backend::P2PNonBlocking, true, "pencil", "MPI_Isend/Irecv"},
+      {core::Decomposition::Pencil, core::Backend::Alltoallv, false, "pencil", "MPI_Alltoallv"},
+  };
+  if (gpus <= cube)
+    cands.push_back({core::Decomposition::Slab, core::Backend::Alltoallv,
+                     true, "slab", "MPI_Alltoallv"});
+  double best = 1e30;
+  std::string best_desc;
+  for (const auto& c : cands) {
+    core::SimConfig cfg;
+    cfg.n = n;
+    cfg.nranks = gpus;
+    cfg.machine = machine;
+    cfg.gpu_aware = c.aware;
+    cfg.options.decomp = c.d;
+    cfg.options.backend = c.b;
+    const auto rep = core::simulate(cfg);
+    t.add_row({c.dn, c.bn, c.aware ? "yes" : "no",
+               format_time(rep.per_transform),
+               format_fixed(100 * rep.kernels.comm / rep.kernels.total(), 1) +
+                   " %"});
+    if (rep.per_transform < best) {
+      best = rep.per_transform;
+      best_desc = std::string(c.dn) + " + " + c.bn +
+                  (c.aware ? " + GPU-aware" : " (staged)");
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nrecommended setting: %s  (%s per transform)\n",
+              best_desc.c_str(), format_time(best).c_str());
+  return 0;
+}

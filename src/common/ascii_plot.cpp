@@ -1,0 +1,109 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace parfft {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+double transform(double v, bool log_y) {
+  return log_y ? std::log10(std::max(v, 1e-300)) : v;
+}
+}  // namespace
+
+void ascii_plot(std::ostream& os, const std::vector<std::string>& x_ticks,
+                const std::vector<Series>& series, const PlotOptions& opt) {
+  PARFFT_CHECK(!series.empty(), "plot needs at least one series");
+  std::size_t n = 0;
+  for (const auto& s : series) n = std::max(n, s.y.size());
+  PARFFT_CHECK(n > 0, "plot needs at least one sample");
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series)
+    for (double v : s.y) {
+      if (opt.log_y && v <= 0) continue;
+      lo = std::min(lo, transform(v, opt.log_y));
+      hi = std::max(hi, transform(v, opt.log_y));
+    }
+  if (!(lo < hi)) {  // flat or single-point series
+    lo -= 1.0;
+    hi += 1.0;
+  }
+
+  const int W = opt.width, H = opt.height;
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char m = kMarkers[si % sizeof(kMarkers)];
+    const auto& y = series[si].y;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (opt.log_y && y[i] <= 0) continue;
+      const double t = transform(y[i], opt.log_y);
+      const int col = n == 1 ? 0
+                             : static_cast<int>(std::lround(
+                                   double(i) * (W - 1) / double(n - 1)));
+      const int row = static_cast<int>(
+          std::lround((hi - t) / (hi - lo) * (H - 1)));
+      canvas[std::clamp(row, 0, H - 1)][std::clamp(col, 0, W - 1)] = m;
+    }
+  }
+
+  if (!opt.y_label.empty()) os << opt.y_label << '\n';
+  char buf[64];
+  for (int r = 0; r < H; ++r) {
+    const double t = hi - (hi - lo) * r / (H - 1);
+    const double v = opt.log_y ? std::pow(10.0, t) : t;
+    std::snprintf(buf, sizeof(buf), "%10.3g |", v);
+    os << buf << canvas[r] << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(W, '-') << '\n';
+
+  // x tick labels: first, middle, last.
+  if (!x_ticks.empty()) {
+    std::string axis(static_cast<std::size_t>(W) + 12, ' ');
+    auto put = [&](std::size_t col, const std::string& s) {
+      for (std::size_t k = 0; k < s.size() && 12 + col + k < axis.size(); ++k)
+        axis[12 + col + k] = s[k];
+    };
+    put(0, x_ticks.front());
+    if (x_ticks.size() > 2)
+      put(static_cast<std::size_t>(W) / 2 - 2, x_ticks[x_ticks.size() / 2]);
+    if (x_ticks.size() > 1)
+      put(static_cast<std::size_t>(W) - std::min<std::size_t>(
+              x_ticks.back().size(), static_cast<std::size_t>(W)),
+          x_ticks.back());
+    os << axis << '\n';
+  }
+  if (!opt.x_label.empty())
+    os << std::string(12, ' ') << "x: " << opt.x_label << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si)
+    os << "  " << kMarkers[si % sizeof(kMarkers)] << " = " << series[si].name
+       << '\n';
+}
+
+void ascii_bars(std::ostream& os,
+                const std::vector<std::pair<std::string, double>>& bars,
+                const std::string& unit, int width) {
+  double hi = 0;
+  std::size_t label_w = 0;
+  for (const auto& [name, v] : bars) {
+    hi = std::max(hi, v);
+    label_w = std::max(label_w, name.size());
+  }
+  if (hi <= 0) hi = 1;
+  for (const auto& [name, v] : bars) {
+    const int len = static_cast<int>(std::lround(v / hi * width));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%10.4g %s", v, unit.c_str());
+    os << "  " << name << std::string(label_w - name.size(), ' ') << " |"
+       << std::string(std::max(len, 0), '=') << ' ' << buf << '\n';
+  }
+}
+
+}  // namespace parfft

@@ -1,0 +1,40 @@
+#pragma once
+/// \file ascii_plot.hpp
+/// Terminal plots for benchmark output. Each paper figure's bench binary
+/// prints both the raw series (via Table) and a quick visual rendering so
+/// trends (crossovers, spikes, scaling slopes) can be eyeballed in CI logs.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace parfft {
+
+/// One named series of y-values over a shared x-axis.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Options controlling the rendering of an AsciiPlot.
+struct PlotOptions {
+  int width = 72;        ///< plot area width in characters
+  int height = 16;       ///< plot area height in rows
+  bool log_y = false;    ///< logarithmic y-axis (runtime scaling plots)
+  std::string x_label;   ///< label printed under the axis
+  std::string y_label;   ///< label printed above the plot
+};
+
+/// Renders one or more series as a scatter/line chart using a distinct
+/// marker per series ('*', 'o', '+', 'x', ...). X positions are the sample
+/// indices spread across the width; x tick labels come from `x_ticks`.
+void ascii_plot(std::ostream& os, const std::vector<std::string>& x_ticks,
+                const std::vector<Series>& series, const PlotOptions& opt);
+
+/// Renders a horizontal bar chart: one labelled bar per entry; useful for
+/// runtime breakdowns (paper Figs. 6, 7 and 12).
+void ascii_bars(std::ostream& os,
+                const std::vector<std::pair<std::string, double>>& bars,
+                const std::string& unit, int width = 56);
+
+}  // namespace parfft

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace parfft::detail {
+
+void throw_error(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "parfft: " << msg << " [" << expr << " at " << file << ":" << line
+     << "]";
+  throw Error(os.str());
+}
+
+}  // namespace parfft::detail

@@ -1,0 +1,45 @@
+#pragma once
+/// \file error.hpp
+/// Error handling for ParFFT: a dedicated exception type plus check macros.
+///
+/// Following the project convention (and I.10 of the C++ Core Guidelines),
+/// unrecoverable API misuse throws `parfft::Error`; internal invariant
+/// violations use PARFFT_ASSERT which also throws so tests can observe them.
+
+#include <stdexcept>
+#include <string>
+
+namespace parfft {
+
+/// Exception thrown on precondition violations and unrecoverable failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Builds the exception message and throws; out-of-line to keep macro sites
+/// small.
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace parfft
+
+/// Validates a user-facing precondition; throws parfft::Error on failure.
+#define PARFFT_CHECK(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::parfft::detail::throw_error(__FILE__, __LINE__, #expr, (msg));   \
+    }                                                                    \
+  } while (0)
+
+/// Internal invariant; identical behaviour to PARFFT_CHECK but signals a
+/// library bug rather than API misuse.
+#define PARFFT_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::parfft::detail::throw_error(__FILE__, __LINE__, #expr,           \
+                                    "internal invariant violated");      \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,32 @@
+#pragma once
+/// \file table.hpp
+/// Minimal fixed-width table printer. Benchmark binaries use this to emit
+/// the rows/series each paper table or figure reports, in a form that is
+/// easy to diff and to paste into EXPERIMENTS.md.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace parfft {
+
+/// A column-aligned text table. Columns are sized to their widest cell.
+class Table {
+ public:
+  /// Creates a table with the given header row.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parfft

@@ -1,0 +1,29 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental value types shared across ParFFT modules.
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace parfft {
+
+/// Double-precision complex sample: the "double-complex" datatype the paper
+/// assumes throughout (16 bytes per element, see eq. (2)).
+using cplx = std::complex<double>;
+
+/// Single-precision complex sample (supported by the local engine; the
+/// paper's experiments are all double precision).
+using fcplx = std::complex<float>;
+
+/// Bytes of one double-complex element; named because it appears in the
+/// bandwidth model equations (2)-(5).
+inline constexpr double kBytesPerComplex = 16.0;
+
+/// Simulated time in seconds on the virtual clock.
+using VTime = double;
+
+/// Index type for element counts; FFT grids up to 2048^3 exceed 32 bits.
+using idx_t = std::int64_t;
+
+}  // namespace parfft

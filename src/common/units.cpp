@@ -1,0 +1,42 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace parfft {
+
+namespace {
+std::string printf_str(const char* fmt, double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v, unit);
+  return buf;
+}
+}  // namespace
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_time(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a < 1e-6) return printf_str("%.1f %s", seconds * 1e9, "ns");
+  if (a < 1e-3) return printf_str("%.2f %s", seconds * 1e6, "us");
+  if (a < 1.0) return printf_str("%.3f %s", seconds * 1e3, "ms");
+  return printf_str("%.3f %s", seconds, "s");
+}
+
+std::string format_bytes(double bytes) {
+  const double a = std::fabs(bytes);
+  if (a < 1e3) return printf_str("%.0f %s", bytes, "B");
+  if (a < 1e6) return printf_str("%.2f %s", bytes / 1e3, "KB");
+  if (a < 1e9) return printf_str("%.2f %s", bytes / 1e6, "MB");
+  return printf_str("%.2f %s", bytes / 1e9, "GB");
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  return format_bytes(bytes_per_second) + "/s";
+}
+
+}  // namespace parfft

@@ -1,0 +1,22 @@
+#pragma once
+/// \file units.hpp
+/// Human-readable formatting of times, byte counts and bandwidths used by
+/// the benchmark harnesses when printing paper-style tables.
+
+#include <string>
+
+namespace parfft {
+
+/// Formats seconds with an adaptive unit: "12.3 us", "4.56 ms", "0.090 s".
+std::string format_time(double seconds);
+
+/// Formats a byte count: "512 B", "2.00 MB", "2.15 GB" (decimal units).
+std::string format_bytes(double bytes);
+
+/// Formats a bandwidth in bytes/second: "23.5 GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+/// Fixed-precision helper: value with `digits` digits after the point.
+std::string format_fixed(double value, int digits);
+
+}  // namespace parfft

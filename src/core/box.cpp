@@ -1,0 +1,144 @@
+#include "core/box.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace parfft::core {
+
+bool Box3::contains(const std::array<idx_t, 3>& g) const {
+  for (int d = 0; d < 3; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    if (g[sd] < lo[sd] || g[sd] > hi[sd]) return false;
+  }
+  return true;
+}
+
+idx_t Box3::offset_of(const std::array<idx_t, 3>& g) const {
+  PARFFT_ASSERT(contains(g));
+  return ((g[0] - lo[0]) * size(1) + (g[1] - lo[1])) * size(2) +
+         (g[2] - lo[2]);
+}
+
+Box3 intersect(const Box3& a, const Box3& b) {
+  Box3 r;
+  for (int d = 0; d < 3; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    r.lo[sd] = std::max(a.lo[sd], b.lo[sd]);
+    r.hi[sd] = std::min(a.hi[sd], b.hi[sd]);
+  }
+  return r;
+}
+
+Box3 world_box(const std::array<int, 3>& n) {
+  PARFFT_CHECK(n[0] >= 1 && n[1] >= 1 && n[2] >= 1,
+               "grid dims must be positive");
+  return Box3{{0, 0, 0}, {n[0] - 1, n[1] - 1, n[2] - 1}};
+}
+
+std::array<int, 3> ProcGrid::coord(int rank) const {
+  PARFFT_CHECK(rank >= 0 && rank < count(), "rank outside grid");
+  return {rank / (dims[1] * dims[2]), (rank / dims[2]) % dims[1],
+          rank % dims[2]};
+}
+
+int ProcGrid::rank_of(const std::array<int, 3>& c) const {
+  for (int d = 0; d < 3; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    PARFFT_CHECK(c[sd] >= 0 && c[sd] < dims[sd], "coordinate outside grid");
+  }
+  return (c[0] * dims[1] + c[1]) * dims[2] + c[2];
+}
+
+std::vector<Box3> split_world(const Box3& world, const ProcGrid& grid) {
+  PARFFT_CHECK(!world.empty(), "cannot split an empty box");
+  // Per-axis breakpoints: cell i along axis d covers
+  // [lo + i*q + min(i, r), ...) where q = n/p, r = n%p.
+  std::array<std::vector<idx_t>, 3> starts;
+  for (int d = 0; d < 3; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    const idx_t n = world.size(d);
+    const idx_t p = grid.dims[sd];
+    const idx_t q = n / p, r = n % p;
+    starts[sd].resize(static_cast<std::size_t>(p) + 1);
+    for (idx_t i = 0; i <= p; ++i)
+      starts[sd][static_cast<std::size_t>(i)] =
+          world.lo[sd] + i * q + std::min(i, r);
+  }
+  std::vector<Box3> boxes(static_cast<std::size_t>(grid.count()));
+  for (int rank = 0; rank < grid.count(); ++rank) {
+    const auto c = grid.coord(rank);
+    Box3 b;
+    for (int d = 0; d < 3; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      b.lo[sd] = starts[sd][static_cast<std::size_t>(c[sd])];
+      b.hi[sd] = starts[sd][static_cast<std::size_t>(c[sd]) + 1] - 1;
+    }
+    boxes[static_cast<std::size_t>(rank)] = b;
+  }
+  return boxes;
+}
+
+std::vector<Box3> pad_boxes(std::vector<Box3> boxes, int nranks) {
+  PARFFT_CHECK(static_cast<int>(boxes.size()) <= nranks,
+               "more boxes than ranks");
+  boxes.resize(static_cast<std::size_t>(nranks));  // default Box3 is empty
+  return boxes;
+}
+
+std::array<int, 2> near_square_factors(int nprocs) {
+  PARFFT_CHECK(nprocs >= 1, "need at least one process");
+  for (int a = static_cast<int>(std::sqrt(static_cast<double>(nprocs)));
+       a >= 1; --a) {
+    if (nprocs % a == 0) return {a, nprocs / a};
+  }
+  return {1, nprocs};
+}
+
+ProcGrid min_surface_grid(int nprocs, const std::array<int, 3>& n) {
+  PARFFT_CHECK(nprocs >= 1, "need at least one process");
+  ProcGrid best{{1, 1, nprocs}};
+  double best_surface = -1;
+  for (int p0 = 1; p0 <= nprocs; ++p0) {
+    if (nprocs % p0 != 0) continue;
+    const int rest = nprocs / p0;
+    for (int p1 = 1; p1 <= rest; ++p1) {
+      if (rest % p1 != 0) continue;
+      const int p2 = rest / p1;
+      const double s0 = static_cast<double>(n[0]) / p0;
+      const double s1 = static_cast<double>(n[1]) / p1;
+      const double s2 = static_cast<double>(n[2]) / p2;
+      const double surface = s0 * s1 + s1 * s2 + s0 * s2;
+      // Strictly-better wins; ties (up to roundoff) keep the first,
+      // lexicographically smallest grid -- this reproduces the ascending
+      // grids of the paper's Table III.
+      if (best_surface < 0 || surface < best_surface * (1.0 - 1e-12)) {
+        best_surface = surface;
+        best = ProcGrid{{p0, p1, p2}};
+      }
+    }
+  }
+  return best;
+}
+
+ProcGrid pencil_grid(int nprocs, int axis) {
+  PARFFT_CHECK(axis >= 0 && axis < 3, "axis must be 0, 1 or 2");
+  const auto [p, q] = near_square_factors(nprocs);
+  ProcGrid g;
+  switch (axis) {
+    case 0: g.dims = {1, p, q}; break;
+    case 1: g.dims = {p, 1, q}; break;
+    default: g.dims = {p, q, 1}; break;
+  }
+  return g;
+}
+
+ProcGrid slab_grid(int nprocs, int axis) {
+  PARFFT_CHECK(axis >= 0 && axis < 3, "axis must be 0, 1 or 2");
+  ProcGrid g;
+  g.dims[static_cast<std::size_t>(axis)] = nprocs;
+  return g;
+}
+
+}  // namespace parfft::core

@@ -1,0 +1,81 @@
+#pragma once
+/// \file box.hpp
+/// Boxes and processor grids: the index-space bookkeeping of a distributed
+/// 3-D FFT. A rank owns a brick-shaped region of the global N1 x N2 x N3
+/// index space; reshapes move data between two sets of bricks. Matches the
+/// box3d/processor-grid machinery of heFFTe / fftMPI, including the
+/// minimum-surface splitting heuristic the paper mentions for real-world
+/// (brick shaped) input grids.
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parfft::core {
+
+/// An axis-aligned brick of global indices, bounds inclusive. Local storage
+/// within a box is row-major in global axis order (axis 2 fastest).
+struct Box3 {
+  std::array<idx_t, 3> lo{0, 0, 0};
+  std::array<idx_t, 3> hi{-1, -1, -1};
+
+  idx_t size(int d) const {
+    const idx_t s = hi[static_cast<std::size_t>(d)] - lo[static_cast<std::size_t>(d)] + 1;
+    return s > 0 ? s : 0;
+  }
+  idx_t count() const { return size(0) * size(1) * size(2); }
+  bool empty() const { return count() == 0; }
+
+  bool operator==(const Box3&) const = default;
+
+  /// True if `g` (a global coordinate) lies inside this box.
+  bool contains(const std::array<idx_t, 3>& g) const;
+
+  /// Local row-major offset of global coordinate `g` (must be inside).
+  idx_t offset_of(const std::array<idx_t, 3>& g) const;
+};
+
+/// Intersection of two boxes (possibly empty).
+Box3 intersect(const Box3& a, const Box3& b);
+
+/// The full index space of an n[0] x n[1] x n[2] transform.
+Box3 world_box(const std::array<int, 3>& n);
+
+/// A 3-D grid of processes; ranks are assigned in row-major grid order
+/// (axis 2 fastest), matching the paper's Table III notation (g0, g1, g2).
+struct ProcGrid {
+  std::array<int, 3> dims{1, 1, 1};
+
+  int count() const { return dims[0] * dims[1] * dims[2]; }
+  std::array<int, 3> coord(int rank) const;
+  int rank_of(const std::array<int, 3>& c) const;
+  bool operator==(const ProcGrid&) const = default;
+};
+
+/// Splits `world` into one brick per grid cell, distributing remainders to
+/// the leading cells (heFFTe-style proportional split). Returned in rank
+/// order; every box is non-empty when grid dims <= world dims.
+std::vector<Box3> split_world(const Box3& world, const ProcGrid& grid);
+
+/// Pads the box list with empty boxes up to `nranks` entries (ranks beyond
+/// the grid own nothing -- used by FFT grid shrinking).
+std::vector<Box3> pad_boxes(std::vector<Box3> boxes, int nranks);
+
+/// Factors `nprocs` as a * b with a <= b and b - a minimal (pencil grids;
+/// reproduces the P x Q pairs of the paper's Table III).
+std::array<int, 2> near_square_factors(int nprocs);
+
+/// Minimum-surface heuristic: factors nprocs into a 3-D grid minimizing the
+/// surface area of the resulting local bricks of the n[0] x n[1] x n[2]
+/// space (load-balanced brick-shaped grids, Section III).
+ProcGrid min_surface_grid(int nprocs, const std::array<int, 3>& n);
+
+/// Grid with pencils along `axis` (dims[axis] == 1), using the given P x Q
+/// factors for the two decomposed axes in ascending-axis order.
+ProcGrid pencil_grid(int nprocs, int axis);
+
+/// Grid with slabs: decomposed along `axis` only.
+ProcGrid slab_grid(int nprocs, int axis);
+
+}  // namespace parfft::core

@@ -1,0 +1,74 @@
+#include "core/grids.hpp"
+
+#include "common/error.hpp"
+
+namespace parfft::core {
+
+std::vector<int> table3_gpu_counts() {
+  return {6, 12, 24, 48, 96, 192, 384, 768, 1536, 3072};
+}
+
+GridSequenceRow table3_row(int gpus) {
+  auto g = [](int a, int b, int c) { return ProcGrid{{a, b, c}}; };
+  GridSequenceRow r;
+  r.gpus = gpus;
+  switch (gpus) {
+    case 6:
+      // The paper's 6-GPU row lists only four grids: the (1,2,3) input
+      // brick grid already is the axis-0 pencil grid.
+      r.input = g(1, 2, 3);
+      r.fft = {g(1, 2, 3), g(2, 1, 3), g(2, 3, 1)};
+      r.output = g(1, 2, 3);
+      break;
+    case 12:
+      r.input = g(2, 2, 3);
+      r.fft = {g(1, 3, 4), g(3, 1, 4), g(3, 4, 1)};
+      r.output = g(2, 2, 3);
+      break;
+    case 24:
+      r.input = g(2, 3, 4);
+      r.fft = {g(1, 4, 6), g(4, 1, 6), g(4, 6, 1)};
+      r.output = g(2, 3, 4);
+      break;
+    case 48:
+      r.input = g(3, 4, 4);
+      r.fft = {g(1, 6, 8), g(6, 1, 8), g(6, 8, 1)};
+      r.output = g(3, 4, 4);
+      break;
+    case 96:
+      r.input = g(4, 4, 6);
+      r.fft = {g(1, 8, 12), g(8, 1, 12), g(8, 12, 1)};
+      r.output = g(4, 4, 6);
+      break;
+    case 192:
+      r.input = g(4, 6, 8);
+      r.fft = {g(1, 12, 16), g(12, 1, 16), g(12, 16, 1)};
+      r.output = g(4, 6, 8);
+      break;
+    case 384:
+      r.input = g(6, 8, 8);
+      r.fft = {g(1, 16, 24), g(16, 1, 24), g(16, 24, 1)};
+      r.output = g(6, 8, 8);
+      break;
+    case 768:
+      r.input = g(8, 8, 12);
+      r.fft = {g(1, 24, 32), g(24, 1, 32), g(24, 32, 1)};
+      r.output = g(8, 8, 12);
+      break;
+    case 1536:
+      r.input = g(16, 8, 12);
+      r.fft = {g(1, 32, 48), g(32, 1, 48), g(32, 48, 1)};
+      r.output = g(16, 8, 12);
+      break;
+    case 3072:
+      r.input = g(16, 12, 16);
+      r.fft = {g(1, 48, 64), g(48, 1, 64), g(48, 64, 1)};
+      r.output = g(16, 12, 16);
+      break;
+    default:
+      PARFFT_CHECK(false, "GPU count not in Table III");
+  }
+  return r;
+}
+
+}  // namespace parfft::core

@@ -1,0 +1,30 @@
+#pragma once
+/// \file grids.hpp
+/// The paper's Table III: the processor-grid sequence used for the strong
+/// scalability experiments (6 .. 3072 GPUs on a 512^3 transform). Input and
+/// output are brick-shaped 3-D grids (minimum-surface splitting, as
+/// produced by real applications); the FFT grids are the pencil grids of
+/// the three transform stages.
+
+#include <array>
+#include <vector>
+
+#include "core/box.hpp"
+
+namespace parfft::core {
+
+struct GridSequenceRow {
+  int gpus = 0;
+  ProcGrid input;                 ///< blue grid (before the FFT)
+  std::array<ProcGrid, 3> fft;    ///< black grids (one per transform stage)
+  ProcGrid output;                ///< blue grid (after the FFT)
+};
+
+/// GPU counts of Table III: 6, 12, 24, ..., 3072.
+std::vector<int> table3_gpu_counts();
+
+/// The literal Table III row for `gpus` (throws for counts not in the
+/// table).
+GridSequenceRow table3_row(int gpus);
+
+}  // namespace parfft::core

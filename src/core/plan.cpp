@@ -1,0 +1,363 @@
+#include "core/plan.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/pack.hpp"
+#include "fft/many.hpp"
+
+namespace parfft::core {
+
+namespace {
+struct WireBox {
+  idx_t lo[3];
+  idx_t hi[3];
+};
+}  // namespace
+
+std::vector<Box3> allgather_boxes(smpi::Comm& comm, const Box3& mine) {
+  WireBox w{{mine.lo[0], mine.lo[1], mine.lo[2]},
+            {mine.hi[0], mine.hi[1], mine.hi[2]}};
+  std::vector<WireBox> all(static_cast<std::size_t>(comm.size()));
+  comm.allgather(&w, sizeof(WireBox), all.data());
+  std::vector<Box3> boxes(all.size());
+  for (std::size_t r = 0; r < all.size(); ++r)
+    boxes[r] = Box3{{all[r].lo[0], all[r].lo[1], all[r].lo[2]},
+                    {all[r].hi[0], all[r].hi[1], all[r].hi[2]}};
+  return boxes;
+}
+
+Plan3D::Plan3D(smpi::Comm& comm, const std::array<int, 3>& n,
+               const Box3& inbox, const Box3& outbox, const PlanOptions& opt)
+    : comm_(comm), inbox_(inbox), outbox_(outbox),
+      dev_(comm.options().device) {
+  auto in_all = allgather_boxes(comm, inbox);
+  auto out_all = allgather_boxes(comm, outbox);
+  plan_ = build_stages(n, comm.size(), std::move(in_all), std::move(out_all),
+                       opt, comm.options().machine);
+  const idx_t work = plan_.max_work_elements(comm.rank()) * opt.batch;
+  work_.reserve(static_cast<std::size_t>(work));
+  work2_.reserve(static_cast<std::size_t>(work));
+}
+
+Plan3D::Plan3D(smpi::Comm& comm, StagePlan plan, const Box3& inbox,
+               const Box3& outbox)
+    : comm_(comm), plan_(std::move(plan)), inbox_(inbox), outbox_(outbox),
+      dev_(comm.options().device) {
+  PARFFT_CHECK(plan_.nranks == comm.size(),
+               "stage plan was built for a different communicator size");
+  const idx_t work =
+      plan_.max_work_elements(comm.rank()) * plan_.options.batch;
+  work_.reserve(static_cast<std::size_t>(work));
+  work2_.reserve(static_cast<std::size_t>(work));
+}
+
+void Plan3D::execute(const cplx* in, cplx* out, dft::Direction dir) {
+  const int batch = plan_.options.batch;
+  work_.assign(static_cast<std::size_t>(input_elements()), cplx{});
+  if (input_elements() > 0)
+    std::memcpy(work_.data(), in,
+                static_cast<std::size_t>(input_elements()) * sizeof(cplx));
+
+  for (const Stage& stage : plan_.stages) {
+    if (stage.kind == Stage::Kind::Reshape) {
+      run_reshape(stage, tag_counter_);
+      tag_counter_ += 1;
+    } else {
+      run_fft(stage, dir);
+    }
+  }
+
+  if (dir == dft::Direction::Backward &&
+      plan_.options.scaling == Scaling::Full) {
+    const double inv = 1.0 / static_cast<double>(plan_.total_elements());
+    for (auto& v : work_) v *= inv;
+    const double bytes =
+        static_cast<double>(outbox_.count()) * batch * sizeof(cplx);
+    const double t = gpu::pointwise_cost(dev_, bytes);
+    comm_.advance(t);
+    trace_.add_scale(t);
+  }
+
+  PARFFT_ASSERT(static_cast<idx_t>(work_.size()) == output_elements());
+  if (output_elements() > 0)
+    std::memcpy(out, work_.data(),
+                static_cast<std::size_t>(output_elements()) * sizeof(cplx));
+}
+
+void Plan3D::run_reshape(const Stage& stage, int tag_base) {
+  if (backend_is_datatype(plan_.options.backend)) {
+    run_reshape_datatype(stage);
+  } else if (backend_is_p2p(plan_.options.backend)) {
+    run_reshape_p2p(stage, tag_base);
+  } else {
+    run_reshape_collective(stage);
+  }
+}
+
+void Plan3D::run_reshape_collective(const Stage& stage) {
+  const ReshapePlan& rp = stage.reshape;
+  const int R = comm_.size();
+  const int me = comm_.rank();
+  const int batch = plan_.options.batch;
+  const Box3& from = rp.from()[static_cast<std::size_t>(me)];
+  const Box3& to = rp.to()[static_cast<std::size_t>(me)];
+
+  std::vector<std::size_t> scounts(static_cast<std::size_t>(R), 0),
+      sdispls(static_cast<std::size_t>(R), 0),
+      rcounts(static_cast<std::size_t>(R), 0),
+      rdispls(static_cast<std::size_t>(R), 0);
+
+  // Pack every outgoing region (ascending peer), batch-major per region.
+  sendbuf_.resize(static_cast<std::size_t>(rp.max_send_elements(me) * batch));
+  double pack_t = 0;
+  idx_t off = 0;
+  for (const Transfer& t : rp.sends(me)) {
+    const idx_t cnt = t.region.count();
+    scounts[static_cast<std::size_t>(t.peer)] =
+        static_cast<std::size_t>(cnt * batch) * sizeof(cplx);
+    sdispls[static_cast<std::size_t>(t.peer)] =
+        static_cast<std::size_t>(off) * sizeof(cplx);
+    for (int b = 0; b < batch; ++b)
+      pack_box(work_.data() + static_cast<idx_t>(b) * from.count(), from,
+               t.region, sendbuf_.data() + off + static_cast<idx_t>(b) * cnt);
+    pack_t += gpu::pack_region_cost(
+        dev_, static_cast<double>(cnt * batch) * sizeof(cplx),
+        pack_contiguous_run(from, t.region));
+    off += cnt * batch;
+  }
+  if (!rp.sends(me).empty()) pack_t += dev_.kernel_launch;
+  comm_.advance(pack_t);
+  trace_.add_pack(pack_t);
+
+  // Receive displacements (ascending peer).
+  recvbuf_.resize(static_cast<std::size_t>(rp.max_recv_elements(me) * batch));
+  idx_t roff = 0;
+  for (const Transfer& t : rp.recvs(me)) {
+    const idx_t cnt = t.region.count();
+    rcounts[static_cast<std::size_t>(t.peer)] =
+        static_cast<std::size_t>(cnt * batch) * sizeof(cplx);
+    rdispls[static_cast<std::size_t>(t.peer)] =
+        static_cast<std::size_t>(roff) * sizeof(cplx);
+    roff += cnt * batch;
+  }
+
+  const double t0 = comm_.vtime();
+  comm_.alltoallv(sendbuf_.data(), scounts, sdispls, recvbuf_.data(),
+                  rcounts, rdispls, space_, to_alg(plan_.options.backend));
+  trace_.add_comm(backend_name(plan_.options.backend), comm_.vtime() - t0);
+
+  // Unpack into the new layout.
+  work2_.assign(static_cast<std::size_t>(to.count() * batch), cplx{});
+  double unpack_t = 0;
+  idx_t uoff = 0;
+  for (const Transfer& t : rp.recvs(me)) {
+    const idx_t cnt = t.region.count();
+    for (int b = 0; b < batch; ++b)
+      unpack_box(recvbuf_.data() + uoff + static_cast<idx_t>(b) * cnt, to,
+                 t.region, work2_.data() + static_cast<idx_t>(b) * to.count());
+    unpack_t += gpu::pack_region_cost(
+        dev_, static_cast<double>(cnt * batch) * sizeof(cplx),
+        pack_contiguous_run(to, t.region));
+    uoff += cnt * batch;
+  }
+  if (!rp.recvs(me).empty()) unpack_t += dev_.kernel_launch;
+  comm_.advance(unpack_t);
+  trace_.add_unpack(unpack_t);
+  work_.swap(work2_);
+}
+
+void Plan3D::run_reshape_datatype(const Stage& stage) {
+  // Algorithm 2: no packing; MPI derived sub-array datatypes describe the
+  // strided regions directly.
+  const ReshapePlan& rp = stage.reshape;
+  const int R = comm_.size();
+  const int me = comm_.rank();
+  const int batch = plan_.options.batch;
+  const Box3& from = rp.from()[static_cast<std::size_t>(me)];
+  const Box3& to = rp.to()[static_cast<std::size_t>(me)];
+
+  std::vector<smpi::Subarray> stypes(static_cast<std::size_t>(R)),
+      rtypes(static_cast<std::size_t>(R));
+  auto subarray_of = [](const Box3& local, const Box3& region) {
+    smpi::Subarray s;
+    s.full = {local.size(0), local.size(1), local.size(2)};
+    s.sub = {region.size(0), region.size(1), region.size(2)};
+    s.off = {region.lo[0] - local.lo[0], region.lo[1] - local.lo[1],
+             region.lo[2] - local.lo[2]};
+    s.elem_bytes = sizeof(cplx);
+    return s;
+  };
+  for (const Transfer& t : rp.sends(me))
+    stypes[static_cast<std::size_t>(t.peer)] = subarray_of(from, t.region);
+  for (const Transfer& t : rp.recvs(me))
+    rtypes[static_cast<std::size_t>(t.peer)] = subarray_of(to, t.region);
+
+  work2_.assign(static_cast<std::size_t>(to.count() * batch), cplx{});
+  const double t0 = comm_.vtime();
+  for (int b = 0; b < batch; ++b)
+    comm_.alltoallw(work_.data() + static_cast<idx_t>(b) * from.count(),
+                    stypes,
+                    work2_.data() + static_cast<idx_t>(b) * to.count(),
+                    rtypes, space_);
+  trace_.add_comm("MPI_Alltoallw", comm_.vtime() - t0);
+  work_.swap(work2_);
+}
+
+void Plan3D::run_reshape_p2p(const Stage& stage, int tag_base) {
+  const ReshapePlan& rp = stage.reshape;
+  const int me = comm_.rank();
+  const int batch = plan_.options.batch;
+  const Box3& from = rp.from()[static_cast<std::size_t>(me)];
+  const Box3& to = rp.to()[static_cast<std::size_t>(me)];
+  const bool blocking = plan_.options.backend == Backend::P2PBlocking;
+
+  // Pack (same kernels as the collective path).
+  sendbuf_.resize(static_cast<std::size_t>(rp.max_send_elements(me) * batch));
+  std::vector<idx_t> send_off(rp.sends(me).size());
+  double pack_t = 0;
+  idx_t off = 0;
+  for (std::size_t i = 0; i < rp.sends(me).size(); ++i) {
+    const Transfer& t = rp.sends(me)[i];
+    const idx_t cnt = t.region.count();
+    send_off[i] = off;
+    for (int b = 0; b < batch; ++b)
+      pack_box(work_.data() + static_cast<idx_t>(b) * from.count(), from,
+               t.region, sendbuf_.data() + off + static_cast<idx_t>(b) * cnt);
+    pack_t += gpu::pack_region_cost(
+        dev_, static_cast<double>(cnt * batch) * sizeof(cplx),
+        pack_contiguous_run(from, t.region));
+    off += cnt * batch;
+  }
+  if (!rp.sends(me).empty()) pack_t += dev_.kernel_launch;
+  comm_.advance(pack_t);
+  trace_.add_pack(pack_t);
+
+  // Post receives (MPI_Irecv), then sends; data transport is untimed here
+  // -- the whole phase is settled with the congestion-aware model below.
+  recvbuf_.resize(static_cast<std::size_t>(rp.max_recv_elements(me) * batch));
+  std::vector<smpi::Request> reqs;
+  std::vector<idx_t> recv_off(rp.recvs(me).size());
+  idx_t roff = 0;
+  idx_t self_recv_off = -1;
+  const Transfer* self_send = nullptr;
+  for (std::size_t i = 0; i < rp.recvs(me).size(); ++i) {
+    const Transfer& t = rp.recvs(me)[i];
+    const idx_t cnt = t.region.count() * batch;
+    recv_off[i] = roff;
+    if (t.peer == me) {
+      self_recv_off = roff;
+    } else {
+      reqs.push_back(comm_.irecv(recvbuf_.data() + roff,
+                                 static_cast<std::size_t>(cnt) * sizeof(cplx),
+                                 t.peer, tag_base, space_));
+    }
+    roff += cnt;
+  }
+  std::vector<std::pair<int, double>> phase_sends;
+  for (std::size_t i = 0; i < rp.sends(me).size(); ++i) {
+    const Transfer& t = rp.sends(me)[i];
+    const idx_t cnt = t.region.count() * batch;
+    const double bytes = static_cast<double>(cnt) * sizeof(cplx);
+    phase_sends.push_back({t.peer, bytes});
+    if (t.peer == me) {
+      self_send = &t;
+      continue;
+    }
+    if (blocking) {
+      comm_.send(sendbuf_.data() + send_off[i],
+                 static_cast<std::size_t>(cnt) * sizeof(cplx), t.peer,
+                 tag_base, space_, /*timed=*/false);
+    } else {
+      (void)comm_.isend(sendbuf_.data() + send_off[i],
+                        static_cast<std::size_t>(cnt) * sizeof(cplx), t.peer,
+                        tag_base, space_, /*timed=*/false);
+    }
+  }
+  if (self_send != nullptr) {
+    PARFFT_ASSERT(self_recv_off >= 0);
+    std::size_t i = 0;
+    while (rp.sends(me)[i].peer != me) ++i;
+    std::memcpy(recvbuf_.data() + self_recv_off,
+                sendbuf_.data() + send_off[i],
+                static_cast<std::size_t>(self_send->region.count() * batch) *
+                    sizeof(cplx));
+  }
+  // MPI_Waitany loop until every receive landed.
+  while (comm_.waitany(reqs) != -1) {
+  }
+  const double comm_t = comm_.settle_phase(
+      phase_sends, to_alg(plan_.options.backend), space_);
+  trace_.add_comm(backend_name(plan_.options.backend), comm_t);
+
+  // Unpack.
+  work2_.assign(static_cast<std::size_t>(to.count() * batch), cplx{});
+  double unpack_t = 0;
+  for (std::size_t i = 0; i < rp.recvs(me).size(); ++i) {
+    const Transfer& t = rp.recvs(me)[i];
+    const idx_t cnt = t.region.count();
+    for (int b = 0; b < batch; ++b)
+      unpack_box(recvbuf_.data() + recv_off[i] + static_cast<idx_t>(b) * cnt,
+                 to, t.region,
+                 work2_.data() + static_cast<idx_t>(b) * to.count());
+    unpack_t += gpu::pack_region_cost(
+        dev_, static_cast<double>(cnt * batch) * sizeof(cplx),
+        pack_contiguous_run(to, t.region));
+  }
+  if (!rp.recvs(me).empty()) unpack_t += dev_.kernel_launch;
+  comm_.advance(unpack_t);
+  trace_.add_unpack(unpack_t);
+  work_.swap(work2_);
+}
+
+void Plan3D::run_fft(const Stage& stage, dft::Direction dir) {
+  const int me = comm_.rank();
+  const Box3& box = stage.boxes[static_cast<std::size_t>(me)];
+  if (box.empty()) return;
+  const int batch = plan_.options.batch;
+  const std::array<int, 3> dims = {static_cast<int>(box.size(0)),
+                                   static_cast<int>(box.size(1)),
+                                   static_cast<int>(box.size(2))};
+  for (int axis : stage.axes) {
+    const int len = dims[static_cast<std::size_t>(axis)];
+    const idx_t lines = box.count() / len;
+    const bool naturally_contiguous = axis == 2;
+    if (naturally_contiguous || !plan_.options.contiguous_fft) {
+      // Strided (or already contiguous) execution straight on the brick.
+      for (int b = 0; b < batch; ++b)
+        dft::fft3d_axis(work_.data() + static_cast<idx_t>(b) * box.count(),
+                        dims, axis, dir);
+      const double t = fft_cache_.fft_call(
+          dev_, len, static_cast<int>(lines) * batch,
+          /*strided=*/!naturally_contiguous);
+      comm_.advance(t);
+      trace_.add_fft(t, !naturally_contiguous);
+    } else {
+      // heFFTe's reorder path: transpose to contiguous lines, transform,
+      // transpose back. Costs two local repacks but a contiguous FFT.
+      const double bytes = static_cast<double>(box.count()) * batch *
+                           static_cast<double>(sizeof(cplx));
+      work2_.resize(work_.size());
+      double pack_t = 0;
+      for (int b = 0; b < batch; ++b)
+        transpose_to_lines(work_.data() + static_cast<idx_t>(b) * box.count(),
+                           box, axis,
+                           work2_.data() + static_cast<idx_t>(b) * box.count());
+      pack_t += gpu::pack_cost(dev_, bytes, sizeof(cplx) * 1.0);
+      dft::ManyPlan mp(len, {.count = static_cast<int>(lines) * batch});
+      mp.execute(work2_.data(), work2_.data(), dir);
+      const double t = fft_cache_.fft_call(
+          dev_, len, static_cast<int>(lines) * batch, /*strided=*/false);
+      for (int b = 0; b < batch; ++b)
+        transpose_from_lines(
+            work2_.data() + static_cast<idx_t>(b) * box.count(), box, axis,
+            work_.data() + static_cast<idx_t>(b) * box.count());
+      pack_t += gpu::pack_cost(dev_, bytes, sizeof(cplx) * 1.0);
+      comm_.advance(pack_t + t);
+      trace_.add_pack(pack_t);
+      trace_.add_fft(t, false);
+    }
+  }
+}
+
+}  // namespace parfft::core

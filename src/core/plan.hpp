@@ -1,0 +1,80 @@
+#pragma once
+/// \file plan.hpp
+/// The distributed 3-D FFT plan -- the paper's Algorithm 1 (and, with the
+/// Alltoallw backend, Algorithm 2) executed on the simulated MPI runtime.
+///
+/// A plan is created collectively: every rank passes its input and output
+/// brick (arbitrary grids are supported, as in heFFTe/fftMPI/SWFFT), the
+/// options select decomposition / backend / reorder / batching / grid
+/// shrinking, and execute() runs forward or backward transforms on real
+/// data while charging Summit-like virtual time to each rank's clock.
+
+#include <array>
+#include <vector>
+
+#include "core/stages.hpp"
+#include "core/trace.hpp"
+#include "fft/plan1d.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace parfft::core {
+
+class Plan3D {
+ public:
+  /// Collective constructor (all ranks of `comm` must call it with the
+  /// same `n` and options). `inbox`/`outbox` are this rank's bricks.
+  Plan3D(smpi::Comm& comm, const std::array<int, 3>& n, const Box3& inbox,
+         const Box3& outbox, const PlanOptions& opt);
+
+  /// Wraps a prebuilt stage pipeline (e.g. build_partial_stages, used by
+  /// the distributed real transform). `inbox`/`outbox` are this rank's
+  /// layouts at entry and exit; not a collective (the plan already
+  /// contains every rank's view).
+  Plan3D(smpi::Comm& comm, StagePlan plan, const Box3& inbox,
+         const Box3& outbox);
+
+  /// Executes options.batch transforms. `in` holds batch-major local
+  /// bricks of the input layout (batch * inbox().count() elements); `out`
+  /// receives batch * outbox().count() elements. In-place (in == out) is
+  /// allowed when the buffer fits both layouts. Forward is unnormalized;
+  /// Backward applies options.scaling.
+  void execute(const cplx* in, cplx* out, dft::Direction dir);
+
+  const StagePlan& stage_plan() const { return plan_; }
+  const Box3& inbox() const { return inbox_; }
+  const Box3& outbox() const { return outbox_; }
+  idx_t input_elements() const {
+    return inbox_.count() * plan_.options.batch;
+  }
+  idx_t output_elements() const {
+    return outbox_.count() * plan_.options.batch;
+  }
+
+  /// Virtual-time accounting for this rank; clear between measurements.
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  void run_reshape(const Stage& stage, int tag_base);
+  void run_reshape_collective(const Stage& stage);
+  void run_reshape_datatype(const Stage& stage);
+  void run_reshape_p2p(const Stage& stage, int tag_base);
+  void run_fft(const Stage& stage, dft::Direction dir);
+  void apply_scaling(const std::vector<Box3>& layout);
+
+  smpi::Comm& comm_;
+  StagePlan plan_;
+  Box3 inbox_, outbox_;
+  gpu::DeviceSpec dev_;
+  gpu::PlanCache fft_cache_;
+  smpi::MemSpace space_ = smpi::MemSpace::Device;
+  Trace trace_;
+  // Work buffers: batch-major local bricks of the current layout.
+  std::vector<cplx> work_, work2_, sendbuf_, recvbuf_;
+  int tag_counter_ = 100;
+};
+
+/// Convenience: gathers every rank's box (collective).
+std::vector<Box3> allgather_boxes(smpi::Comm& comm, const Box3& mine);
+
+}  // namespace parfft::core

@@ -1,0 +1,205 @@
+#include "core/real_plan.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/pack.hpp"
+#include "core/simulate.hpp"
+
+namespace parfft::core {
+
+namespace {
+
+PlanOptions inner_options(PlanOptions opt) {
+  opt.scaling = Scaling::None;  // normalization applied once, at the end
+  return opt;
+}
+
+int compute_ranks_of(const PlanOptions& opt, int nranks) {
+  return (opt.shrink_to > 0 && opt.shrink_to < nranks) ? opt.shrink_to
+                                                       : nranks;
+}
+
+}  // namespace
+
+RealPlan3D::RealPlan3D(smpi::Comm& comm, const std::array<int, 3>& n,
+                       const Box3& in_real, const Box3& out_spec,
+                       const PlanOptions& opt)
+    : comm_(comm), n_(n), nc_(spectrum_dims(n)), opt_(opt),
+      dev_(comm.options().device), in_real_(in_real), out_spec_(out_spec),
+      zreal_(), zspec_(),
+      real_fwd_(), real_bwd_(),
+      complex_fwd_([&] {
+        const int cr = compute_ranks_of(opt, comm.size());
+        auto zspec_all = grid_boxes(nc_, pencil_grid(cr, 2), comm.size());
+        auto out_all = allgather_boxes(comm, out_spec);
+        const Box3 zspec_me =
+            zspec_all[static_cast<std::size_t>(comm.rank())];
+        return Plan3D(comm,
+                      build_partial_stages(nc_, comm.size(),
+                                           std::move(zspec_all),
+                                           std::move(out_all), {1, 0},
+                                           inner_options(opt)),
+                      zspec_me, out_spec);
+      }()),
+      complex_bwd_([&] {
+        const int cr = compute_ranks_of(opt, comm.size());
+        auto zspec_all = grid_boxes(nc_, pencil_grid(cr, 2), comm.size());
+        auto out_all = allgather_boxes(comm, out_spec);
+        const Box3 zspec_me =
+            zspec_all[static_cast<std::size_t>(comm.rank())];
+        return Plan3D(comm,
+                      build_partial_stages(nc_, comm.size(),
+                                           std::move(out_all),
+                                           std::move(zspec_all), {0, 1},
+                                           inner_options(opt)),
+                      out_spec, zspec_me);
+      }()),
+      line_(n[2]) {
+  PARFFT_CHECK(opt.batch == 1,
+               "batched real transforms are not supported; batch complex "
+               "transforms instead");
+  const int cr = compute_ranks_of(opt, comm.size());
+  const auto zreal_all = grid_boxes(n_, pencil_grid(cr, 2), comm.size());
+  const auto zspec_all = grid_boxes(nc_, pencil_grid(cr, 2), comm.size());
+  zreal_ = zreal_all[static_cast<std::size_t>(comm.rank())];
+  zspec_ = zspec_all[static_cast<std::size_t>(comm.rank())];
+  auto in_all = allgather_boxes(comm, in_real);
+  real_fwd_ = ReshapePlan::create(in_all, zreal_all);
+  real_bwd_ = ReshapePlan::create(zreal_all, in_all);
+  rwork_.resize(static_cast<std::size_t>(zreal_.count()));
+  cwork_.resize(static_cast<std::size_t>(zspec_.count()));
+}
+
+void RealPlan3D::exchange_real(const ReshapePlan& rp, const double* in,
+                               double* out) {
+  const int R = comm_.size();
+  const int me = comm_.rank();
+  const Box3& from = rp.from()[static_cast<std::size_t>(me)];
+  const Box3& to = rp.to()[static_cast<std::size_t>(me)];
+  // The real stage supports the collective data paths; P2P and datatype
+  // backends fall back to Alltoallv here (heFFTe's r2c does the same:
+  // the first reshape is always a packed exchange).
+  const net::CollectiveAlg alg = opt_.backend == Backend::Alltoall
+                                     ? net::CollectiveAlg::Alltoall
+                                     : net::CollectiveAlg::Alltoallv;
+
+  std::vector<std::size_t> scounts(static_cast<std::size_t>(R), 0),
+      sdispls(static_cast<std::size_t>(R), 0),
+      rcounts(static_cast<std::size_t>(R), 0),
+      rdispls(static_cast<std::size_t>(R), 0);
+  std::vector<double> sendbuf(static_cast<std::size_t>(rp.max_send_elements(me)));
+  std::vector<double> recvbuf(static_cast<std::size_t>(rp.max_recv_elements(me)));
+
+  double pack_t = 0;
+  idx_t off = 0;
+  for (const Transfer& t : rp.sends(me)) {
+    const idx_t cnt = t.region.count();
+    scounts[static_cast<std::size_t>(t.peer)] =
+        static_cast<std::size_t>(cnt) * sizeof(double);
+    sdispls[static_cast<std::size_t>(t.peer)] =
+        static_cast<std::size_t>(off) * sizeof(double);
+    pack_box_t(in, from, t.region, sendbuf.data() + off);
+    pack_t += gpu::pack_region_cost(dev_,
+                                    static_cast<double>(cnt) * sizeof(double),
+                                    pack_contiguous_run(from, t.region) / 2);
+    off += cnt;
+  }
+  if (!rp.sends(me).empty()) pack_t += dev_.kernel_launch;
+  comm_.advance(pack_t);
+  trace_.add_pack(pack_t);
+
+  idx_t roff = 0;
+  for (const Transfer& t : rp.recvs(me)) {
+    const idx_t cnt = t.region.count();
+    rcounts[static_cast<std::size_t>(t.peer)] =
+        static_cast<std::size_t>(cnt) * sizeof(double);
+    rdispls[static_cast<std::size_t>(t.peer)] =
+        static_cast<std::size_t>(roff) * sizeof(double);
+    roff += cnt;
+  }
+
+  const double t0 = comm_.vtime();
+  comm_.alltoallv(sendbuf.data(), scounts, sdispls, recvbuf.data(), rcounts,
+                  rdispls, smpi::MemSpace::Device, alg);
+  trace_.add_comm(alg == net::CollectiveAlg::Alltoall ? "MPI_Alltoall"
+                                                      : "MPI_Alltoallv",
+                  comm_.vtime() - t0);
+
+  double unpack_t = 0;
+  idx_t uoff = 0;
+  for (const Transfer& t : rp.recvs(me)) {
+    const idx_t cnt = t.region.count();
+    unpack_box_t(recvbuf.data() + uoff, to, t.region, out);
+    unpack_t += gpu::pack_region_cost(
+        dev_, static_cast<double>(cnt) * sizeof(double),
+        pack_contiguous_run(to, t.region) / 2);
+    uoff += cnt;
+  }
+  if (!rp.recvs(me).empty()) unpack_t += dev_.kernel_launch;
+  comm_.advance(unpack_t);
+  trace_.add_unpack(unpack_t);
+}
+
+void RealPlan3D::forward(const double* in, cplx* out) {
+  std::fill(rwork_.begin(), rwork_.end(), 0.0);
+  exchange_real(real_fwd_, in, rwork_.data());
+
+  // Local r2c along the full axis 2 of the z-pencil.
+  const idx_t lines = zreal_.size(0) * zreal_.size(1);
+  const idx_t nc2 = zspec_.size(2);
+  for (idx_t l = 0; l < lines; ++l)
+    line_.r2c(rwork_.data() + l * n_[2], cwork_.data() + l * nc2);
+  // An r2c costs roughly 60% of the complex transform of the same length.
+  const double t = lines > 0
+                       ? 0.6 * gpu::fft_cost(dev_, n_[2],
+                                             static_cast<int>(lines), false)
+                       : 0.0;
+  comm_.advance(t);
+  trace_.add_fft(t, false);
+
+  complex_fwd_.execute(cwork_.data(), out, dft::Direction::Forward);
+}
+
+void RealPlan3D::backward(const cplx* in, double* out) {
+  complex_bwd_.execute(in, cwork_.data(), dft::Direction::Backward);
+
+  const idx_t lines = zreal_.size(0) * zreal_.size(1);
+  const idx_t nc2 = zspec_.size(2);
+  for (idx_t l = 0; l < lines; ++l)
+    line_.c2r(cwork_.data() + l * nc2, rwork_.data() + l * n_[2]);
+  const double t = lines > 0
+                       ? 0.6 * gpu::fft_cost(dev_, n_[2],
+                                             static_cast<int>(lines), false)
+                       : 0.0;
+  comm_.advance(t);
+  trace_.add_fft(t, false);
+
+  exchange_real(real_bwd_, rwork_.data(), out);
+
+  if (opt_.scaling == Scaling::Full) {
+    const double inv =
+        1.0 / (static_cast<double>(n_[0]) * n_[1] * n_[2]);
+    const idx_t cnt = in_real_.count();
+    for (idx_t i = 0; i < cnt; ++i) out[i] *= inv;
+    const double ts = gpu::pointwise_cost(
+        dev_, static_cast<double>(cnt) * sizeof(double));
+    comm_.advance(ts);
+    trace_.add_scale(ts);
+  }
+}
+
+KernelTimes RealPlan3D::kernels() const {
+  KernelTimes k = trace_.kernels();
+  k += complex_fwd_.trace().kernels();
+  k += complex_bwd_.trace().kernels();
+  return k;
+}
+
+void RealPlan3D::clear_trace() {
+  trace_.clear();
+  complex_fwd_.trace().clear();
+  complex_bwd_.trace().clear();
+}
+
+}  // namespace parfft::core

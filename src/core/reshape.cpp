@@ -1,0 +1,78 @@
+#include "core/reshape.hpp"
+
+#include "common/error.hpp"
+
+namespace parfft::core {
+
+ReshapePlan ReshapePlan::create(std::vector<Box3> from, std::vector<Box3> to) {
+  PARFFT_CHECK(from.size() == to.size(),
+               "layouts must have one box per rank");
+  PARFFT_CHECK(!from.empty(), "need at least one rank");
+  ReshapePlan plan;
+  plan.from_ = std::move(from);
+  plan.to_ = std::move(to);
+  const int R = plan.nranks();
+  plan.sends_.resize(static_cast<std::size_t>(R));
+  plan.recvs_.resize(static_cast<std::size_t>(R));
+  for (int s = 0; s < R; ++s) {
+    const Box3& fb = plan.from_[static_cast<std::size_t>(s)];
+    if (fb.empty()) continue;
+    for (int d = 0; d < R; ++d) {
+      const Box3 ov = intersect(fb, plan.to_[static_cast<std::size_t>(d)]);
+      if (ov.empty()) continue;
+      plan.sends_[static_cast<std::size_t>(s)].push_back({d, ov});
+      plan.recvs_[static_cast<std::size_t>(d)].push_back({s, ov});
+    }
+  }
+  return plan;
+}
+
+const std::vector<Transfer>& ReshapePlan::sends(int r) const {
+  PARFFT_CHECK(r >= 0 && r < nranks(), "rank out of range");
+  return sends_[static_cast<std::size_t>(r)];
+}
+
+const std::vector<Transfer>& ReshapePlan::recvs(int r) const {
+  PARFFT_CHECK(r >= 0 && r < nranks(), "rank out of range");
+  return recvs_[static_cast<std::size_t>(r)];
+}
+
+bool ReshapePlan::is_identity() const {
+  for (int r = 0; r < nranks(); ++r)
+    if (!(from_[static_cast<std::size_t>(r)] == to_[static_cast<std::size_t>(r)]))
+      return false;
+  return true;
+}
+
+net::SendMatrix ReshapePlan::send_matrix(int batch) const {
+  net::SendMatrix m(static_cast<std::size_t>(nranks()));
+  for (int r = 0; r < nranks(); ++r)
+    for (const Transfer& t : sends_[static_cast<std::size_t>(r)])
+      m[static_cast<std::size_t>(r)].push_back(
+          {t.peer, static_cast<double>(t.region.count()) * batch *
+                       static_cast<double>(sizeof(cplx))});
+  return m;
+}
+
+double ReshapePlan::send_bytes(int r, int batch) const {
+  double b = 0;
+  for (const Transfer& t : sends(r))
+    if (t.peer != r)
+      b += static_cast<double>(t.region.count()) * batch *
+           static_cast<double>(sizeof(cplx));
+  return b;
+}
+
+idx_t ReshapePlan::max_send_elements(int r) const {
+  idx_t n = 0;
+  for (const Transfer& t : sends(r)) n += t.region.count();
+  return n;
+}
+
+idx_t ReshapePlan::max_recv_elements(int r) const {
+  idx_t n = 0;
+  for (const Transfer& t : recvs(r)) n += t.region.count();
+  return n;
+}
+
+}  // namespace parfft::core

@@ -1,0 +1,68 @@
+#pragma once
+/// \file simulate.hpp
+/// Model-only execution of a StagePlan at any scale.
+///
+/// The threaded runtime really moves data and is capped at a few hundred
+/// ranks; the paper's experiments go to 3072 GPUs. This simulator executes
+/// the *same* stage plans (identical reshape send lists, identical cost
+/// functions) without data or threads: per-rank virtual clocks advance
+/// through pack / FFT / exchange stages, so the strong-scaling and
+/// per-call-trace experiments are cheap and deterministic. A consistency
+/// test asserts that simulate() and Plan3D::execute() agree on small
+/// configurations.
+
+#include <ostream>
+
+#include "core/stages.hpp"
+#include "core/trace.hpp"
+#include "gpusim/device.hpp"
+
+namespace parfft::core {
+
+struct SimConfig {
+  std::array<int, 3> n{512, 512, 512};
+  int nranks = 6;
+  net::MachineSpec machine = net::summit();
+  gpu::DeviceSpec device = gpu::v100();
+  bool gpu_aware = true;
+  net::MpiFlavor flavor = net::MpiFlavor::SpectrumMPI;
+  PlanOptions options;
+  /// Per-rank input/output bricks; empty selects minimum-surface brick
+  /// grids (the paper's "real-world simulation input", Table III blue
+  /// grids).
+  std::vector<Box3> in_boxes, out_boxes;
+  /// Number of consecutive transforms to simulate (the paper times 8
+  /// after 2 warm-ups).
+  int repeats = 1;
+  /// Pre-created FFT plans (skip the first-call plan-setup spike).
+  bool warmed = true;
+};
+
+struct SimReport {
+  double total = 0;          ///< virtual time of all repeats (max over ranks)
+  double per_transform = 0;  ///< total / (repeats * batch)
+  KernelTimes kernels;       ///< critical-path (max-over-ranks) per category
+  std::vector<CallRecord> comm_calls;  ///< one per reshape execution
+  std::vector<CallRecord> fft_calls;   ///< one per FFT stage axis
+  std::vector<double> rank_times;      ///< final per-rank clocks
+  Decomposition resolved = Decomposition::Pencil;
+  int reshapes_per_transform = 0;
+};
+
+/// Builds the stage plan for `cfg` and runs the virtual-time simulation.
+SimReport simulate(const SimConfig& cfg);
+
+/// Writes the report's per-call traces as CSV rows
+/// ("kind,index,name,seconds") for external plotting of the per-call
+/// figures (paper Figs. 2, 3, 10).
+void write_call_csv(const SimReport& report, std::ostream& os);
+
+/// Convenience: the boxes of `grid` over an n-sized space, padded to
+/// `nranks`.
+std::vector<Box3> grid_boxes(const std::array<int, 3>& n,
+                             const ProcGrid& grid, int nranks);
+
+/// Minimum-surface brick layout over all ranks.
+std::vector<Box3> brick_layout(const std::array<int, 3>& n, int nranks);
+
+}  // namespace parfft::core

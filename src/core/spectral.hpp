@@ -1,0 +1,38 @@
+#pragma once
+/// \file spectral.hpp
+/// Application-level spectral utilities built on the distributed FFT --
+/// the operations the paper's motivating applications run between
+/// transforms (convolutions for PME/pattern recognition, pointwise filters
+/// for pseudo-spectral solvers), plus a standalone distributed reshape for
+/// codes that only need the data-movement layer.
+
+#include <functional>
+
+#include "core/fft3d.hpp"
+
+namespace parfft::core {
+
+/// Circular (periodic) convolution of two distributed fields:
+/// out = ifft(fft(a) * fft(b)) / N. `a`, `b` and `out` are local bricks in
+/// `fft`'s inbox layout; the pointwise product happens in the outbox
+/// layout. Collective.
+void spectral_convolve(Fft3D& fft, const std::vector<cplx>& a,
+                       const std::vector<cplx>& b, std::vector<cplx>& out);
+
+/// Applies a spectral filter in place: data <- ifft(filter(k) * fft(data))
+/// with Full scaling. `filter` receives the global mode indices of each
+/// local spectrum element (axis order 0,1,2). Generalizes the Poisson /
+/// heat / dealiasing kernels of the examples. Collective.
+void apply_spectral_filter(
+    Fft3D& fft, std::vector<cplx>& data,
+    const std::function<cplx(idx_t, idx_t, idx_t)>& filter);
+
+/// Standalone distributed reshape (heFFTe also exposes its reshape layer):
+/// moves `in` (this rank's `from` brick) into `out` (this rank's `to`
+/// brick) across `comm`, using the given exchange backend. The union of
+/// all ranks' boxes must match on both sides. Collective.
+void distributed_reshape(smpi::Comm& comm, const Box3& from, const Box3& to,
+                         const std::vector<cplx>& in, std::vector<cplx>& out,
+                         Backend backend = Backend::Alltoallv);
+
+}  // namespace parfft::core

@@ -1,0 +1,3 @@
+// trace.hpp is header-only; this translation unit exists so the target has
+// a stable archive member for the class (and a home for future expansion).
+#include "core/trace.hpp"

@@ -1,0 +1,67 @@
+#pragma once
+/// \file trace.hpp
+/// Virtual-time accounting of a distributed transform: per-kernel totals
+/// (the runtime breakdowns of paper Figs. 6, 7 and 12) and per-call records
+/// (the per-MPI-call traces of Figs. 2, 3 and 10).
+
+#include <string>
+#include <vector>
+
+namespace parfft::core {
+
+/// Accumulated virtual seconds per kernel category.
+struct KernelTimes {
+  double fft = 0;
+  double pack = 0;
+  double unpack = 0;
+  double comm = 0;
+  double scale = 0;
+
+  double total() const { return fft + pack + unpack + comm + scale; }
+  KernelTimes& operator+=(const KernelTimes& o) {
+    fft += o.fft;
+    pack += o.pack;
+    unpack += o.unpack;
+    comm += o.comm;
+    scale += o.scale;
+    return *this;
+  }
+};
+
+/// One kernel or MPI call with its virtual duration.
+struct CallRecord {
+  std::string name;
+  double seconds = 0;
+};
+
+class Trace {
+ public:
+  void add_fft(double t, bool strided) {
+    kernels_.fft += t;
+    fft_calls_.push_back({strided ? "fft(strided)" : "fft(contiguous)", t});
+  }
+  void add_pack(double t) { kernels_.pack += t; }
+  void add_unpack(double t) { kernels_.unpack += t; }
+  void add_scale(double t) { kernels_.scale += t; }
+  void add_comm(const std::string& routine, double t) {
+    kernels_.comm += t;
+    comm_calls_.push_back({routine, t});
+  }
+
+  const KernelTimes& kernels() const { return kernels_; }
+  const std::vector<CallRecord>& comm_calls() const { return comm_calls_; }
+  const std::vector<CallRecord>& fft_calls() const { return fft_calls_; }
+
+  void clear() {
+    kernels_ = {};
+    comm_calls_.clear();
+    fft_calls_.clear();
+  }
+
+ private:
+  KernelTimes kernels_;
+  std::vector<CallRecord> comm_calls_;
+  std::vector<CallRecord> fft_calls_;
+};
+
+}  // namespace parfft::core

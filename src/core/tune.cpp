@@ -1,0 +1,68 @@
+#include "core/tune.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace parfft::core {
+
+std::string TuneCandidate::describe() const {
+  std::string s;
+  switch (decomp) {
+    case Decomposition::Slab: s = "slab"; break;
+    case Decomposition::Pencil: s = "pencil"; break;
+    case Decomposition::Brick: s = "brick"; break;
+    case Decomposition::Auto: s = "auto"; break;
+  }
+  s += " + " + backend_name(backend);
+  s += gpu_aware ? " + GPU-aware" : " + staged";
+  s += contiguous_fft ? " + contiguous" : " + strided";
+  return s;
+}
+
+void apply(const TuneCandidate& c, PlanOptions* opt, bool* gpu_aware) {
+  PARFFT_CHECK(opt != nullptr && gpu_aware != nullptr, "null output");
+  opt->decomp = c.decomp;
+  opt->backend = c.backend;
+  opt->contiguous_fft = c.contiguous_fft;
+  *gpu_aware = c.gpu_aware;
+}
+
+TuneReport autotune(const SimConfig& base, const TuneOptions& topt) {
+  const bool slab_feasible =
+      base.options.shrink_to > 0
+          ? base.options.shrink_to <= std::min(base.n[0], base.n[1])
+          : base.nranks <= std::min(base.n[0], base.n[1]);
+
+  std::vector<Decomposition> decomps = {Decomposition::Pencil};
+  if (slab_feasible) decomps.push_back(Decomposition::Slab);
+  const std::vector<Backend> backends = {
+      Backend::Alltoall, Backend::Alltoallv, Backend::P2PNonBlocking};
+  std::vector<bool> aware = {true};
+  if (topt.sweep_gpu_aware) aware.push_back(false);
+  std::vector<bool> layouts = {false};
+  if (topt.sweep_layout) layouts.push_back(true);
+
+  TuneReport report;
+  for (Decomposition d : decomps)
+    for (Backend b : backends)
+      for (bool a : aware)
+        for (bool contiguous : layouts) {
+          SimConfig cfg = base;
+          cfg.options.decomp = d;
+          cfg.options.backend = b;
+          cfg.options.contiguous_fft = contiguous;
+          cfg.gpu_aware = a;
+          const SimReport rep = simulate(cfg);
+          report.evaluated.push_back(
+              {TuneCandidate{d, b, a, contiguous}, rep.per_transform});
+        }
+  PARFFT_ASSERT(!report.evaluated.empty());
+  std::sort(report.evaluated.begin(), report.evaluated.end(),
+            [](const auto& x, const auto& y) { return x.second < y.second; });
+  report.best = report.evaluated.front().first;
+  report.best_time = report.evaluated.front().second;
+  return report;
+}
+
+}  // namespace parfft::core

@@ -1,0 +1,49 @@
+#pragma once
+/// \file tune.hpp
+/// The paper's tuning methodology (Section IV) as a library feature:
+/// enumerate the feasible algorithmic settings (decomposition x exchange
+/// family x GPU awareness x data layout), predict each with the simulator,
+/// and return the fastest. This is the procedure behind Fig. 5's "best
+/// setting regions" and the Fig. 12 application speedup.
+
+#include <string>
+#include <vector>
+
+#include "core/simulate.hpp"
+
+namespace parfft::core {
+
+/// One algorithmic configuration under consideration.
+struct TuneCandidate {
+  Decomposition decomp = Decomposition::Pencil;
+  Backend backend = Backend::Alltoallv;
+  bool gpu_aware = true;
+  bool contiguous_fft = false;
+
+  std::string describe() const;
+};
+
+struct TuneReport {
+  TuneCandidate best;
+  double best_time = 0;  ///< predicted seconds per transform
+  /// Every evaluated candidate with its prediction, fastest first.
+  std::vector<std::pair<TuneCandidate, double>> evaluated;
+};
+
+struct TuneOptions {
+  /// Also sweep the contiguous-vs-strided local-FFT layout (doubles the
+  /// candidate count).
+  bool sweep_layout = false;
+  /// Also sweep GPU-awareness off (the heFFTe -no-gpu-aware flag).
+  bool sweep_gpu_aware = true;
+};
+
+/// Evaluates candidates on `base` (its options.decomp/backend and
+/// gpu_aware fields are overridden per candidate) and returns the ranking.
+/// Slab candidates are skipped when infeasible (nranks > axis lengths).
+TuneReport autotune(const SimConfig& base, const TuneOptions& topt = {});
+
+/// Applies the winner to a PlanOptions / gpu_aware pair.
+void apply(const TuneCandidate& c, PlanOptions* opt, bool* gpu_aware);
+
+}  // namespace parfft::core

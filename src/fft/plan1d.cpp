@@ -1,0 +1,163 @@
+#include "fft/plan1d.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "fft/bluestein.hpp"
+
+namespace parfft::dft {
+
+namespace {
+
+/// Radix-2 butterfly over m pairs with stride `fstride` into the twiddle
+/// table (decimation in time, sub-transforms already in place).
+void bfly2(cplx* out, std::size_t fstride, const cplx* tw, int m) {
+  for (int j = 0; j < m; ++j) {
+    const cplx t = out[j + m] * tw[j * fstride];
+    out[j + m] = out[j] - t;
+    out[j] += t;
+  }
+}
+
+/// Radix-4 butterfly; the +/-i rotation is baked in per direction via
+/// `backward`.
+void bfly4(cplx* out, std::size_t fstride, const cplx* tw, int m,
+           bool backward) {
+  const int m2 = 2 * m, m3 = 3 * m;
+  for (int j = 0; j < m; ++j) {
+    const cplx s0 = out[j + m] * tw[j * fstride];
+    const cplx s1 = out[j + m2] * tw[j * 2 * fstride];
+    const cplx s2 = out[j + m3] * tw[j * 3 * fstride];
+    const cplx d02 = out[j] - s1;
+    const cplx a02 = out[j] + s1;
+    const cplx a13 = s0 + s2;
+    const cplx d13 = s0 - s2;
+    out[j] = a02 + a13;
+    out[j + m2] = a02 - a13;
+    // Forward: out[m] = d02 - i*d13, out[3m] = d02 + i*d13; backward flips.
+    const cplx rot = backward ? cplx(-d13.imag(), d13.real())
+                              : cplx(d13.imag(), -d13.real());
+    out[j + m] = d02 + rot;
+    out[j + m3] = d02 - rot;
+  }
+}
+
+}  // namespace
+
+Plan1D::Plan1D(int n) : n_(n) {
+  PARFFT_CHECK(n >= 1, "transform length must be positive");
+  if (n > 1 && largest_prime_factor(n) > kGenericRadixMax) {
+    blue_ = std::make_unique<Bluestein>(n);
+    scratch_.resize(static_cast<std::size_t>(n));
+    return;
+  }
+  stages_ = fft_stages(n);
+  tw_fwd_.resize(static_cast<std::size_t>(n));
+  tw_bwd_.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const double phase = -2.0 * std::numbers::pi * k / n;
+    tw_fwd_[static_cast<std::size_t>(k)] = {std::cos(phase), std::sin(phase)};
+    tw_bwd_[static_cast<std::size_t>(k)] =
+        std::conj(tw_fwd_[static_cast<std::size_t>(k)]);
+  }
+  int max_radix = 1;
+  for (const auto& st : stages_) max_radix = std::max(max_radix, st.p);
+  bfly_scratch_.resize(static_cast<std::size_t>(max_radix));
+  scratch_.resize(static_cast<std::size_t>(n));
+}
+
+Plan1D::~Plan1D() = default;
+Plan1D::Plan1D(Plan1D&&) noexcept = default;
+Plan1D& Plan1D::operator=(Plan1D&&) noexcept = default;
+
+void Plan1D::work(cplx* out, const cplx* f, std::size_t fstride,
+                  std::size_t stage, const cplx* tw) {
+  const int p = stages_[stage].p;
+  const int m = stages_[stage].m;
+  if (m == 1) {
+    for (int q = 0; q < p; ++q) out[q] = f[static_cast<std::size_t>(q) * fstride];
+  } else {
+    for (int q = 0; q < p; ++q)
+      work(out + static_cast<std::size_t>(q) * m,
+           f + static_cast<std::size_t>(q) * fstride, fstride * p, stage + 1,
+           tw);
+  }
+  switch (p) {
+    case 2:
+      bfly2(out, fstride, tw, m);
+      break;
+    case 4:
+      bfly4(out, fstride, tw, m, tw == tw_bwd_.data());
+      break;
+    default: {
+      // Generic radix-p butterfly (kept O(p^2); p <= kGenericRadixMax).
+      cplx* sc = bfly_scratch_.data();
+      const std::size_t N = static_cast<std::size_t>(n_);
+      for (int u = 0; u < m; ++u) {
+        int k = u;
+        for (int q1 = 0; q1 < p; ++q1) {
+          sc[q1] = out[k];
+          k += m;
+        }
+        k = u;
+        for (int q1 = 0; q1 < p; ++q1) {
+          std::size_t twidx = 0;
+          cplx acc = sc[0];
+          for (int q = 1; q < p; ++q) {
+            twidx += fstride * static_cast<std::size_t>(k);
+            if (twidx >= N) twidx %= N;
+            acc += sc[q] * tw[twidx];
+          }
+          out[k] = acc;
+          k += m;
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Plan1D::dispatch(const cplx* in, cplx* out, Direction dir) {
+  if (blue_) {
+    blue_->execute(in, out, dir);
+    return;
+  }
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const cplx* tw =
+      dir == Direction::Forward ? tw_fwd_.data() : tw_bwd_.data();
+  work(out, in, 1, 0, tw);
+}
+
+void Plan1D::execute(const cplx* in, cplx* out, Direction dir) {
+  if (in == out) {
+    std::copy(in, in + n_, scratch_.begin());
+    dispatch(scratch_.data(), out, dir);
+  } else {
+    dispatch(in, out, dir);
+  }
+}
+
+void Plan1D::execute_strided(const cplx* in, idx_t istride, cplx* out,
+                             idx_t ostride, Direction dir) {
+  PARFFT_CHECK(istride >= 1 && ostride >= 1, "strides must be positive");
+  if (istride == 1 && ostride == 1) {
+    execute(in, out, dir);
+    return;
+  }
+  // Gather, transform, scatter: correctness-first (the device-side cost of
+  // strided access is modeled separately in gpusim).
+  for (int j = 0; j < n_; ++j) scratch_[static_cast<std::size_t>(j)] = in[j * istride];
+  if (ostride == 1) {
+    dispatch(scratch_.data(), out, dir);
+    return;
+  }
+  std::vector<cplx> line(static_cast<std::size_t>(n_));
+  dispatch(scratch_.data(), line.data(), dir);
+  for (int j = 0; j < n_; ++j) out[j * ostride] = line[static_cast<std::size_t>(j)];
+}
+
+}  // namespace parfft::dft

@@ -1,0 +1,83 @@
+#pragma once
+/// \file plan1d.hpp
+/// One-dimensional complex-to-complex FFT plan.
+///
+/// This is the computational substrate that stands in for the single-device
+/// vendor libraries (cuFFT / rocFFT / FFTW) the paper builds on. It is a
+/// mixed-radix decimation-in-time transform with dedicated radix-2/4
+/// butterflies, a generic O(p^2) butterfly for small odd radices, and a
+/// Bluestein chirp-z fallback for lengths with large prime factors, so any
+/// positive length is supported.
+///
+/// Conventions match FFTW/cuFFT: the forward transform uses the
+/// exp(-2*pi*i*k*n/N) kernel, transforms are unnormalized in both
+/// directions, so backward(forward(x)) == N * x.
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fft/factorize.hpp"
+
+namespace parfft::dft {
+
+/// Transform direction (sign of the exponent).
+enum class Direction { Forward, Backward };
+
+/// Returns the opposite direction.
+inline Direction reverse(Direction d) {
+  return d == Direction::Forward ? Direction::Backward : Direction::Forward;
+}
+
+class Bluestein;  // defined in bluestein.hpp
+
+/// A reusable plan for 1-D transforms of a fixed length.
+///
+/// Plans hold scratch storage and are therefore not safe for concurrent use
+/// from multiple threads; in the distributed library every simulated rank
+/// owns its plans, mirroring how cuFFT handles are used per device.
+class Plan1D {
+ public:
+  /// Prepares twiddle tables (and the Bluestein machinery when needed) for
+  /// transforms of length n >= 1.
+  explicit Plan1D(int n);
+  ~Plan1D();
+  Plan1D(Plan1D&&) noexcept;
+  Plan1D& operator=(Plan1D&&) noexcept;
+  Plan1D(const Plan1D&) = delete;
+  Plan1D& operator=(const Plan1D&) = delete;
+
+  int size() const { return n_; }
+
+  /// Transforms n contiguous elements from `in` to `out`. `in == out`
+  /// (exact in-place) is allowed; partially overlapping ranges are not.
+  void execute(const cplx* in, cplx* out, Direction dir);
+
+  /// Strided variant: element j is read at in[j * istride] and written at
+  /// out[j * ostride]. Input and output ranges must be disjoint or identical
+  /// with equal strides.
+  void execute_strided(const cplx* in, idx_t istride, cplx* out,
+                       idx_t ostride, Direction dir);
+
+  /// True when this length is executed through the Bluestein fallback.
+  bool uses_bluestein() const { return blue_ != nullptr; }
+
+ private:
+  void work(cplx* out, const cplx* f, std::size_t fstride, std::size_t stage,
+            const cplx* tw);
+  void dispatch(const cplx* in, cplx* out, Direction dir);
+
+  int n_ = 0;
+  std::vector<Stage> stages_;
+  std::vector<cplx> tw_fwd_;   ///< exp(-2*pi*i*k/n), k in [0, n)
+  std::vector<cplx> tw_bwd_;   ///< conj of tw_fwd_
+  std::vector<cplx> scratch_;  ///< gather / in-place staging buffer
+  std::vector<cplx> bfly_scratch_;  ///< generic-butterfly workspace (size <= max radix)
+  std::unique_ptr<Bluestein> blue_;
+};
+
+/// Prime factors above this bound are routed through Bluestein rather than
+/// the O(p^2) generic butterfly.
+inline constexpr int kGenericRadixMax = 61;
+
+}  // namespace parfft::dft

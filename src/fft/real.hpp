@@ -1,0 +1,53 @@
+#pragma once
+/// \file real.hpp
+/// Real-to-complex and complex-to-real 1-D transforms plus the local 3-D
+/// r2c used by the distributed real-transform path (the paper's LAMMPS
+/// KSPACE workload mixes real and complex 3-D transforms).
+///
+/// Conventions follow FFTW: r2c of length n produces n/2 + 1 complex
+/// outputs; c2r consumes n/2 + 1 inputs and is unnormalized, so
+/// c2r(r2c(x)) == n * x.
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fft/plan1d.hpp"
+
+namespace parfft::dft {
+
+/// Reusable plan for 1-D real transforms of fixed length n >= 1.
+/// Even lengths use the half-complex packing algorithm (one complex FFT of
+/// length n/2); odd lengths fall back to a full complex transform.
+class RealPlan1D {
+ public:
+  explicit RealPlan1D(int n);
+
+  int size() const { return n_; }
+  /// Number of complex outputs (n/2 + 1).
+  int spectrum_size() const { return n_ / 2 + 1; }
+
+  /// Forward real-to-complex transform: out[0 .. n/2] = DFT(in)[0 .. n/2].
+  void r2c(const double* in, cplx* out);
+
+  /// Backward complex-to-real transform (unnormalized).
+  void c2r(const cplx* in, double* out);
+
+ private:
+  int n_;
+  bool even_;
+  Plan1D plan_;                ///< length n/2 when even, n when odd
+  std::vector<cplx> w_;        ///< exp(-2*pi*i*k/n), k in [0, n/2]
+  std::vector<cplx> buf_, buf2_;
+};
+
+/// In-place-style local 3-D r2c on a contiguous row-major real brick of
+/// dims n; writes a (n[0], n[1], n[2]/2+1) complex brick to `out`.
+void fft3d_r2c_local(const double* in, cplx* out,
+                     const std::array<int, 3>& n);
+
+/// Inverse of fft3d_r2c_local (unnormalized: returns N * original).
+void fft3d_c2r_local(const cplx* in, double* out,
+                     const std::array<int, 3>& n);
+
+}  // namespace parfft::dft

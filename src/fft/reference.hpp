@@ -1,0 +1,22 @@
+#pragma once
+/// \file reference.hpp
+/// Naive O(n^2) reference DFTs used only by tests to validate the engine.
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fft/plan1d.hpp"
+
+namespace parfft::dft {
+
+/// Direct evaluation of the DFT sum (unnormalized, same sign convention as
+/// Plan1D).
+std::vector<cplx> reference_dft(const std::vector<cplx>& x, Direction dir);
+
+/// Separable naive 3-D DFT of a contiguous row-major brick: applies the
+/// O(n^2) 1-D reference along each axis (cost O(N * (n0+n1+n2))).
+std::vector<cplx> reference_dft3d(const std::vector<cplx>& x,
+                                  const std::array<int, 3>& n, Direction dir);
+
+}  // namespace parfft::dft

@@ -1,0 +1,110 @@
+#include "model/bandwidth.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace parfft::model {
+
+namespace {
+/// Near-square factorization (duplicated from core to keep this module
+/// dependency-free; both are tested against each other).
+std::array<int, 2> near_square(int nprocs) {
+  for (int a = static_cast<int>(std::sqrt(static_cast<double>(nprocs)));
+       a >= 1; --a)
+    if (nprocs % a == 0) return {a, nprocs / a};
+  return {1, nprocs};
+}
+}  // namespace
+
+double t_slabs(double n_elements, int nprocs, double bandwidth,
+               double latency) {
+  PARFFT_CHECK(nprocs >= 1 && bandwidth > 0, "bad model arguments");
+  const double pi = nprocs;
+  return (pi - 1) *
+         (latency + kBytesPerComplex * n_elements / (bandwidth * pi * pi));
+}
+
+double t_pencils(double n_elements, int p, int q, double bandwidth,
+                 double latency) {
+  PARFFT_CHECK(p >= 1 && q >= 1 && bandwidth > 0, "bad model arguments");
+  const double pi = static_cast<double>(p) * q;
+  const double tp =
+      (p - 1) * (latency + kBytesPerComplex * n_elements / (bandwidth * p * pi));
+  const double tq =
+      (q - 1) * (latency + kBytesPerComplex * n_elements / (bandwidth * q * pi));
+  return tp + tq;
+}
+
+double b_slabs(double n_elements, int nprocs, double t_comm, double latency) {
+  PARFFT_CHECK(nprocs >= 2, "bandwidth estimate needs at least two processes");
+  const double pi = nprocs;
+  const double denom = pi * pi * (t_comm / (pi - 1) - latency);
+  PARFFT_CHECK(denom > 0, "measured time is below the latency floor");
+  return kBytesPerComplex * n_elements / denom;
+}
+
+double b_pencils(double n_elements, int p, int q, double t_comm,
+                 double latency) {
+  PARFFT_CHECK(p >= 1 && q >= 1 && p * q >= 2, "bad pencil grid");
+  const double pi = static_cast<double>(p) * q;
+  const double frac =
+      (p - 1) / static_cast<double>(p) + (q - 1) / static_cast<double>(q);
+  const double denom = pi * (t_comm - latency * (p + q - 2));
+  PARFFT_CHECK(denom > 0, "measured time is below the latency floor");
+  return kBytesPerComplex * n_elements * frac / denom;
+}
+
+Choice choose_decomposition(const std::array<int, 3>& n, int nprocs,
+                            double bandwidth, double latency) {
+  const double N = static_cast<double>(n[0]) * n[1] * n[2];
+  // Slabs decompose one axis; infeasible beyond its length (Section I).
+  if (nprocs > n[0]) return Choice::Pencil;
+  if (nprocs < 2) return Choice::Slab;
+  const auto [p, q] = near_square(nprocs);
+  const double ts = t_slabs(N, nprocs, bandwidth, latency);
+  const double tp = t_pencils(N, p, q, bandwidth, latency);
+  return ts <= tp ? Choice::Slab : Choice::Pencil;
+}
+
+std::vector<PhaseCell> phase_diagram(const std::vector<int>& cubes,
+                                     const std::vector<int>& procs,
+                                     double bandwidth, double latency) {
+  std::vector<PhaseCell> cells;
+  cells.reserve(cubes.size() * procs.size());
+  for (int c : cubes)
+    for (int p : procs)
+      cells.push_back(
+          {c, p, choose_decomposition({c, c, c}, p, bandwidth, latency)});
+  return cells;
+}
+
+double PowerFit::predict(double n) const { return c * std::pow(n, -gamma); }
+
+PowerFit fit_power_law(const std::vector<std::pair<double, double>>& samples) {
+  PARFFT_CHECK(samples.size() >= 2, "need at least two samples to fit");
+  // Linear regression on log t = log c - gamma * log n.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [n, t] : samples) {
+    PARFFT_CHECK(n > 0 && t > 0, "samples must be positive");
+    const double x = std::log(n), y = std::log(t);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double m = static_cast<double>(samples.size());
+  const double denom = m * sxx - sx * sx;
+  PARFFT_CHECK(std::abs(denom) > 1e-30, "degenerate regression (equal n)");
+  const double slope = (m * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / m;
+  return {std::exp(intercept), -slope};
+}
+
+double comm_lower_bound(double n_elements, int nprocs, double bandwidth) {
+  PARFFT_CHECK(nprocs >= 1 && bandwidth > 0, "bad model arguments");
+  return kBytesPerComplex * n_elements /
+         (std::pow(static_cast<double>(nprocs), 5.0 / 6.0) * bandwidth);
+}
+
+}  // namespace parfft::model

@@ -1,0 +1,75 @@
+#pragma once
+/// \file bandwidth.hpp
+/// The paper's communication/bandwidth model (Section III).
+///
+/// Equations (2)/(3) predict the communication time of slab and pencil
+/// decompositions from the network latency L and average bandwidth B;
+/// equations (4)/(5) invert a measured time back into an achieved average
+/// bandwidth per process. The paper uses these to pick slabs vs pencils
+/// ahead of time (B = 23.5 GB/s, L = 1 us on Summit predicts slabs win
+/// below 64 nodes for a 512^3 transform) and to produce Fig. 4.
+///
+/// Also included: the power-law regression predictor of Chatterjee et al.
+/// [33] and the Czechowski et al. [37] exascale communication lower bound,
+/// both cited as alternative models in Section III.
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parfft::model {
+
+/// Eq. (2): T_slabs = (P-1) * (L + 16N / (B * P^2)) for P = nprocs.
+double t_slabs(double n_elements, int nprocs, double bandwidth,
+               double latency);
+
+/// Eq. (3): two pencil transfer phases over a P x Q grid (P*Q = nprocs).
+double t_pencils(double n_elements, int p, int q, double bandwidth,
+                 double latency);
+
+/// Eq. (4): average bandwidth achieved given a measured slab comm time.
+double b_slabs(double n_elements, int nprocs, double t_comm, double latency);
+
+/// Eq. (5): average bandwidth achieved given a measured pencil comm time.
+double b_pencils(double n_elements, int p, int q, double t_comm,
+                 double latency);
+
+enum class Choice { Slab, Pencil };
+
+/// Predicts the faster decomposition for an n[0] x n[1] x n[2] transform on
+/// `nprocs` processes (paper Section IV-A). Slabs are infeasible when
+/// nprocs exceeds the split axis length, in which case Pencil is returned.
+/// P, Q come from the near-square factorization used throughout.
+Choice choose_decomposition(const std::array<int, 3>& n, int nprocs,
+                            double bandwidth, double latency);
+
+/// One cell of a phase diagram: the predicted best decomposition for a
+/// given cube size and process count.
+struct PhaseCell {
+  int cube;     ///< transform is cube^3
+  int nprocs;
+  Choice best;
+};
+
+/// Evaluates choose_decomposition over a (cube size) x (process count)
+/// mesh -- the "phase diagram" of Section IV-A used for tuning.
+std::vector<PhaseCell> phase_diagram(const std::vector<int>& cubes,
+                                     const std::vector<int>& procs,
+                                     double bandwidth, double latency);
+
+/// Least-squares fit of t = c * n^(-gamma) (log-log regression), the
+/// predictor of [33].
+struct PowerFit {
+  double c = 0;
+  double gamma = 0;
+  double predict(double n) const;
+};
+PowerFit fit_power_law(const std::vector<std::pair<double, double>>& samples);
+
+/// Czechowski et al. lower bound on 3-D FFT communication time on a
+/// torus-like machine: Omega(16N / (P^(5/6) * B)).
+double comm_lower_bound(double n_elements, int nprocs, double bandwidth);
+
+}  // namespace parfft::model

@@ -1,0 +1,271 @@
+#include "netsim/flowsim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace parfft::net {
+
+namespace {
+
+/// A flow's route holds at most 7 links:
+/// dev_out, nic_out, core, nic_in, dev_in, and up to two host-staging
+/// links in Staged mode.
+struct Route {
+  std::array<int, 7> link{};
+  int nlinks = 0;
+  double cap = 0;  ///< per-flow rate cap (0 = unlimited)
+};
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+FlowSim::FlowSim(const MachineSpec& spec, const RankMap& map, int nranks)
+    : spec_(spec), map_(map), nranks_(nranks),
+      nodes_(map.nodes_for(nranks)) {
+  PARFFT_CHECK(nranks >= 1, "need at least one rank");
+  PARFFT_CHECK(map.ranks_per_node >= 1, "ranks_per_node must be positive");
+}
+
+void FlowSim::run(std::vector<Flow>& flows, TransferMode mode) const {
+  // Link layout: [0,R) dev_out, [R,2R) dev_in, [2R,2R+N) nic_out,
+  // [2R+N,2R+2N) nic_in, [2R+2N,2R+3N) host staging (used by Staged
+  // flows: all ranks of a node share the host-memory path), [2R+3N] core.
+  const int R = nranks_, N = nodes_;
+  const int kDevOut = 0, kDevIn = R, kNicOut = 2 * R, kNicIn = 2 * R + N;
+  const int kStage = 2 * R + 2 * N;
+  const int kCore = 2 * R + 3 * N;
+  const int L = kCore + 1;
+
+  std::vector<double> base_cap(static_cast<std::size_t>(L));
+  for (int r = 0; r < R; ++r) {
+    base_cap[static_cast<std::size_t>(kDevOut + r)] = spec_.gpu_gpu_bw;
+    base_cap[static_cast<std::size_t>(kDevIn + r)] = spec_.gpu_gpu_bw;
+  }
+  // Host-staged traffic drives the NIC less efficiently (extra host
+  // copies on the injection path), so in Staged mode the effective NIC
+  // and core capacities shrink.
+  const double nic_eff =
+      mode == TransferMode::Staged ? spec_.staged_nic_efficiency : 1.0;
+  for (int n = 0; n < N; ++n) {
+    base_cap[static_cast<std::size_t>(kNicOut + n)] = spec_.nic_bw * nic_eff;
+    base_cap[static_cast<std::size_t>(kNicIn + n)] = spec_.nic_bw * nic_eff;
+    base_cap[static_cast<std::size_t>(kStage + n)] = spec_.host_stage_bw;
+  }
+  base_cap[static_cast<std::size_t>(kCore)] = static_cast<double>(N) *
+                                              spec_.nic_bw * nic_eff *
+                                              spec_.core_efficiency(N);
+
+  const std::size_t F = flows.size();
+  std::vector<Route> route(F);
+  std::vector<double> rem(F);
+  std::vector<char> done(F, 0);
+  double max_bytes = 0;
+
+  for (std::size_t f = 0; f < F; ++f) {
+    const Flow& fl = flows[f];
+    PARFFT_CHECK(fl.src >= 0 && fl.src < R && fl.dst >= 0 && fl.dst < R,
+                 "flow endpoint out of range");
+    rem[f] = std::max(fl.bytes, 0.0);
+    max_bytes = std::max(max_bytes, rem[f]);
+    Route& rt = route[f];
+    double cap = fl.rate_cap > 0 ? fl.rate_cap : kInf;
+    if (fl.src == fl.dst) {
+      // Local device copy; never touches the fabric.
+      cap = std::min(cap, spec_.hbm_bw / 2.0);
+    } else {
+      const bool same_node = map_.same_node(fl.src, fl.dst);
+      const bool device_endpoints = mode != TransferMode::Host;
+      if (device_endpoints) {
+        rt.link[rt.nlinks++] = kDevOut + fl.src;
+      }
+      if (!same_node) {
+        rt.link[rt.nlinks++] = kNicOut + map_.node_of(fl.src);
+        rt.link[rt.nlinks++] = kCore;
+        rt.link[rt.nlinks++] = kNicIn + map_.node_of(fl.dst);
+        double nic_cap = spec_.single_flow_nic_fraction * spec_.nic_bw;
+        if (mode == TransferMode::Staged)
+          nic_cap *= spec_.staged_nic_efficiency;
+        cap = std::min(cap, nic_cap);
+      }
+      if (device_endpoints) {
+        rt.link[rt.nlinks++] = kDevIn + fl.dst;
+      }
+      if (mode == TransferMode::Staged) {
+        // Pipelined device->host->host->device path: rate bounded by the
+        // staging copies regardless of the network, and sharing the
+        // node-wide host-memory path with every other staging rank.
+        cap = std::min(cap, spec_.gpu_host_bw);
+        rt.link[rt.nlinks++] = kStage + map_.node_of(fl.src);
+        if (!same_node) rt.link[rt.nlinks++] = kStage + map_.node_of(fl.dst);
+      }
+      if (mode == TransferMode::Host && same_node) {
+        cap = std::min(cap, spec_.gpu_host_bw);  // shared-memory copy
+      }
+    }
+    rt.cap = cap;
+  }
+
+  // Very wide phases (thousands of flows) use the bottleneck bound: each
+  // flow runs at min(its rate cap, its most-loaded link's capacity split
+  // by byte share), i.e. finish = start + max over links of
+  // (link_load / cap) prorated -- exact for symmetric phases, a tight
+  // upper bound otherwise. Keeps 3072-rank simulations cheap.
+  if (F > static_cast<std::size_t>(kExactFlowLimit)) {
+    std::vector<double> load(static_cast<std::size_t>(L), 0.0);
+    for (std::size_t f = 0; f < F; ++f)
+      for (int l = 0; l < route[f].nlinks; ++l)
+        load[static_cast<std::size_t>(route[f].link[l])] += rem[f];
+    for (std::size_t f = 0; f < F; ++f) {
+      if (rem[f] <= 0) {
+        flows[f].finish = flows[f].start;
+        continue;
+      }
+      // Time for this flow if its route's most contended link serves all
+      // its traffic at full rate (fair share of a saturated link gives
+      // every byte equal service).
+      double tmin = rem[f] / std::min(route[f].cap, kInf);
+      for (int l = 0; l < route[f].nlinks; ++l) {
+        const auto li = static_cast<std::size_t>(route[f].link[l]);
+        tmin = std::max(tmin, load[li] / base_cap[li]);
+      }
+      flows[f].finish = flows[f].start + tmin;
+    }
+    return;
+  }
+
+  const double eps = std::max(max_bytes, 1.0) * 1e-12;
+  double t = 0;
+  std::vector<double> resid(static_cast<std::size_t>(L));
+  std::vector<int> nflows(static_cast<std::size_t>(L));
+  std::vector<double> rate(F);
+  std::vector<char> assigned(F);
+
+  for (std::size_t f = 0; f < F; ++f) {
+    if (rem[f] <= eps) {  // empty flow: completes at its start time
+      done[f] = 1;
+      flows[f].finish = flows[f].start;
+    }
+  }
+
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < F; ++f) remaining += done[f] ? 0 : 1;
+
+  while (remaining > 0) {
+    // Which flows are active at time t? (start <= t)
+    double next_start = kInf;
+    bool any_active = false;
+    for (std::size_t f = 0; f < F; ++f) {
+      if (done[f]) continue;
+      if (flows[f].start > t + eps) {
+        next_start = std::min(next_start, flows[f].start);
+      } else {
+        any_active = true;
+      }
+    }
+    if (!any_active) {
+      PARFFT_ASSERT(next_start < kInf);
+      t = next_start;
+      continue;
+    }
+
+    // Max-min water filling over the active flows.
+    std::copy(base_cap.begin(), base_cap.end(), resid.begin());
+    std::fill(nflows.begin(), nflows.end(), 0);
+    std::fill(assigned.begin(), assigned.end(), char{0});
+    std::size_t unassigned = 0;
+    for (std::size_t f = 0; f < F; ++f) {
+      if (done[f] || flows[f].start > t + eps) {
+        assigned[f] = 1;  // not participating in this step
+        rate[f] = 0;
+        continue;
+      }
+      ++unassigned;
+      for (int l = 0; l < route[f].nlinks; ++l)
+        ++nflows[static_cast<std::size_t>(route[f].link[l])];
+    }
+
+    while (unassigned > 0) {
+      // Smallest fair share among loaded links.
+      double share = kInf;
+      int bottleneck = -1;
+      for (int l = 0; l < L; ++l) {
+        if (nflows[static_cast<std::size_t>(l)] == 0) continue;
+        const double s = resid[static_cast<std::size_t>(l)] /
+                         nflows[static_cast<std::size_t>(l)];
+        if (s < share) {
+          share = s;
+          bottleneck = l;
+        }
+      }
+      // Per-flow caps smaller than every link share bind all at once.
+      double min_cap = kInf;
+      for (std::size_t f = 0; f < F; ++f)
+        if (!assigned[f]) min_cap = std::min(min_cap, route[f].cap);
+      if (min_cap <= share || bottleneck < 0) {
+        // Assign every remaining flow whose cap is the binding constraint.
+        for (std::size_t f = 0; f < F; ++f) {
+          if (assigned[f]) continue;
+          if (route[f].cap <= share || bottleneck < 0) {
+            rate[f] = route[f].cap;
+            assigned[f] = 1;
+            --unassigned;
+            for (int l = 0; l < route[f].nlinks; ++l) {
+              const auto li = static_cast<std::size_t>(route[f].link[l]);
+              resid[li] -= rate[f];
+              --nflows[li];
+            }
+          }
+        }
+        continue;
+      }
+      // Otherwise saturate the bottleneck link.
+      for (std::size_t f = 0; f < F; ++f) {
+        if (assigned[f]) continue;
+        bool on = false;
+        for (int l = 0; l < route[f].nlinks; ++l)
+          if (route[f].link[l] == bottleneck) on = true;
+        if (!on) continue;
+        rate[f] = std::min(share, route[f].cap);
+        assigned[f] = 1;
+        --unassigned;
+        for (int l = 0; l < route[f].nlinks; ++l) {
+          const auto li = static_cast<std::size_t>(route[f].link[l]);
+          resid[li] -= rate[f];
+          --nflows[li];
+        }
+      }
+      nflows[static_cast<std::size_t>(bottleneck)] = 0;  // fully allocated
+    }
+
+    // Advance to the earliest completion or the next flow start.
+    double dt = next_start < kInf ? next_start - t : kInf;
+    for (std::size_t f = 0; f < F; ++f) {
+      if (done[f] || flows[f].start > t + eps || rate[f] <= 0) continue;
+      dt = std::min(dt, rem[f] / rate[f]);
+    }
+    PARFFT_ASSERT(dt < kInf && dt >= 0);
+    t += dt;
+    for (std::size_t f = 0; f < F; ++f) {
+      if (done[f] || flows[f].start > t + eps) continue;
+      rem[f] -= rate[f] * dt;
+      if (rem[f] <= eps) {
+        done[f] = 1;
+        flows[f].finish = t;
+        --remaining;
+      }
+    }
+  }
+}
+
+double FlowSim::single_flow_time(int src, int dst, double bytes,
+                                 TransferMode mode) const {
+  std::vector<Flow> one = {{src, dst, bytes, 0, 0, 0}};
+  run(one, mode);
+  return one[0].finish;
+}
+
+}  // namespace parfft::net

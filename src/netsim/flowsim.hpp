@@ -1,0 +1,66 @@
+#pragma once
+/// \file flowsim.hpp
+/// Flow-level network simulator.
+///
+/// A communication phase is a set of flows (rank -> rank, bytes). The fabric
+/// is a small link graph: per-GPU device in/out links, per-node NIC in/out
+/// links, and one aggregate fat-tree core link. Completion times come from
+/// progressive filling: at every instant each active flow gets its max-min
+/// fair-share rate, we advance to the earliest flow completion, and repeat.
+/// This is the same fluid model used by simulators such as SimGrid and is
+/// what makes the paper's congestion phenomena (NIC saturation, per-process
+/// bandwidth collapse at scale, Fig. 4) emerge rather than being hard-coded.
+
+#include <vector>
+
+#include "netsim/machine.hpp"
+
+namespace parfft::net {
+
+/// One transfer within a phase. `start` lets callers model posting
+/// serialization (blocking sends, CPU injection overhead). `finish` is
+/// filled by FlowSim::run with the transport completion time; per-message
+/// latency and software overheads are added by the caller (CommCost).
+struct Flow {
+  int src = 0;
+  int dst = 0;
+  double bytes = 0;
+  double start = 0;
+  double rate_cap = 0;  ///< optional per-flow rate cap; 0 = none
+  double finish = 0;    ///< output
+};
+
+/// Above this flow count a phase switches from exact progressive filling
+/// to the bottleneck-bound approximation (see flowsim.cpp).
+inline constexpr int kExactFlowLimit = 1024;
+
+class FlowSim {
+ public:
+  /// The fabric for `nranks` ranks mapped by `map`; link capacities come
+  /// from `spec`. The core capacity scales with the number of occupied
+  /// nodes and the machine's core efficiency curve.
+  FlowSim(const MachineSpec& spec, const RankMap& map, int nranks);
+
+  /// Simulates one phase under the given transfer mode, filling each
+  /// flow's `finish`. Flows with src == dst complete at bytes / (hbm/2)
+  /// (a local device copy). Thread-safe: `run` is const and keeps all
+  /// mutable state on the stack.
+  void run(std::vector<Flow>& flows, TransferMode mode) const;
+
+  /// Transport time of a single message with an otherwise idle fabric.
+  double single_flow_time(int src, int dst, double bytes,
+                          TransferMode mode) const;
+
+  const MachineSpec& spec() const { return spec_; }
+  const RankMap& map() const { return map_; }
+  int nranks() const { return nranks_; }
+  int nodes() const { return nodes_; }
+
+ private:
+  MachineSpec spec_;
+  RankMap map_;
+  int nranks_;
+  int nodes_;
+};
+
+}  // namespace parfft::net

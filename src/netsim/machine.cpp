@@ -1,0 +1,41 @@
+#include "netsim/machine.hpp"
+
+#include <cmath>
+
+namespace parfft::net {
+
+double MachineSpec::core_efficiency(int nodes) const {
+  if (nodes <= 1) return 1.0;
+  const double doublings = std::log2(static_cast<double>(nodes));
+  const double eff =
+      core_efficiency_base / (1.0 + core_efficiency_decay * doublings);
+  return eff;
+}
+
+MachineSpec summit() {
+  MachineSpec m;
+  m.name = "summit";
+  m.gpus_per_node = 6;
+  m.gpu_gpu_bw = 50e9;
+  m.gpu_host_bw = 50e9;
+  m.nic_bw = 23.5e9;
+  m.hbm_bw = 800e9;
+  m.latency_intra = 1e-6;
+  m.latency_inter = 1e-6;
+  return m;
+}
+
+MachineSpec spock() {
+  MachineSpec m;
+  m.name = "spock";
+  m.gpus_per_node = 4;
+  m.gpu_gpu_bw = 46e9;    // Infinity Fabric link pair per direction
+  m.gpu_host_bw = 16e9;   // PCIe gen4 x16 effective
+  m.nic_bw = 12.5e9;      // single Slingshot-10 NIC per node
+  m.hbm_bw = 1000e9;      // MI-100 HBM2
+  m.latency_intra = 1.2e-6;
+  m.latency_inter = 1.7e-6;
+  return m;
+}
+
+}  // namespace parfft::net

@@ -1,0 +1,105 @@
+#include "pppm/ewald.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace parfft::pppm {
+
+double mesh_wavenumber(idx_t index, int n, double box_len) {
+  PARFFT_CHECK(index >= 0 && index < n, "mesh index out of range");
+  const idx_t s = index <= n / 2 ? index : index - n;
+  return 2.0 * std::numbers::pi * static_cast<double>(s) / box_len;
+}
+
+double mesh_wavenumber_deriv(idx_t index, int n, double box_len) {
+  if (n % 2 == 0 && 2 * index == n) return 0.0;
+  return mesh_wavenumber(index, n, box_len);
+}
+
+double greens_function(double k2, double alpha) {
+  if (k2 <= 0) return 0.0;
+  return 4.0 * std::numbers::pi / k2 *
+         std::exp(-k2 / (4.0 * alpha * alpha));
+}
+
+namespace {
+
+/// Structure factor S(k) = sum_i q_i e^{-i k . r_i}.
+cplx structure_factor(const std::vector<Particle>& particles,
+                      const std::array<double, 3>& k) {
+  cplx s{};
+  for (const Particle& p : particles) {
+    const double phase = -(k[0] * p.r[0] + k[1] * p.r[1] + k[2] * p.r[2]);
+    s += p.q * cplx{std::cos(phase), std::sin(phase)};
+  }
+  return s;
+}
+
+template <typename Fn>
+void for_each_mode(const std::array<int, 3>& n, double box_len, Fn&& fn) {
+  for (idx_t a = 0; a < n[0]; ++a)
+    for (idx_t b = 0; b < n[1]; ++b)
+      for (idx_t c = 0; c < n[2]; ++c) {
+        const std::array<double, 3> k = {mesh_wavenumber(a, n[0], box_len),
+                                         mesh_wavenumber(b, n[1], box_len),
+                                         mesh_wavenumber(c, n[2], box_len)};
+        fn(k);
+      }
+}
+
+}  // namespace
+
+double reference_energy(const std::vector<Particle>& particles,
+                        const std::array<int, 3>& n, double box_len,
+                        double alpha) {
+  const double volume = box_len * box_len * box_len;
+  double e = 0;
+  for_each_mode(n, box_len, [&](const std::array<double, 3>& k) {
+    const double k2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
+    const double g = greens_function(k2, alpha);
+    if (g == 0) return;
+    e += g * std::norm(structure_factor(particles, k));
+  });
+  return e / (2.0 * volume);
+}
+
+std::vector<std::array<double, 3>> reference_forces(
+    const std::vector<Particle>& particles, const std::array<int, 3>& n,
+    double box_len, double alpha) {
+  const double volume = box_len * box_len * box_len;
+  std::vector<std::array<double, 3>> f(particles.size(), {0, 0, 0});
+  for (idx_t a = 0; a < n[0]; ++a)
+    for (idx_t b = 0; b < n[1]; ++b)
+      for (idx_t c = 0; c < n[2]; ++c) {
+        const std::array<double, 3> k = {
+            mesh_wavenumber(a, n[0], box_len),
+            mesh_wavenumber(b, n[1], box_len),
+            mesh_wavenumber(c, n[2], box_len)};
+        // Gradient direction uses the Nyquist-zeroed derivative modes.
+        const std::array<double, 3> kd = {
+            mesh_wavenumber_deriv(a, n[0], box_len),
+            mesh_wavenumber_deriv(b, n[1], box_len),
+            mesh_wavenumber_deriv(c, n[2], box_len)};
+        const double k2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
+        const double g = greens_function(k2, alpha);
+        if (g == 0) continue;
+        const cplx s = structure_factor(particles, k);
+        for (std::size_t i = 0; i < particles.size(); ++i) {
+          const Particle& p = particles[i];
+          const double phase =
+              -(k[0] * p.r[0] + k[1] * p.r[1] + k[2] * p.r[2]);
+          // F_i = -(q_i / V) sum_k G(k) k Im(conj(S) e^{-i k r_i}).
+          const double im =
+              (std::conj(s) * cplx{std::cos(phase), std::sin(phase)}).imag();
+          const double scale = -p.q / volume * g * im;
+          for (int d = 0; d < 3; ++d)
+            f[i][static_cast<std::size_t>(d)] +=
+                scale * kd[static_cast<std::size_t>(d)];
+        }
+      }
+  return f;
+}
+
+}  // namespace parfft::pppm

@@ -1,0 +1,49 @@
+#pragma once
+/// \file ewald.hpp
+/// Reciprocal-space electrostatics shared by the distributed KSPACE solver
+/// and its direct (O(N*K)) reference implementation: k-vectors on the FFT
+/// mesh, the Ewald Green's function, and brute-force energy/forces used by
+/// tests to validate the mesh solver exactly (particles placed on grid
+/// nodes make nearest-grid-point deposition exact, so mesh and direct sums
+/// must agree to roundoff).
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parfft::pppm {
+
+/// One point charge in a cubic periodic box of length L.
+struct Particle {
+  std::array<double, 3> r{0, 0, 0};
+  double q = 0;
+};
+
+/// The k-vector (rad / length) of mesh index s on an n-point axis of a
+/// box of length L: frequencies wrap to the symmetric range.
+double mesh_wavenumber(idx_t index, int n, double box_len);
+
+/// The k-vector used in spectral *derivative* operators: identical to
+/// mesh_wavenumber except that the self-conjugate Nyquist mode (index ==
+/// n/2 for even n) maps to zero -- the standard convention that keeps
+/// ik-differentiation Hermitian (and hence real-to-complex safe).
+double mesh_wavenumber_deriv(idx_t index, int n, double box_len);
+
+/// Ewald reciprocal-space Green's function 4*pi/k^2 * exp(-k^2/(4 alpha^2))
+/// with G(0) = 0.
+double greens_function(double k2, double alpha);
+
+/// Direct evaluation of the reciprocal-space energy over every mesh
+/// k-vector:  E = 1/(2V) * sum_k G(k) |S(k)|^2, S(k) = sum_i q_i e^{-ik r}.
+/// O(N * n^3); test/reference use only.
+double reference_energy(const std::vector<Particle>& particles,
+                        const std::array<int, 3>& n, double box_len,
+                        double alpha);
+
+/// Direct reciprocal-space force on every particle (same truncation).
+std::vector<std::array<double, 3>> reference_forces(
+    const std::vector<Particle>& particles, const std::array<int, 3>& n,
+    double box_len, double alpha);
+
+}  // namespace parfft::pppm

@@ -1,0 +1,70 @@
+#include "pppm/proxy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace parfft::pppm {
+
+std::vector<Particle> make_molecular_system(int natoms, double box_len,
+                                            std::uint64_t seed) {
+  PARFFT_CHECK(natoms >= 2 && natoms % 2 == 0,
+               "need an even, positive atom count (dipole pairs)");
+  Rng rng(seed);
+  std::vector<Particle> atoms;
+  atoms.reserve(static_cast<std::size_t>(natoms));
+  const double pair_sep = 0.01 * box_len;  // tight dipoles
+  for (int i = 0; i < natoms / 2; ++i) {
+    Particle plus, minus;
+    for (int d = 0; d < 3; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      plus.r[sd] = rng.uniform(0.0, box_len);
+      double x = plus.r[sd] + rng.uniform(-pair_sep, pair_sep);
+      x -= box_len * std::floor(x / box_len);  // periodic wrap
+      minus.r[sd] = x;
+    }
+    plus.q = 1.0;
+    minus.q = -1.0;
+    atoms.push_back(plus);
+    atoms.push_back(minus);
+  }
+  return atoms;
+}
+
+MdCosts md_step_costs(double atoms_per_rank, double neighbors_per_atom,
+                      const gpu::DeviceSpec& dev,
+                      const net::MachineSpec& machine) {
+  PARFFT_CHECK(atoms_per_rank >= 0 && neighbors_per_atom >= 0,
+               "negative workload");
+  MdCosts c;
+  // Pair: LJ + real-space Coulomb with erfc(): ~45 FLOPs per pair, both
+  // directions halved by Newton's third law; GPUs reach ~25% of peak on
+  // this kernel. The LAMMPS GPU package also ships positions to and
+  // forces from the device every step (~64 B/atom each way) and pays a
+  // fixed set of kernel launches and driver synchronizations per step.
+  const double pair_flops = atoms_per_rank * neighbors_per_atom * 45.0;
+  c.pair = pair_flops / (dev.fp64_flops * 0.25) +
+           2.0 * atoms_per_rank * 64.0 / 50e9 +  // H2D + D2H over NVLink
+           12.0 * dev.kernel_launch + 0.4e-3;    // launches + sync
+  // Neigh: rebuilt every ~10 steps; a rebuild costs ~6x the pair sweep's
+  // memory traffic (bin + sort + list build) plus its own kernel chain,
+  // amortized per step.
+  const double neigh_bytes = atoms_per_rank * neighbors_per_atom * 8.0;
+  c.neigh = 0.1 * (6.0 * neigh_bytes / dev.hbm_bw +
+                   20.0 * dev.kernel_launch + 1.2e-3);
+  // Comm: halo exchange with 6 face neighbours in 3 sequential stages
+  // (x, y, z), each a synchronized send/recv pair; ghost shell is ~40%
+  // of the local atom count at this surface-to-volume ratio, 48 B/atom.
+  const double ghost_bytes = 0.4 * atoms_per_rank * 48.0;
+  c.comm = 6.0 * (machine.latency_inter + machine.mpi_overhead +
+                  ghost_bytes / machine.nic_bw) +
+           3.0 * 80e-6;  // per-stage pack + synchronization
+  // Other: integration + thermostat + per-step MPI_Allreduce for
+  // thermodynamic output, plus host bookkeeping.
+  c.other = atoms_per_rank * 60.0 / (dev.fp64_flops * 0.1) +
+            4.0 * dev.kernel_launch + 0.6e-3;
+  return c;
+}
+
+}  // namespace parfft::pppm

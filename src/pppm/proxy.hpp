@@ -1,0 +1,51 @@
+#pragma once
+/// \file proxy.hpp
+/// The Rhodopsin-like molecular-dynamics proxy behind Fig. 12: a synthetic
+/// charge-neutral 32K-atom system plus a deterministic cost model for the
+/// non-KSPACE parts of a LAMMPS GPU step (Pair, Neigh, Comm, Other), so the
+/// benchmark reproduces the paper's whole-step breakdown and its response
+/// to switching the FFT backend.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "netsim/machine.hpp"
+#include "pppm/ewald.hpp"
+
+namespace parfft::pppm {
+
+/// Deterministic synthetic molecular system: `natoms` charges in a cubic
+/// box, arranged as tight +/- dipole pairs (water/protein-like local
+/// neutrality), overall charge exactly zero.
+std::vector<Particle> make_molecular_system(int natoms, double box_len,
+                                            std::uint64_t seed);
+
+/// Per-step virtual time of the non-KSPACE categories of a LAMMPS-style
+/// GPU run, per rank (LAMMPS timing breakdown semantics).
+struct MdCosts {
+  double pair = 0;   ///< short-range LJ + real-space Coulomb kernels
+  double neigh = 0;  ///< neighbor-list rebuild (amortized per step)
+  double comm = 0;   ///< halo exchange of ghost atoms
+  double other = 0;  ///< integration, thermostat, host bookkeeping
+};
+
+/// Cost model: `atoms_per_rank` atoms with `neighbors_per_atom` pairs.
+/// Constants are calibrated against published LAMMPS Rhodopsin GPU
+/// benchmarks (documented in the implementation); everything scales with
+/// the device and network specs so the model responds to the machine.
+MdCosts md_step_costs(double atoms_per_rank, double neighbors_per_atom,
+                      const gpu::DeviceSpec& dev,
+                      const net::MachineSpec& machine);
+
+/// Whole-step breakdown in LAMMPS' reporting categories.
+struct Breakdown {
+  double pair = 0;
+  double kspace = 0;
+  double neigh = 0;
+  double comm = 0;
+  double other = 0;
+  double total() const { return pair + kspace + neigh + comm + other; }
+};
+
+}  // namespace parfft::pppm

@@ -1,0 +1,662 @@
+#include "simmpi/runtime.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <thread>
+
+namespace parfft::smpi {
+
+namespace {
+constexpr auto kPollInterval = std::chrono::milliseconds(50);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(RuntimeOptions opt)
+    : opt_(std::move(opt)),
+      map_{opt_.ranks_per_node > 0 ? opt_.ranks_per_node
+                                   : opt_.machine.gpus_per_node},
+      cost_(opt_.machine, map_, opt_.nranks) {
+  PARFFT_CHECK(opt_.nranks >= 1, "need at least one rank");
+  PARFFT_CHECK(opt_.nranks <= 512,
+               "threaded runtime capped at 512 ranks; use core::Simulator "
+               "for larger scales");
+  ranks_.reserve(static_cast<std::size_t>(opt_.nranks));
+  for (int r = 0; r < opt_.nranks; ++r)
+    ranks_.push_back(std::make_unique<RankCtx>());
+  std::vector<int> world(static_cast<std::size_t>(opt_.nranks));
+  for (int r = 0; r < opt_.nranks; ++r) world[static_cast<std::size_t>(r)] = r;
+  new_group(std::move(world));  // id 0: the world communicator
+}
+
+Runtime::~Runtime() = default;
+
+Runtime::Group& Runtime::group(int id) {
+  std::lock_guard lk(groups_mu_);
+  PARFFT_ASSERT(id >= 0 && id < static_cast<int>(groups_.size()));
+  return groups_[static_cast<std::size_t>(id)];
+}
+
+int Runtime::new_group(std::vector<int> members) {
+  std::lock_guard lk(groups_mu_);
+  const int id = static_cast<int>(groups_.size());
+  Group& g = groups_.emplace_back();
+  g.id = id;
+  g.members = std::move(members);
+  g.contrib.assign(g.members.size(), nullptr);
+  g.entry.assign(g.members.size(), 0.0);
+  return id;
+}
+
+void Runtime::check_abort() const {
+  if (aborted_.load(std::memory_order_relaxed))
+    throw Error("parfft: rank aborted because another rank failed");
+}
+
+void Runtime::run(const std::function<void(Comm&)>& fn) {
+  // Reset per-run state (a Runtime may host several runs in tests).
+  aborted_.store(false);
+  for (auto& rc : ranks_) {
+    rc->inbox.clear();
+    rc->vclock = 0;
+  }
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_.size());
+  for (int r = 0; r < opt_.nranks; ++r) {
+    threads.emplace_back([this, r, &fn, &err_mu, &first_error]() {
+      Comm world(this, 0, r, r);
+      try {
+        fn(world);
+      } catch (...) {
+        {
+          std::lock_guard lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        aborted_.store(true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double Runtime::final_vtime(int rank) const {
+  PARFFT_CHECK(rank >= 0 && rank < opt_.nranks, "rank out of range");
+  return ranks_[static_cast<std::size_t>(rank)]->vclock;
+}
+
+// ---------------------------------------------------------------------------
+// Comm: basics
+// ---------------------------------------------------------------------------
+
+int Comm::size() const {
+  PARFFT_CHECK(valid(), "invalid communicator");
+  return static_cast<int>(rt_->group(group_id_).members.size());
+}
+
+const RuntimeOptions& Comm::options() const { return rt_->options(); }
+const net::CommCost& Comm::cost() const { return rt_->cost(); }
+
+double Comm::vtime() const { return rt_->ctx(wrank_).vclock; }
+
+void Comm::advance(double dt) {
+  PARFFT_CHECK(dt >= 0, "cannot advance the clock backwards");
+  rt_->ctx(wrank_).vclock += dt;
+}
+
+net::TransferMode Comm::mode_for(MemSpace space) const {
+  if (space == MemSpace::Host) return net::TransferMode::Host;
+  return rt_->options().gpu_aware ? net::TransferMode::GpuAware
+                                  : net::TransferMode::Staged;
+}
+
+double Comm::tree_cost(double bytes, int group_size) const {
+  if (group_size <= 1) return 0.0;
+  const auto& m = rt_->options().machine;
+  const double levels = std::ceil(std::log2(static_cast<double>(group_size)));
+  const double wire = bytes / (m.nic_bw * m.single_flow_nic_fraction);
+  return levels * (m.latency_inter + m.mpi_overhead + wire);
+}
+
+// ---------------------------------------------------------------------------
+// Comm: point-to-point
+// ---------------------------------------------------------------------------
+
+namespace {
+bool msg_matches(const std::vector<int>& members, int this_group_id,
+                 int want_src_grank, int want_tag, int msg_src_wrank,
+                 int msg_tag, int msg_group_id) {
+  if (msg_group_id != this_group_id) return false;
+  if (want_tag != kAnyTag && want_tag != msg_tag) return false;
+  if (want_src_grank != kAnySource) {
+    if (members[static_cast<std::size_t>(want_src_grank)] != msg_src_wrank)
+      return false;
+  }
+  return true;
+}
+
+int grank_of(const std::vector<int>& members, int wrank) {
+  for (std::size_t i = 0; i < members.size(); ++i)
+    if (members[i] == wrank) return static_cast<int>(i);
+  return -1;
+}
+}  // namespace
+
+void Comm::send(const void* buf, std::size_t bytes, int dst, int tag,
+                MemSpace space, bool timed) {
+  // Blocking standard send: buffered internally, so it completes locally;
+  // the extra mpi_overhead models the completion handshake.
+  (void)isend(buf, bytes, dst, tag, space, timed);
+  if (timed) advance(rt_->options().machine.mpi_overhead);
+}
+
+Request Comm::isend(const void* buf, std::size_t bytes, int dst, int tag,
+                    MemSpace space, bool timed) {
+  PARFFT_CHECK(valid(), "invalid communicator");
+  auto& g = rt_->group(group_id_);
+  PARFFT_CHECK(dst >= 0 && dst < static_cast<int>(g.members.size()),
+               "destination rank out of range");
+  PARFFT_CHECK(tag >= 0, "tags must be non-negative");
+  const int wdst = g.members[static_cast<std::size_t>(dst)];
+  auto& me = rt_->ctx(wrank_);
+
+  const double transport =
+      timed ? rt_->cost().point_to_point(wrank_, wdst,
+                                         static_cast<double>(bytes),
+                                         mode_for(space))
+            : 0.0;
+  Runtime::Message m;
+  m.src_wrank = wrank_;
+  m.group_id = group_id_;
+  m.tag = tag;
+  m.arrival = me.vclock + transport;
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), buf, bytes);
+  if (timed) me.vclock += rt_->options().machine.mpi_overhead;
+
+  auto& dst_ctx = rt_->ctx(wdst);
+  {
+    std::lock_guard lk(dst_ctx.mu);
+    dst_ctx.inbox.push_back(std::move(m));
+  }
+  dst_ctx.cv.notify_all();
+
+  Request req;
+  req.kind = Request::Kind::SendDone;
+  req.done = true;
+  return req;
+}
+
+Status Comm::recv(void* buf, std::size_t capacity, int src, int tag,
+                  MemSpace space) {
+  Request req = irecv(buf, capacity, src, tag, space);
+  return wait(req);
+}
+
+Status Comm::sendrecv(const void* sbuf, std::size_t sbytes, int dst,
+                      int stag, void* rbuf, std::size_t rcapacity, int src,
+                      int rtag, MemSpace space) {
+  // Post the receive first, then the (buffered) send: deadlock-free in
+  // exchange patterns, like MPI_Sendrecv.
+  Request rreq = irecv(rbuf, rcapacity, src, rtag, space);
+  (void)isend(sbuf, sbytes, dst, stag, space);
+  return wait(rreq);
+}
+
+Request Comm::irecv(void* buf, std::size_t capacity, int src, int tag,
+                    MemSpace space) {
+  PARFFT_CHECK(valid(), "invalid communicator");
+  PARFFT_CHECK(src == kAnySource ||
+                   (src >= 0 && src < size()),
+               "source rank out of range");
+  Request req;
+  req.kind = Request::Kind::Recv;
+  req.buf = buf;
+  req.capacity = capacity;
+  req.src = src;
+  req.tag = tag;
+  req.space = space;
+  return req;
+}
+
+Status Comm::wait(Request& req) {
+  std::vector<Request> one(1);
+  std::swap(one[0], req);
+  const int idx = waitany(one);
+  PARFFT_CHECK(idx == 0, "wait on an already-consumed request");
+  std::swap(one[0], req);
+  return req.status;
+}
+
+int Comm::waitany(std::vector<Request>& reqs) {
+  PARFFT_CHECK(valid(), "invalid communicator");
+  auto& g = rt_->group(group_id_);
+  auto& me = rt_->ctx(wrank_);
+
+  bool all_consumed = true;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].kind == Request::Kind::None || reqs[i].consumed) continue;
+    all_consumed = false;
+    if (reqs[i].done) {  // e.g. buffered isend
+      reqs[i].consumed = true;
+      return static_cast<int>(i);
+    }
+  }
+  if (all_consumed) return -1;
+
+  std::unique_lock lk(me.mu);
+  for (;;) {
+    // Try to match any pending receive against the inbox, preserving
+    // per-(source, tag) arrival order (MPI non-overtaking).
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      Request& r = reqs[i];
+      if (r.kind != Request::Kind::Recv || r.done || r.consumed) continue;
+      for (auto it = me.inbox.begin(); it != me.inbox.end(); ++it) {
+        if (!msg_matches(g.members, group_id_, r.src, r.tag, it->src_wrank,
+                         it->tag, it->group_id))
+          continue;
+        PARFFT_CHECK(it->payload.size() <= r.capacity,
+                     "message larger than receive buffer");
+        if (!it->payload.empty())
+          std::memcpy(r.buf, it->payload.data(), it->payload.size());
+        r.status.source = grank_of(g.members, it->src_wrank);
+        r.status.tag = it->tag;
+        r.status.bytes = it->payload.size();
+        r.done = true;
+        r.consumed = true;
+        me.vclock = std::max(me.vclock, it->arrival);
+        me.inbox.erase(it);
+        return static_cast<int>(i);
+      }
+    }
+    me.cv.wait_for(lk, kPollInterval);
+    rt_->check_abort();
+  }
+}
+
+void Comm::waitall(std::vector<Request>& reqs) {
+  while (waitany(reqs) != -1) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comm: generic collective machinery
+// ---------------------------------------------------------------------------
+
+void Comm::collective(const void* contribution,
+                      const std::function<void(const ContribView&)>& leader,
+                      const std::function<void(const ContribView&)>& reader,
+                      const std::function<double(int, int)>& exit_cost) {
+  PARFFT_CHECK(valid(), "invalid communicator");
+  auto& g = rt_->group(group_id_);
+  auto& me = rt_->ctx(wrank_);
+  const int G = static_cast<int>(g.members.size());
+
+  std::unique_lock lk(g.mu);
+  // Wait until the previous collective on this communicator fully drained.
+  while (g.departed != 0) {
+    g.cv.wait_for(lk, kPollInterval);
+    rt_->check_abort();
+  }
+  g.contrib[static_cast<std::size_t>(grank_)] = contribution;
+  g.entry[static_cast<std::size_t>(grank_)] = me.vclock;
+  ++g.arrived;
+  if (g.arrived == G) {
+    g.base_time = 0;
+    for (double e : g.entry) g.base_time = std::max(g.base_time, e);
+    if (leader) leader(g.contrib);
+    g.arrived = 0;
+    g.departed = G;
+    ++g.generation;
+    g.cv.notify_all();
+  } else {
+    const std::uint64_t my_gen = g.generation;
+    while (g.generation == my_gen) {
+      g.cv.wait_for(lk, kPollInterval);
+      rt_->check_abort();
+    }
+  }
+  // Consume phase (still under the communicator lock; ranks run in turn).
+  if (reader) reader(g.contrib);
+  me.vclock = g.base_time +
+              (exit_cost ? exit_cost(grank_, G) : 0.0);
+  --g.departed;
+  if (g.departed == 0) {
+    g.cv.notify_all();
+  } else {
+    // Contributions are stack objects of the participating ranks; nobody
+    // may leave (and destroy theirs) until every reader has finished.
+    while (g.departed != 0) {
+      g.cv.wait_for(lk, kPollInterval);
+      rt_->check_abort();
+    }
+  }
+}
+
+void Comm::barrier() {
+  collective(nullptr, nullptr, nullptr,
+             [this](int, int G) { return tree_cost(0, G); });
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  PARFFT_CHECK(root >= 0 && root < size(), "root out of range");
+  struct C {
+    void* buf;
+  } mine{buf};
+  collective(
+      &mine,
+      [root, bytes](const ContribView& all) {
+        const void* src = static_cast<const C*>(all[static_cast<std::size_t>(root)])->buf;
+        for (std::size_t r = 0; r < all.size(); ++r) {
+          if (static_cast<int>(r) == root || bytes == 0) continue;
+          std::memcpy(static_cast<const C*>(all[r])->buf, src, bytes);
+        }
+      },
+      nullptr,
+      [this, bytes](int, int G) { return tree_cost(static_cast<double>(bytes), G); });
+}
+
+void Comm::allgather(const void* sendbuf, std::size_t bytes, void* recvbuf) {
+  struct C {
+    const void* s;
+    void* r;
+  } mine{sendbuf, recvbuf};
+  const auto& machine = rt_->options().machine;
+  collective(
+      &mine, nullptr,
+      [bytes, &mine](const ContribView& all) {
+        // Reader phase: each rank assembles its own output from every
+        // contribution (rank order == group order).
+        if (bytes == 0) return;
+        for (std::size_t j = 0; j < all.size(); ++j)
+          std::memcpy(static_cast<std::byte*>(mine.r) + j * bytes,
+                      static_cast<const C*>(all[j])->s, bytes);
+      },
+      [bytes, &machine](int, int G) {
+        // Ring allgather: G-1 steps, one block per step.
+        return (G - 1) *
+               (machine.latency_inter + machine.mpi_overhead +
+                static_cast<double>(bytes) /
+                    (machine.nic_bw * machine.single_flow_nic_fraction));
+      });
+}
+
+void Comm::gather(const void* sendbuf, std::size_t bytes, void* recvbuf,
+                  int root) {
+  PARFFT_CHECK(root >= 0 && root < size(), "root out of range");
+  struct C {
+    const void* s;
+    void* r;
+  } mine{sendbuf, recvbuf};
+  collective(
+      &mine,
+      [bytes, root](const ContribView& all) {
+        if (bytes == 0) return;
+        auto* dst = static_cast<std::byte*>(
+            static_cast<const C*>(all[static_cast<std::size_t>(root)])->r);
+        for (std::size_t j = 0; j < all.size(); ++j)
+          std::memcpy(dst + j * bytes, static_cast<const C*>(all[j])->s,
+                      bytes);
+      },
+      nullptr,
+      [this, bytes](int, int G) {
+        return tree_cost(static_cast<double>(bytes) * G / 2.0, G);
+      });
+}
+
+void Comm::scatter(const void* sendbuf, std::size_t bytes, void* recvbuf,
+                   int root) {
+  PARFFT_CHECK(root >= 0 && root < size(), "root out of range");
+  struct C {
+    const void* s;
+    void* r;
+  } mine{sendbuf, recvbuf};
+  collective(
+      &mine,
+      [bytes, root](const ContribView& all) {
+        if (bytes == 0) return;
+        const auto* src = static_cast<const std::byte*>(
+            static_cast<const C*>(all[static_cast<std::size_t>(root)])->s);
+        for (std::size_t j = 0; j < all.size(); ++j)
+          std::memcpy(static_cast<const C*>(all[j])->r, src + j * bytes,
+                      bytes);
+      },
+      nullptr,
+      [this, bytes](int, int G) {
+        return tree_cost(static_cast<double>(bytes) * G / 2.0, G);
+      });
+}
+
+void Comm::alltoallv(const void* sbuf, const std::vector<std::size_t>& scounts,
+                     const std::vector<std::size_t>& sdispls, void* rbuf,
+                     const std::vector<std::size_t>& rcounts,
+                     const std::vector<std::size_t>& rdispls, MemSpace space,
+                     net::CollectiveAlg alg) {
+  const int G = size();
+  PARFFT_CHECK(static_cast<int>(scounts.size()) == G &&
+                   static_cast<int>(sdispls.size()) == G &&
+                   static_cast<int>(rcounts.size()) == G &&
+                   static_cast<int>(rdispls.size()) == G,
+               "count/displacement arrays must match communicator size");
+  PARFFT_CHECK(alg == net::CollectiveAlg::Alltoall ||
+                   alg == net::CollectiveAlg::Alltoallv,
+               "alltoallv supports the Alltoall/Alltoallv cost models");
+
+  struct C {
+    const std::byte* sbuf;
+    const std::vector<std::size_t>* scounts;
+    const std::vector<std::size_t>* sdispls;
+    std::byte* rbuf;
+    const std::vector<std::size_t>* rcounts;
+    const std::vector<std::size_t>* rdispls;
+    int grank;
+    double out_time;
+  } mine{static_cast<const std::byte*>(sbuf), &scounts, &sdispls,
+         static_cast<std::byte*>(rbuf), &rcounts, &rdispls, grank_, 0.0};
+
+  auto& g = rt_->group(group_id_);
+  const net::TransferMode mode = mode_for(space);
+  collective(
+      &mine,
+      [&g, G, alg, mode, this](const ContribView& all) {
+        // Leader: cost model + sanity, then move every block.
+        net::SendMatrix sends(static_cast<std::size_t>(G));
+        for (int i = 0; i < G; ++i) {
+          const C* ci = static_cast<const C*>(all[static_cast<std::size_t>(i)]);
+          for (int j = 0; j < G; ++j) {
+            const std::size_t b = (*ci->scounts)[static_cast<std::size_t>(j)];
+            if (b > 0)
+              sends[static_cast<std::size_t>(i)].push_back(
+                  {j, static_cast<double>(b)});
+          }
+        }
+        const net::PhaseTimes times = rt_->cost().exchange(
+            g.members, sends, alg, mode, rt_->options().flavor);
+        for (int i = 0; i < G; ++i) {
+          C* ci = const_cast<C*>(static_cast<const C*>(all[static_cast<std::size_t>(i)]));
+          ci->out_time = times.per_rank[static_cast<std::size_t>(i)];
+          // Receive loop for rank i: pull block j -> i from each sender.
+          for (int j = 0; j < G; ++j) {
+            const C* cj = static_cast<const C*>(all[static_cast<std::size_t>(j)]);
+            const std::size_t b = (*cj->scounts)[static_cast<std::size_t>(i)];
+            PARFFT_CHECK(b == (*ci->rcounts)[static_cast<std::size_t>(j)],
+                         "alltoallv send/recv counts disagree");
+            if (b == 0) continue;
+            std::memcpy(ci->rbuf + (*ci->rdispls)[static_cast<std::size_t>(j)],
+                        cj->sbuf + (*cj->sdispls)[static_cast<std::size_t>(i)],
+                        b);
+          }
+        }
+      },
+      nullptr, [&mine](int, int) { return mine.out_time; });
+}
+
+void Comm::alltoallw(const void* sbuf, const std::vector<Subarray>& stypes,
+                     void* rbuf, const std::vector<Subarray>& rtypes,
+                     MemSpace space) {
+  const int G = size();
+  PARFFT_CHECK(static_cast<int>(stypes.size()) == G &&
+                   static_cast<int>(rtypes.size()) == G,
+               "datatype arrays must match communicator size");
+
+  struct C {
+    const std::byte* sbuf;
+    const std::vector<Subarray>* stypes;
+    std::byte* rbuf;
+    const std::vector<Subarray>* rtypes;
+    double out_time;
+  } mine{static_cast<const std::byte*>(sbuf), &stypes,
+         static_cast<std::byte*>(rbuf), &rtypes, 0.0};
+
+  auto& g = rt_->group(group_id_);
+  const net::TransferMode mode = mode_for(space);
+
+  // The datatype engine: copy a subarray out of src into dst layout.
+  auto copy_subarray = [](const std::byte* src, const Subarray& st,
+                          std::byte* dst, const Subarray& rt) {
+    PARFFT_CHECK(st.sub == rt.sub && st.elem_bytes == rt.elem_bytes,
+                 "alltoallw matched datatypes must have equal shapes");
+    const idx_t eb = static_cast<idx_t>(st.elem_bytes);
+    for (idx_t a = 0; a < st.sub[0]; ++a)
+      for (idx_t b = 0; b < st.sub[1]; ++b) {
+        const idx_t so =
+            (((a + st.off[0]) * st.full[1] + (b + st.off[1])) * st.full[2] +
+             st.off[2]) * eb;
+        const idx_t dofs =
+            (((a + rt.off[0]) * rt.full[1] + (b + rt.off[1])) * rt.full[2] +
+             rt.off[2]) * eb;
+        std::memcpy(dst + dofs, src + so,
+                    static_cast<std::size_t>(st.sub[2] * eb));
+      }
+  };
+
+  collective(
+      &mine,
+      [&g, G, mode, this, &copy_subarray](const ContribView& all) {
+        net::SendMatrix sends(static_cast<std::size_t>(G));
+        for (int i = 0; i < G; ++i) {
+          const C* ci = static_cast<const C*>(all[static_cast<std::size_t>(i)]);
+          for (int j = 0; j < G; ++j) {
+            const Subarray& st = (*ci->stypes)[static_cast<std::size_t>(j)];
+            if (!st.empty())
+              sends[static_cast<std::size_t>(i)].push_back({j, st.bytes()});
+          }
+        }
+        const net::PhaseTimes times = rt_->cost().exchange(
+            g.members, sends, net::CollectiveAlg::Alltoallw, mode,
+            rt_->options().flavor);
+        for (int i = 0; i < G; ++i) {
+          C* ci = const_cast<C*>(static_cast<const C*>(all[static_cast<std::size_t>(i)]));
+          ci->out_time = times.per_rank[static_cast<std::size_t>(i)];
+          for (int j = 0; j < G; ++j) {
+            const C* cj = static_cast<const C*>(all[static_cast<std::size_t>(j)]);
+            const Subarray& st = (*cj->stypes)[static_cast<std::size_t>(i)];
+            const Subarray& rt = (*ci->rtypes)[static_cast<std::size_t>(j)];
+            PARFFT_CHECK(st.empty() == rt.empty(),
+                         "alltoallw send/recv datatypes disagree");
+            if (st.empty()) continue;
+            copy_subarray(cj->sbuf, st, ci->rbuf, rt);
+          }
+        }
+      },
+      nullptr, [&mine](int, int) { return mine.out_time; });
+}
+
+double Comm::settle_phase(
+    const std::vector<std::pair<int, double>>& my_sends,
+    net::CollectiveAlg alg, MemSpace space) {
+  struct C {
+    const std::vector<std::pair<int, double>>* sends;
+    double out_time;
+  } mine{&my_sends, 0.0};
+
+  auto& g = rt_->group(group_id_);
+  const net::TransferMode mode = mode_for(space);
+  const int G = size();
+  collective(
+      &mine,
+      [&g, G, alg, mode, this](const ContribView& all) {
+        net::SendMatrix sends(static_cast<std::size_t>(G));
+        for (int i = 0; i < G; ++i) {
+          const C* ci = static_cast<const C*>(all[static_cast<std::size_t>(i)]);
+          sends[static_cast<std::size_t>(i)] = *ci->sends;
+        }
+        const net::PhaseTimes times = rt_->cost().exchange(
+            g.members, sends, alg, mode, rt_->options().flavor);
+        for (int i = 0; i < G; ++i) {
+          C* ci = const_cast<C*>(static_cast<const C*>(all[static_cast<std::size_t>(i)]));
+          ci->out_time = times.per_rank[static_cast<std::size_t>(i)];
+        }
+      },
+      nullptr, [&mine](int, int) { return mine.out_time; });
+  return mine.out_time;
+}
+
+Comm Comm::split(int color, int key) {
+  struct C {
+    int color, key, grank;
+    int out_gid = -1;
+    int out_grank = -1;
+  } mine{color, key, grank_, -1, -1};
+
+  auto& g = rt_->group(group_id_);
+  collective(
+      &mine,
+      [&g, this](const ContribView& all) {
+        // color -> sorted (key, parent grank) -> members.
+        std::map<int, std::vector<std::pair<std::pair<int, int>, int>>> buckets;
+        for (std::size_t r = 0; r < all.size(); ++r) {
+          const C* c = static_cast<const C*>(all[r]);
+          if (c->color < 0) continue;  // MPI_UNDEFINED analogue
+          buckets[c->color].push_back(
+              {{c->key, c->grank}, static_cast<int>(r)});
+        }
+        for (auto& [bucket_color, list] : buckets) {
+          (void)bucket_color;
+          std::sort(list.begin(), list.end());
+          std::vector<int> members;
+          members.reserve(list.size());
+          for (const auto& e : list)
+            members.push_back(g.members[static_cast<std::size_t>(e.second)]);
+          const int gid = rt_->new_group(std::move(members));
+          for (std::size_t pos = 0; pos < list.size(); ++pos) {
+            C* c = const_cast<C*>(
+                static_cast<const C*>(all[static_cast<std::size_t>(list[pos].second)]));
+            c->out_gid = gid;
+            c->out_grank = static_cast<int>(pos);
+          }
+        }
+      },
+      nullptr, [this](int, int G) { return tree_cost(16, G); });
+
+  if (mine.out_gid < 0) return Comm{};
+  return Comm(rt_, mine.out_gid, mine.out_grank, wrank_);
+}
+
+Comm Comm::create_group(const std::vector<int>& members) {
+  for (std::size_t i = 1; i < members.size(); ++i)
+    PARFFT_CHECK(members[i - 1] < members[i],
+                 "group members must be ascending parent ranks");
+  for (int m : members)
+    PARFFT_CHECK(m >= 0 && m < size(), "group member out of range");
+  bool in_group = false;
+  int pos = -1;
+  for (std::size_t i = 0; i < members.size(); ++i)
+    if (members[i] == grank_) {
+      in_group = true;
+      pos = static_cast<int>(i);
+    }
+  const int color = in_group ? 0 : -1;
+  Comm sub = split(color, pos);
+  return sub;
+}
+
+}  // namespace parfft::smpi

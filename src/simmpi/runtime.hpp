@@ -1,0 +1,393 @@
+#pragma once
+/// \file runtime.hpp
+/// Thread-based MPI-like runtime with virtual-time accounting.
+///
+/// Each simulated MPI rank is an OS thread; data really moves between
+/// ranks (point-to-point with tags/wildcards and non-overtaking order,
+/// collectives including Alltoallv and a derived-datatype Alltoallw), so
+/// the distributed FFT's correctness is exercised end to end. Every rank
+/// carries a virtual clock, advanced by the netsim/gpusim cost models, so
+/// "runtimes" are deterministic Summit/Spock estimates rather than host
+/// wall time. This module substitutes for SpectrumMPI / MVAPICH in the
+/// paper's experiments (see DESIGN.md section 2).
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "gpusim/device.hpp"
+#include "netsim/collectives.hpp"
+
+namespace parfft::smpi {
+
+using gpu::MemSpace;
+
+/// Wildcards for point-to-point matching.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Reduction operators.
+enum class Op { Sum, Max, Min };
+
+/// Completed-receive metadata.
+struct Status {
+  int source = kAnySource;  ///< group rank of the sender
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// An MPI-style derived sub-array datatype: a `sub`-shaped block at offset
+/// `off` within a row-major `full`-shaped brick of `elem_bytes` elements.
+/// Used by the Alltoallw path (Algorithm 2 of the paper), where the MPI
+/// datatype engine walks the strided layout instead of the application
+/// packing into contiguous buffers.
+struct Subarray {
+  std::array<idx_t, 3> full{1, 1, 1};
+  std::array<idx_t, 3> sub{0, 0, 0};
+  std::array<idx_t, 3> off{0, 0, 0};
+  std::size_t elem_bytes = sizeof(cplx);
+
+  idx_t count() const { return sub[0] * sub[1] * sub[2]; }
+  double bytes() const {
+    return static_cast<double>(count()) * static_cast<double>(elem_bytes);
+  }
+  bool empty() const { return count() == 0; }
+};
+
+/// Handle for a non-blocking operation.
+struct Request {
+  enum class Kind { None, SendDone, Recv };
+  Kind kind = Kind::None;
+  // Receive parameters (valid while kind == Recv and !done).
+  void* buf = nullptr;
+  std::size_t capacity = 0;
+  int src = kAnySource;  ///< group rank or kAnySource
+  int tag = kAnyTag;
+  MemSpace space = MemSpace::Host;
+  bool done = false;
+  bool consumed = false;
+  Status status;
+};
+
+struct RuntimeOptions {
+  net::MachineSpec machine = net::summit();
+  int nranks = 1;
+  /// Ranks per node; 0 uses machine.gpus_per_node (1 MPI rank per GPU,
+  /// the paper's placement).
+  int ranks_per_node = 0;
+  /// heFFTe's -no-gpu-aware switch: when false, device-resident messages
+  /// are staged through the host (device->host->host->device).
+  bool gpu_aware = true;
+  net::MpiFlavor flavor = net::MpiFlavor::SpectrumMPI;
+  gpu::DeviceSpec device = gpu::v100();
+};
+
+class Runtime;
+
+/// A communicator handle; methods must be called from the owning rank's
+/// thread (like an MPI communicator used by one process).
+class Comm {
+ public:
+  int rank() const { return grank_; }
+  int size() const;
+  int world_rank() const { return wrank_; }
+  const RuntimeOptions& options() const;
+  const net::CommCost& cost() const;
+
+  // --- Virtual clock ----------------------------------------------------
+  double vtime() const;
+  void advance(double dt);
+
+  // --- Point-to-point ----------------------------------------------------
+  /// Blocking standard send (buffered internally; completes locally).
+  /// `timed = false` moves the data without charging transport time on the
+  /// virtual clock -- used by phase-level code that settles the whole
+  /// phase's cost afterwards via settle_phase().
+  void send(const void* buf, std::size_t bytes, int dst, int tag,
+            MemSpace space = MemSpace::Host, bool timed = true);
+  /// Non-blocking send; with internal buffering it completes immediately.
+  Request isend(const void* buf, std::size_t bytes, int dst, int tag,
+                MemSpace space = MemSpace::Host, bool timed = true);
+  /// Blocking receive. `src`/`tag` accept wildcards.
+  Status recv(void* buf, std::size_t capacity, int src, int tag,
+              MemSpace space = MemSpace::Host);
+  /// Non-blocking receive.
+  Request irecv(void* buf, std::size_t capacity, int src, int tag,
+                MemSpace space = MemSpace::Host);
+  /// Combined send + receive (MPI_Sendrecv; Table I lists it for AccFFT).
+  Status sendrecv(const void* sbuf, std::size_t sbytes, int dst, int stag,
+                  void* rbuf, std::size_t rcapacity, int src, int rtag,
+                  MemSpace space = MemSpace::Host);
+  /// Waits for one request; returns its status.
+  Status wait(Request& req);
+  /// Waits until any not-yet-consumed request completes; returns its index
+  /// or -1 when every request has already been consumed.
+  int waitany(std::vector<Request>& reqs);
+  void waitall(std::vector<Request>& reqs);
+
+  // --- Collectives --------------------------------------------------------
+  void barrier();
+  void bcast(void* buf, std::size_t bytes, int root);
+  template <typename T>
+  void allreduce(T* data, int count, Op op);
+  /// Gathers `bytes` from every rank into recvbuf (size() * bytes), on all
+  /// ranks.
+  void allgather(const void* sendbuf, std::size_t bytes, void* recvbuf);
+  /// Gathers `bytes` from every rank into root's recvbuf (rank order).
+  void gather(const void* sendbuf, std::size_t bytes, void* recvbuf,
+              int root);
+  /// Scatters size() blocks of `bytes` from root's sendbuf to every rank.
+  void scatter(const void* sendbuf, std::size_t bytes, void* recvbuf,
+               int root);
+  /// Reduction onto `root` only (other ranks' data is left untouched).
+  template <typename T>
+  void reduce(T* data, int count, Op op, int root);
+  /// Inclusive prefix reduction in rank order (MPI_Scan).
+  template <typename T>
+  void scan(T* data, int count, Op op);
+
+  /// MPI_Alltoallv-style exchange; counts/displacements in BYTES. `alg`
+  /// selects the cost model: Alltoall pads every block to the maximum
+  /// block size (heFFTe's padded variant), Alltoallv uses exact counts.
+  /// Data movement is identical; only the virtual time differs, exactly
+  /// the distinction the paper measures (Fig. 6).
+  void alltoallv(const void* sbuf, const std::vector<std::size_t>& scounts,
+                 const std::vector<std::size_t>& sdispls, void* rbuf,
+                 const std::vector<std::size_t>& rcounts,
+                 const std::vector<std::size_t>& rdispls,
+                 MemSpace space = MemSpace::Host,
+                 net::CollectiveAlg alg = net::CollectiveAlg::Alltoallv);
+
+  /// MPI_Alltoallw with sub-array datatypes (Algorithm 2): no application
+  /// packing; the runtime's datatype engine walks the strided layouts.
+  /// stypes/rtypes have one entry per peer; empty subarrays mean no
+  /// traffic with that peer. Under SpectrumMPI this routine is not
+  /// GPU-aware (device buffers are staged), per the paper.
+  void alltoallw(const void* sbuf, const std::vector<Subarray>& stypes,
+                 void* rbuf, const std::vector<Subarray>& rtypes,
+                 MemSpace space = MemSpace::Host);
+
+  /// Collective virtual-time settlement for a phase whose *data* was moved
+  /// with point-to-point calls: recomputes the phase cost with the
+  /// congestion-aware model and raises every member's clock consistently.
+  /// `my_sends` lists (dst group rank, bytes). Returns this rank's
+  /// communication time for the phase.
+  double settle_phase(const std::vector<std::pair<int, double>>& my_sends,
+                      net::CollectiveAlg alg, MemSpace space);
+
+  /// Splits like MPI_Comm_split; `key` orders ranks within each color
+  /// (ties broken by parent rank).
+  Comm split(int color, int key);
+
+  /// Creates a sub-communicator from ascending parent group ranks
+  /// (collective over the parent). Ranks outside `members` get an invalid
+  /// Comm.
+  Comm create_group(const std::vector<int>& members);
+
+  bool valid() const { return rt_ != nullptr; }
+
+  // --- Low-level building blocks (exposed for core/tests) ----------------
+  /// Generic two-phase collective: publish `contribution`, the last
+  /// arriving member runs `leader` over all contributions (other threads
+  /// are parked, so the leader may write into their buffers), then every
+  /// member runs `reader`, and finally every member's clock becomes
+  /// max(entry clocks) + exit_cost(my group rank, group size).
+  using ContribView = std::vector<const void*>;
+  void collective(const void* contribution,
+                  const std::function<void(const ContribView&)>& leader,
+                  const std::function<void(const ContribView&)>& reader,
+                  const std::function<double(int, int)>& exit_cost);
+
+  /// Cost of a tree reduction/broadcast of `bytes` over `group_size` ranks.
+  double tree_cost(double bytes, int group_size) const;
+
+ private:
+  friend class Runtime;
+  Comm() = default;
+  Comm(Runtime* rt, int group_id, int grank, int wrank)
+      : rt_(rt), group_id_(group_id), grank_(grank), wrank_(wrank) {}
+
+  net::TransferMode mode_for(MemSpace space) const;
+
+  Runtime* rt_ = nullptr;
+  int group_id_ = -1;
+  int grank_ = -1;
+  int wrank_ = -1;
+};
+
+/// Owns the rank threads and all shared state.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opt);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runs `fn` once per rank on dedicated threads, passing the world
+  /// communicator; rethrows the first rank exception after joining all
+  /// threads (other ranks are aborted).
+  void run(const std::function<void(Comm&)>& fn);
+
+  const RuntimeOptions& options() const { return opt_; }
+  const net::CommCost& cost() const { return cost_; }
+  const net::RankMap& rank_map() const { return map_; }
+
+  /// Virtual clock of a rank after run() returned (for reporting).
+  double final_vtime(int rank) const;
+
+ private:
+  friend class Comm;
+  struct Message {
+    int src_wrank = 0;
+    int group_id = 0;
+    int tag = 0;
+    double arrival = 0;
+    std::vector<std::byte> payload;
+  };
+  struct RankCtx {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> inbox;
+    double vclock = 0;
+  };
+  struct Group {
+    int id = 0;
+    std::vector<int> members;  ///< ascending world ranks
+    // Rendezvous state.
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    int departed = 0;
+    std::uint64_t generation = 0;
+    std::vector<const void*> contrib;
+    std::vector<double> entry;
+    double base_time = 0;  ///< max entry clock, set by the leader
+  };
+
+  Group& group(int id);
+  int new_group(std::vector<int> members);
+  RankCtx& ctx(int wrank) { return *ranks_[static_cast<std::size_t>(wrank)]; }
+  void check_abort() const;
+
+  RuntimeOptions opt_;
+  net::RankMap map_;
+  net::CommCost cost_;
+  std::vector<std::unique_ptr<RankCtx>> ranks_;
+  std::mutex groups_mu_;
+  std::deque<Group> groups_;  // deque keeps addresses stable
+  std::atomic<bool> aborted_{false};
+};
+
+// --- template implementation ------------------------------------------------
+
+namespace detail {
+template <typename T>
+void combine(T& acc, const T& v, Op op) {
+  switch (op) {
+    case Op::Sum: acc += v; break;
+    case Op::Max: acc = std::max(acc, v); break;
+    case Op::Min: acc = std::min(acc, v); break;
+  }
+}
+}  // namespace detail
+
+template <typename T>
+void Comm::reduce(T* data, int count, Op op, int root) {
+  PARFFT_CHECK(count >= 0, "negative count");
+  PARFFT_CHECK(root >= 0 && root < size(), "root out of range");
+  struct C {
+    T* p;
+  } mine{data};
+  collective(
+      &mine,
+      [count, op, root](const ContribView& all) {
+        T* dst = static_cast<const C*>(all[static_cast<std::size_t>(root)])->p;
+        std::vector<T> acc(dst, dst + count);
+        for (std::size_t r = 0; r < all.size(); ++r) {
+          if (static_cast<int>(r) == root) continue;
+          const T* q = static_cast<const C*>(all[r])->p;
+          for (int i = 0; i < count; ++i)
+            detail::combine(acc[static_cast<std::size_t>(i)], q[i], op);
+        }
+        std::copy(acc.begin(), acc.end(), dst);
+      },
+      nullptr,
+      [this, count](int, int gsize) {
+        return tree_cost(static_cast<double>(count) * sizeof(T), gsize);
+      });
+}
+
+template <typename T>
+void Comm::scan(T* data, int count, Op op) {
+  PARFFT_CHECK(count >= 0, "negative count");
+  struct C {
+    T* p;
+  } mine{data};
+  collective(
+      &mine,
+      [count, op](const ContribView& all) {
+        // Inclusive prefix in group-rank order, computed in place from
+        // the highest rank downwards so inputs are still intact.
+        for (std::size_t r = all.size(); r-- > 1;) {
+          T* dst = static_cast<const C*>(all[r])->p;
+          for (std::size_t q = 0; q < r; ++q) {
+            const T* src = static_cast<const C*>(all[q])->p;
+            for (int i = 0; i < count; ++i)
+              detail::combine(dst[i], src[i], op);
+          }
+        }
+      },
+      nullptr,
+      [this, count](int, int gsize) {
+        return tree_cost(static_cast<double>(count) * sizeof(T), gsize);
+      });
+}
+
+template <typename T>
+void Comm::allreduce(T* data, int count, Op op) {
+  PARFFT_CHECK(count >= 0, "negative count");
+  struct C {
+    T* p;
+  } mine{data};
+  collective(
+      &mine,
+      [count, op](const ContribView& all) {
+        std::vector<T> acc(static_cast<std::size_t>(count));
+        const T* first = static_cast<const C*>(all[0])->p;
+        std::copy(first, first + count, acc.begin());
+        for (std::size_t r = 1; r < all.size(); ++r) {
+          const T* q = static_cast<const C*>(all[r])->p;
+          for (int i = 0; i < count; ++i) {
+            switch (op) {
+              case Op::Sum: acc[static_cast<std::size_t>(i)] += q[i]; break;
+              case Op::Max:
+                acc[static_cast<std::size_t>(i)] =
+                    std::max(acc[static_cast<std::size_t>(i)], q[i]);
+                break;
+              case Op::Min:
+                acc[static_cast<std::size_t>(i)] =
+                    std::min(acc[static_cast<std::size_t>(i)], q[i]);
+                break;
+            }
+          }
+        }
+        for (const void* c : all)
+          std::copy(acc.begin(), acc.end(), static_cast<const C*>(c)->p);
+      },
+      nullptr,
+      [this, count](int, int gsize) {
+        // Reduce + broadcast trees.
+        return 2.0 * tree_cost(static_cast<double>(count) * sizeof(T), gsize);
+      });
+}
+
+}  // namespace parfft::smpi

@@ -1,0 +1,160 @@
+// Box / processor-grid index math: splits, intersections, minimum-surface
+// heuristic, near-square factorizations, and agreement with the paper's
+// Table III grids.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/box.hpp"
+#include "core/grids.hpp"
+
+namespace parfft::core {
+namespace {
+
+TEST(Box, SizesAndEmptiness) {
+  Box3 b{{0, 0, 0}, {3, 1, 0}};
+  EXPECT_EQ(b.size(0), 4);
+  EXPECT_EQ(b.size(1), 2);
+  EXPECT_EQ(b.size(2), 1);
+  EXPECT_EQ(b.count(), 8);
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(Box3{}.empty());
+}
+
+TEST(Box, ContainsAndOffset) {
+  Box3 b{{2, 3, 4}, {5, 5, 9}};
+  EXPECT_TRUE(b.contains({2, 3, 4}));
+  EXPECT_TRUE(b.contains({5, 5, 9}));
+  EXPECT_FALSE(b.contains({1, 3, 4}));
+  EXPECT_FALSE(b.contains({2, 6, 4}));
+  EXPECT_EQ(b.offset_of({2, 3, 4}), 0);
+  EXPECT_EQ(b.offset_of({2, 3, 5}), 1);
+  EXPECT_EQ(b.offset_of({2, 4, 4}), 6);
+  EXPECT_EQ(b.offset_of({3, 3, 4}), 18);
+}
+
+TEST(Box, Intersection) {
+  Box3 a{{0, 0, 0}, {4, 4, 4}};
+  Box3 b{{2, 3, 5}, {9, 9, 9}};
+  const Box3 ab = intersect(a, b);
+  EXPECT_TRUE(ab.empty());  // disjoint on axis 2
+  Box3 c{{2, 2, 2}, {6, 6, 6}};
+  const Box3 ac = intersect(a, c);
+  EXPECT_EQ(ac, (Box3{{2, 2, 2}, {4, 4, 4}}));
+}
+
+TEST(ProcGrid, RankCoordRoundTrip) {
+  ProcGrid g{{2, 3, 4}};
+  EXPECT_EQ(g.count(), 24);
+  for (int r = 0; r < g.count(); ++r) EXPECT_EQ(g.rank_of(g.coord(r)), r);
+  EXPECT_EQ(g.coord(0), (std::array<int, 3>{0, 0, 0}));
+  EXPECT_EQ(g.coord(23), (std::array<int, 3>{1, 2, 3}));
+}
+
+TEST(SplitWorld, CoversExactlyOnce) {
+  const Box3 world = world_box({10, 7, 5});
+  const ProcGrid g{{3, 2, 2}};
+  const auto boxes = split_world(world, g);
+  ASSERT_EQ(boxes.size(), 12u);
+  idx_t total = 0;
+  for (const auto& b : boxes) total += b.count();
+  EXPECT_EQ(total, world.count());
+  // Pairwise disjoint.
+  for (std::size_t i = 0; i < boxes.size(); ++i)
+    for (std::size_t j = i + 1; j < boxes.size(); ++j)
+      EXPECT_TRUE(intersect(boxes[i], boxes[j]).empty());
+}
+
+TEST(SplitWorld, RemaindersGoToLeadingCells) {
+  const auto boxes = split_world(world_box({7, 1, 1}), ProcGrid{{3, 1, 1}});
+  EXPECT_EQ(boxes[0].size(0), 3);  // 7 = 3 + 2 + 2
+  EXPECT_EQ(boxes[1].size(0), 2);
+  EXPECT_EQ(boxes[2].size(0), 2);
+}
+
+TEST(SplitWorld, EveryBoxNonEmptyWhenFeasible) {
+  const auto boxes = split_world(world_box({8, 8, 8}), ProcGrid{{2, 2, 2}});
+  for (const auto& b : boxes) EXPECT_EQ(b.count(), 64);
+}
+
+TEST(PadBoxes, AppendsEmpties) {
+  auto boxes = pad_boxes(split_world(world_box({4, 4, 4}), ProcGrid{{2, 1, 1}}), 5);
+  ASSERT_EQ(boxes.size(), 5u);
+  EXPECT_FALSE(boxes[1].empty());
+  EXPECT_TRUE(boxes[2].empty());
+  EXPECT_TRUE(boxes[4].empty());
+}
+
+TEST(NearSquare, MatchesTable3PencilFactors) {
+  // The P x Q pairs of the paper's Table III FFT grids.
+  EXPECT_EQ(near_square_factors(6), (std::array<int, 2>{2, 3}));
+  EXPECT_EQ(near_square_factors(12), (std::array<int, 2>{3, 4}));
+  EXPECT_EQ(near_square_factors(24), (std::array<int, 2>{4, 6}));
+  EXPECT_EQ(near_square_factors(48), (std::array<int, 2>{6, 8}));
+  EXPECT_EQ(near_square_factors(96), (std::array<int, 2>{8, 12}));
+  EXPECT_EQ(near_square_factors(192), (std::array<int, 2>{12, 16}));
+  EXPECT_EQ(near_square_factors(384), (std::array<int, 2>{16, 24}));
+  EXPECT_EQ(near_square_factors(768), (std::array<int, 2>{24, 32}));
+  EXPECT_EQ(near_square_factors(1536), (std::array<int, 2>{32, 48}));
+  EXPECT_EQ(near_square_factors(3072), (std::array<int, 2>{48, 64}));
+  EXPECT_EQ(near_square_factors(7), (std::array<int, 2>{1, 7}));
+}
+
+TEST(PencilGrid, MatchesTable3FftGrids) {
+  for (int gpus : table3_gpu_counts()) {
+    const auto row = table3_row(gpus);
+    for (int axis = 0; axis < 3; ++axis)
+      EXPECT_EQ(pencil_grid(gpus, axis), row.fft[static_cast<std::size_t>(axis)])
+          << gpus << " axis " << axis;
+  }
+}
+
+TEST(MinSurface, MatchesTable3BrickGridsUpToPermutation) {
+  // The paper's blue input/output grids come from minimum-surface
+  // splitting; our heuristic must find a grid with the same dim multiset.
+  for (int gpus : table3_gpu_counts()) {
+    const auto row = table3_row(gpus);
+    const ProcGrid mine = min_surface_grid(gpus, {512, 512, 512});
+    std::array<int, 3> a = mine.dims, b = row.input.dims;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << gpus;
+  }
+}
+
+TEST(MinSurface, ExactTable3SmallCases) {
+  EXPECT_EQ(min_surface_grid(6, {512, 512, 512}).dims,
+            (std::array<int, 3>{1, 2, 3}));
+  EXPECT_EQ(min_surface_grid(12, {512, 512, 512}).dims,
+            (std::array<int, 3>{2, 2, 3}));
+  EXPECT_EQ(min_surface_grid(24, {512, 512, 512}).dims,
+            (std::array<int, 3>{2, 3, 4}));
+}
+
+TEST(MinSurface, AdaptsToAnisotropicDomains) {
+  // A long thin domain should be cut along its long axis.
+  const ProcGrid g = min_surface_grid(4, {1024, 8, 8});
+  EXPECT_EQ(g.dims, (std::array<int, 3>{4, 1, 1}));
+}
+
+TEST(SlabGrid, DecomposesOneAxis) {
+  EXPECT_EQ(slab_grid(8, 0).dims, (std::array<int, 3>{8, 1, 1}));
+  EXPECT_EQ(slab_grid(8, 1).dims, (std::array<int, 3>{1, 8, 1}));
+  EXPECT_THROW(slab_grid(8, 3), Error);
+}
+
+TEST(Table3, CountsAndConsistency) {
+  const auto counts = table3_gpu_counts();
+  EXPECT_EQ(counts.size(), 10u);
+  for (int gpus : counts) {
+    const auto row = table3_row(gpus);
+    EXPECT_EQ(row.input.count(), gpus);
+    EXPECT_EQ(row.output.count(), gpus);
+    for (const auto& f : row.fft) EXPECT_EQ(f.count(), gpus);
+  }
+  EXPECT_THROW(table3_row(7), Error);
+}
+
+}  // namespace
+}  // namespace parfft::core

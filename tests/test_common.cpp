@@ -1,0 +1,113 @@
+// Tests for the common module: error macros, units, tables, plots, rng.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace parfft {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    PARFFT_CHECK(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrows) {
+  EXPECT_THROW(PARFFT_ASSERT(false), Error);
+  EXPECT_NO_THROW(PARFFT_ASSERT(true));
+}
+
+TEST(Units, TimeRanges) {
+  EXPECT_EQ(format_time(15e-6), "15.00 us");
+  EXPECT_EQ(format_time(0.09), "90.000 ms");
+  EXPECT_EQ(format_time(1.5), "1.500 s");
+  EXPECT_EQ(format_time(3e-9), "3.0 ns");
+}
+
+TEST(Units, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2.15e9), "2.15 GB");
+  EXPECT_EQ(format_bytes(2e6), "2.00 MB");
+}
+
+TEST(Units, Bandwidth) { EXPECT_EQ(format_bandwidth(23.5e9), "23.50 GB/s"); }
+
+TEST(Units, Fixed) { EXPECT_EQ(format_fixed(3.14159, 2), "3.14"); }
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "23"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), Error);
+}
+
+TEST(AsciiPlot, RendersSeries) {
+  std::ostringstream os;
+  ascii_plot(os, {"1", "2", "4", "8"},
+             {{"runtime", {1.0, 0.5, 0.25, 0.125}}},
+             {.width = 40, .height = 8, .log_y = true, .x_label = "nodes"});
+  EXPECT_NE(os.str().find("runtime"), std::string::npos);
+  EXPECT_NE(os.str().find("nodes"), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsEmpty) {
+  std::ostringstream os;
+  EXPECT_THROW(ascii_plot(os, {}, {}, {}), Error);
+}
+
+TEST(AsciiPlot, BarsRender) {
+  std::ostringstream os;
+  ascii_bars(os, {{"pack", 1.0}, {"comm", 9.0}}, "ms");
+  EXPECT_NE(os.str().find("comm"), std::string::npos);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ComplexVectorInRange) {
+  Rng r(7);
+  auto v = r.complex_vector(1000);
+  for (const auto& z : v) {
+    EXPECT_LT(std::abs(z.real()), 1.0);
+    EXPECT_LT(std::abs(z.imag()), 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace parfft

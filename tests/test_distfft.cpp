@@ -1,0 +1,270 @@
+// End-to-end validation of the distributed 3-D FFT (Algorithm 1 and the
+// Alltoallw-based Algorithm 2): distributed results must equal the local
+// engine exactly, across decompositions x communication backends x rank
+// counts x layout options, including round trips, batching, grid
+// shrinking and brick-shaped input/output grids.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/pack.hpp"
+#include "core/plan.hpp"
+#include "core/simulate.hpp"
+#include "fft/many.hpp"
+
+namespace parfft::core {
+namespace {
+
+struct DistCase {
+  int nranks;
+  Decomposition decomp;
+  Backend backend;
+  bool contiguous_fft;
+  const char* label;
+};
+
+std::ostream& operator<<(std::ostream& os, const DistCase& c) {
+  return os << c.label;
+}
+
+/// Runs a forward distributed transform and checks every rank's output
+/// against the local reference transform of the same global data.
+void check_forward(const DistCase& cse, const std::array<int, 3>& n,
+                   int batch = 1, int shrink_to = 0) {
+  const idx_t N = static_cast<idx_t>(n[0]) * n[1] * n[2];
+  Rng rng(1234);
+  std::vector<cplx> global = rng.complex_vector(static_cast<std::size_t>(N * batch));
+  // Reference: local 3-D FFT per batch element.
+  std::vector<cplx> ref = global;
+  for (int b = 0; b < batch; ++b)
+    dft::fft3d_local(ref.data() + static_cast<idx_t>(b) * N, n,
+                     dft::Direction::Forward);
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = cse.nranks;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    const auto in_boxes = brick_layout(n, c.size());
+    const auto out_boxes = brick_layout(n, c.size());
+    const Box3& inbox = in_boxes[static_cast<std::size_t>(c.rank())];
+    const Box3& outbox = out_boxes[static_cast<std::size_t>(c.rank())];
+
+    PlanOptions opt;
+    opt.decomp = cse.decomp;
+    opt.backend = cse.backend;
+    opt.contiguous_fft = cse.contiguous_fft;
+    opt.batch = batch;
+    opt.shrink_to = shrink_to;
+    Plan3D plan(c, n, inbox, outbox, opt);
+
+    std::vector<cplx> local_in(static_cast<std::size_t>(plan.input_elements()));
+    const Box3 world = world_box(n);
+    for (int b = 0; b < batch; ++b)
+      pack_box(global.data() + static_cast<idx_t>(b) * N, world, inbox,
+               local_in.data() + static_cast<idx_t>(b) * inbox.count());
+
+    std::vector<cplx> local_out(static_cast<std::size_t>(plan.output_elements()));
+    plan.execute(local_in.data(), local_out.data(), dft::Direction::Forward);
+
+    std::vector<cplx> want(local_out.size());
+    for (int b = 0; b < batch; ++b)
+      pack_box(ref.data() + static_cast<idx_t>(b) * N, world, outbox,
+               want.data() + static_cast<idx_t>(b) * outbox.count());
+    double err = 0;
+    for (std::size_t i = 0; i < want.size(); ++i)
+      err = std::max(err, std::abs(local_out[i] - want[i]));
+    EXPECT_LT(err, 1e-9 * static_cast<double>(N)) << "rank " << c.rank();
+    // Virtual time moved (communication + FFT happened).
+    EXPECT_GT(c.vtime(), 0.0);
+  });
+}
+
+class DistFft : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistFft, ForwardMatchesLocalReference) {
+  check_forward(GetParam(), {12, 8, 10});
+}
+
+TEST_P(DistFft, NonCubicGrid) { check_forward(GetParam(), {5, 16, 6}); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DistFft,
+    ::testing::Values(
+        DistCase{1, Decomposition::Pencil, Backend::Alltoallv, false, "serial"},
+        DistCase{4, Decomposition::Pencil, Backend::Alltoallv, false,
+                 "pencil_a2av_strided"},
+        DistCase{4, Decomposition::Pencil, Backend::Alltoallv, true,
+                 "pencil_a2av_contig"},
+        DistCase{4, Decomposition::Pencil, Backend::Alltoall, false,
+                 "pencil_a2a"},
+        DistCase{4, Decomposition::Pencil, Backend::Alltoallw, false,
+                 "pencil_a2aw"},
+        DistCase{4, Decomposition::Pencil, Backend::P2PBlocking, false,
+                 "pencil_p2p_blocking"},
+        DistCase{4, Decomposition::Pencil, Backend::P2PNonBlocking, false,
+                 "pencil_p2p_nonblocking"},
+        DistCase{5, Decomposition::Slab, Backend::Alltoallv, false,
+                 "slab_a2av"},
+        DistCase{5, Decomposition::Slab, Backend::P2PNonBlocking, true,
+                 "slab_p2p_contig"},
+        DistCase{4, Decomposition::Brick, Backend::Alltoallv, false,
+                 "brick_a2av"},
+        DistCase{6, Decomposition::Brick, Backend::P2PNonBlocking, false,
+                 "brick_p2p"},
+        DistCase{6, Decomposition::Auto, Backend::Alltoallv, false,
+                 "auto_a2av"},
+        DistCase{8, Decomposition::Pencil, Backend::Alltoallw, true,
+                 "pencil_a2aw_contig"},
+        DistCase{12, Decomposition::Pencil, Backend::Alltoallv, false,
+                 "pencil_12ranks"}),
+    [](const ::testing::TestParamInfo<DistCase>& pinfo) {
+      return pinfo.param.label;
+    });
+
+TEST(DistFftFeatures, RoundTripWithScaling) {
+  const std::array<int, 3> n = {8, 8, 8};
+  const idx_t N = 512;
+  Rng rng(7);
+  std::vector<cplx> global = rng.complex_vector(static_cast<std::size_t>(N));
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = 6;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    const auto boxes = brick_layout(n, c.size());
+    const Box3& box = boxes[static_cast<std::size_t>(c.rank())];
+    PlanOptions opt;
+    opt.decomp = Decomposition::Pencil;
+    opt.scaling = Scaling::Full;
+    Plan3D plan(c, n, box, box, opt);
+
+    std::vector<cplx> mine(static_cast<std::size_t>(box.count()));
+    pack_box(global.data(), world_box(n), box, mine.data());
+    std::vector<cplx> freq(mine.size()), back(mine.size());
+    plan.execute(mine.data(), freq.data(), dft::Direction::Forward);
+    plan.execute(freq.data(), back.data(), dft::Direction::Backward);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      EXPECT_NEAR(std::abs(back[i] - mine[i]), 0.0, 1e-10);
+  });
+}
+
+TEST(DistFftFeatures, BatchedTransform) {
+  check_forward({6, Decomposition::Pencil, Backend::Alltoallv, false,
+                 "batched"},
+                {6, 8, 4}, /*batch=*/3);
+}
+
+TEST(DistFftFeatures, BatchedDatatypeBackend) {
+  check_forward({4, Decomposition::Pencil, Backend::Alltoallw, false,
+                 "batched_w"},
+                {6, 4, 4}, /*batch=*/2);
+}
+
+TEST(DistFftFeatures, GridShrinking) {
+  // 8 ranks hold the data; only 4 compute the FFT.
+  check_forward({8, Decomposition::Pencil, Backend::Alltoallv, false,
+                 "shrink"},
+                {8, 8, 8}, /*batch=*/1, /*shrink_to=*/4);
+}
+
+TEST(DistFftFeatures, GridShrinkingToSingleRank) {
+  check_forward({6, Decomposition::Pencil, Backend::Alltoallv, false,
+                 "shrink1"},
+                {6, 6, 6}, 1, 1);
+}
+
+TEST(DistFftFeatures, InPlaceExecution) {
+  const std::array<int, 3> n = {8, 6, 4};
+  const idx_t N = 8 * 6 * 4;
+  Rng rng(3);
+  std::vector<cplx> global = rng.complex_vector(static_cast<std::size_t>(N));
+  std::vector<cplx> ref = global;
+  dft::fft3d_local(ref.data(), n, dft::Direction::Forward);
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = 4;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    // Same pencil layout in and out so counts match for in-place use.
+    const auto boxes = grid_boxes(n, pencil_grid(c.size(), 0), c.size());
+    const Box3& box = boxes[static_cast<std::size_t>(c.rank())];
+    PlanOptions opt;
+    opt.decomp = Decomposition::Pencil;
+    Plan3D plan(c, n, box, box, opt);
+    std::vector<cplx> data(static_cast<std::size_t>(box.count()));
+    pack_box(global.data(), world_box(n), box, data.data());
+    plan.execute(data.data(), data.data(), dft::Direction::Forward);
+    std::vector<cplx> want(data.size());
+    pack_box(ref.data(), world_box(n), box, want.data());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_NEAR(std::abs(data[i] - want[i]), 0.0, 1e-8);
+  });
+}
+
+TEST(DistFftFeatures, PencilInputToBrickOutput) {
+  // Asymmetric in/out layouts (input already pencil-shaped: the case where
+  // the paper notes MPI_Alltoall padding is harmless).
+  const std::array<int, 3> n = {8, 12, 4};
+  const idx_t N = 8 * 12 * 4;
+  Rng rng(5);
+  std::vector<cplx> global = rng.complex_vector(static_cast<std::size_t>(N));
+  std::vector<cplx> ref = global;
+  dft::fft3d_local(ref.data(), n, dft::Direction::Forward);
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = 6;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    const auto in_boxes = grid_boxes(n, pencil_grid(c.size(), 2), c.size());
+    const auto out_boxes = brick_layout(n, c.size());
+    const Box3& inbox = in_boxes[static_cast<std::size_t>(c.rank())];
+    const Box3& outbox = out_boxes[static_cast<std::size_t>(c.rank())];
+    PlanOptions opt;
+    opt.decomp = Decomposition::Pencil;
+    opt.backend = Backend::Alltoall;
+    Plan3D plan(c, n, inbox, outbox, opt);
+    std::vector<cplx> in(static_cast<std::size_t>(inbox.count()));
+    std::vector<cplx> out(static_cast<std::size_t>(outbox.count()));
+    pack_box(global.data(), world_box(n), inbox, in.data());
+    plan.execute(in.data(), out.data(), dft::Direction::Forward);
+    std::vector<cplx> want(out.size());
+    pack_box(ref.data(), world_box(n), outbox, want.data());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_NEAR(std::abs(out[i] - want[i]), 0.0, 1e-8);
+  });
+}
+
+TEST(DistFftFeatures, TraceRecordsAllKernelCategories) {
+  const std::array<int, 3> n = {8, 8, 8};
+  smpi::RuntimeOptions ro;
+  ro.nranks = 4;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    // A slab-shaped in/out grid that coincides with none of the pencil
+    // grids, so all four reshapes (in + 2 internal + out) materialize.
+    const auto boxes = grid_boxes(n, ProcGrid{{4, 1, 1}}, c.size());
+    const Box3& box = boxes[static_cast<std::size_t>(c.rank())];
+    PlanOptions opt;
+    opt.decomp = Decomposition::Pencil;
+    Plan3D plan(c, n, box, box, opt);
+    const double t0 = c.vtime();  // after plan-creation collectives
+    std::vector<cplx> data(static_cast<std::size_t>(box.count()), cplx{1, 0});
+    plan.execute(data.data(), data.data(), dft::Direction::Forward);
+    const double elapsed = c.vtime() - t0;
+    const auto& k = plan.trace().kernels();
+    EXPECT_GT(k.fft, 0);
+    EXPECT_GT(k.pack, 0);
+    EXPECT_GT(k.unpack, 0);
+    EXPECT_GT(k.comm, 0);
+    // Pencil from brick in/out: 4 reshape calls (in + 2 + out).
+    EXPECT_EQ(plan.trace().comm_calls().size(), 4u);
+    EXPECT_EQ(plan.stage_plan().reshape_count(), 4);
+    // 3 FFT stages -> 3 fft calls.
+    EXPECT_EQ(plan.trace().fft_calls().size(), 3u);
+    // Elapsed virtual time equals the trace total (every cost flows
+    // through the trace).
+    EXPECT_NEAR(elapsed, k.total(), 1e-6 * k.total());
+  });
+}
+
+}  // namespace
+}  // namespace parfft::core

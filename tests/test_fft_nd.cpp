@@ -1,0 +1,151 @@
+// Batched / strided (ManyPlan) and local 2-D / 3-D transforms, validated
+// against the separable naive reference.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "fft/many.hpp"
+#include "fft/reference.hpp"
+
+namespace parfft::dft {
+namespace {
+
+double max_err(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(ManyPlan, DefaultDistancesFillIn) {
+  ManyPlan p(8, {.count = 3});
+  EXPECT_EQ(p.layout().idist, 8);
+  EXPECT_EQ(p.layout().odist, 8);
+  EXPECT_TRUE(p.layout().contiguous());
+}
+
+TEST(ManyPlan, RejectsBadBatch) {
+  EXPECT_THROW(ManyPlan(8, {.count = 0}), Error);
+  EXPECT_THROW(ManyPlan(8, BatchLayout{.count = 1, .istride = 0}), Error);
+}
+
+TEST(ManyPlan, ContiguousBatchMatchesPerLine) {
+  const int n = 32, batch = 5;
+  Rng rng(11);
+  auto x = rng.complex_vector(static_cast<std::size_t>(n * batch));
+  std::vector<cplx> got(x.size()), want(x.size());
+  ManyPlan mp(n, {.count = batch});
+  mp.execute(x.data(), got.data(), Direction::Forward);
+  Plan1D p(n);
+  for (int b = 0; b < batch; ++b)
+    p.execute(x.data() + b * n, want.data() + b * n, Direction::Forward);
+  EXPECT_LT(max_err(got, want), 1e-12);
+}
+
+TEST(ManyPlan, StridedInterleavedLines) {
+  // Lines interleaved like the middle axis of a brick: stride=count, dist=1.
+  const int n = 16, count = 4;
+  Rng rng(12);
+  auto x = rng.complex_vector(static_cast<std::size_t>(n * count));
+  auto inplace = x;
+  ManyPlan mp(n, {.count = count, .istride = count, .idist = 1,
+                  .ostride = count, .odist = 1});
+  mp.execute(inplace.data(), inplace.data(), Direction::Forward);
+
+  Plan1D p(n);
+  for (int l = 0; l < count; ++l) {
+    std::vector<cplx> line(static_cast<std::size_t>(n)), out(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) line[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>(j * count + l)];
+    p.execute(line.data(), out.data(), Direction::Forward);
+    for (int j = 0; j < n; ++j)
+      EXPECT_NEAR(std::abs(inplace[static_cast<std::size_t>(j * count + l)] - out[static_cast<std::size_t>(j)]),
+                  0.0, 1e-10);
+  }
+}
+
+struct Dims3 {
+  int n0, n1, n2;
+};
+
+class Fft3dDims : public ::testing::TestWithParam<Dims3> {};
+
+TEST_P(Fft3dDims, MatchesSeparableReference) {
+  const auto [n0, n1, n2] = GetParam();
+  const std::array<int, 3> dims = {n0, n1, n2};
+  Rng rng(100 + static_cast<std::uint64_t>(n0 * 31 + n1 * 7 + n2));
+  auto x = rng.complex_vector(static_cast<std::size_t>(n0) * n1 * n2);
+  auto data = x;
+  fft3d_local(data.data(), dims, Direction::Forward);
+  auto ref = reference_dft3d(x, dims, Direction::Forward);
+  EXPECT_LT(max_err(data, ref), 1e-8 * n0 * n1 * n2);
+}
+
+TEST_P(Fft3dDims, RoundTrip) {
+  const auto [n0, n1, n2] = GetParam();
+  const std::array<int, 3> dims = {n0, n1, n2};
+  Rng rng(200 + static_cast<std::uint64_t>(n0 + n1 + n2));
+  auto x = rng.complex_vector(static_cast<std::size_t>(n0) * n1 * n2);
+  auto data = x;
+  fft3d_local(data.data(), dims, Direction::Forward);
+  fft3d_local(data.data(), dims, Direction::Backward);
+  const double scale = static_cast<double>(n0) * n1 * n2;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(data[i] / scale - x[i]), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Fft3dDims,
+    ::testing::Values(Dims3{4, 4, 4}, Dims3{8, 4, 2}, Dims3{2, 8, 4},
+                      Dims3{5, 6, 7}, Dims3{16, 16, 16}, Dims3{3, 3, 3},
+                      Dims3{1, 8, 8}, Dims3{8, 1, 8}, Dims3{8, 8, 1},
+                      Dims3{12, 10, 9}));
+
+TEST(Fft3dAxis, SingleAxisOnlyTransformsThatAxis) {
+  const std::array<int, 3> dims = {4, 6, 8};
+  Rng rng(42);
+  auto x = rng.complex_vector(4 * 6 * 8);
+  auto data = x;
+  fft3d_axis(data.data(), dims, 2, Direction::Forward);
+  // Each fastest-axis line should equal its 1-D transform.
+  Plan1D p(8);
+  for (int l = 0; l < 4 * 6; ++l) {
+    std::vector<cplx> want(8);
+    p.execute(x.data() + l * 8, want.data(), Direction::Forward);
+    for (int j = 0; j < 8; ++j)
+      EXPECT_NEAR(std::abs(data[static_cast<std::size_t>(l * 8 + j)] - want[static_cast<std::size_t>(j)]),
+                  0.0, 1e-10);
+  }
+}
+
+TEST(Fft3dAxis, AxisOrderDoesNotMatter) {
+  const std::array<int, 3> dims = {6, 5, 4};
+  Rng rng(43);
+  auto x = rng.complex_vector(6 * 5 * 4);
+  auto a = x, b = x;
+  fft3d_axis(a.data(), dims, 0, Direction::Forward);
+  fft3d_axis(a.data(), dims, 1, Direction::Forward);
+  fft3d_axis(a.data(), dims, 2, Direction::Forward);
+  fft3d_axis(b.data(), dims, 2, Direction::Forward);
+  fft3d_axis(b.data(), dims, 0, Direction::Forward);
+  fft3d_axis(b.data(), dims, 1, Direction::Forward);
+  EXPECT_LT(max_err(a, b), 1e-9);
+}
+
+TEST(Fft3dAxis, RejectsBadAxis) {
+  std::vector<cplx> d(8);
+  EXPECT_THROW(fft3d_axis(d.data(), {2, 2, 2}, 3, Direction::Forward), Error);
+}
+
+TEST(Fft2d, MatchesReferenceViaDegenerate3d) {
+  const int n0 = 12, n1 = 16;
+  Rng rng(55);
+  auto x = rng.complex_vector(static_cast<std::size_t>(n0 * n1));
+  auto data = x;
+  fft2d_local(data.data(), n0, n1, Direction::Forward);
+  auto ref = reference_dft3d(x, {1, n0, n1}, Direction::Forward);
+  EXPECT_LT(max_err(data, ref), 1e-9);
+}
+
+}  // namespace
+}  // namespace parfft::dft

@@ -1,0 +1,128 @@
+// Property-based validation of the FFT engine: algebraic identities that
+// must hold for any transform length, checked over a parameterized sweep.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/random.hpp"
+#include "fft/plan1d.hpp"
+
+namespace parfft::dft {
+namespace {
+
+std::vector<cplx> fft(const std::vector<cplx>& x, Direction dir) {
+  Plan1D p(static_cast<int>(x.size()));
+  std::vector<cplx> y(x.size());
+  p.execute(x.data(), y.data(), dir);
+  return y;
+}
+
+class PropSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropSizes, Linearity) {
+  const int n = GetParam();
+  Rng rng(10 + static_cast<std::uint64_t>(n));
+  auto x = rng.complex_vector(static_cast<std::size_t>(n));
+  auto y = rng.complex_vector(static_cast<std::size_t>(n));
+  const cplx a{1.3, -0.4}, b{-2.0, 0.7};
+  std::vector<cplx> combo(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) combo[i] = a * x[i] + b * y[i];
+  auto fx = fft(x, Direction::Forward);
+  auto fy = fft(y, Direction::Forward);
+  auto fc = fft(combo, Direction::Forward);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(fc[i] - (a * fx[i] + b * fy[i])), 0.0, 1e-9 * n);
+}
+
+TEST_P(PropSizes, ParsevalEnergyConservation) {
+  const int n = GetParam();
+  Rng rng(20 + static_cast<std::uint64_t>(n));
+  auto x = rng.complex_vector(static_cast<std::size_t>(n));
+  auto fx = fft(x, Direction::Forward);
+  double ex = 0, ef = 0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : fx) ef += std::norm(v);
+  EXPECT_NEAR(ef / n, ex, 1e-9 * ex * n);
+}
+
+TEST_P(PropSizes, CircularShiftBecomesPhaseRamp) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Rng rng(30 + static_cast<std::uint64_t>(n));
+  auto x = rng.complex_vector(static_cast<std::size_t>(n));
+  const int s = 1 + n / 3;
+  std::vector<cplx> shifted(x.size());
+  for (int j = 0; j < n; ++j)
+    shifted[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>((j + s) % n)];
+  auto fx = fft(x, Direction::Forward);
+  auto fs = fft(shifted, Direction::Forward);
+  for (int k = 0; k < n; ++k) {
+    const double phase = 2.0 * std::numbers::pi * k * s / n;
+    const cplx ramp{std::cos(phase), std::sin(phase)};
+    EXPECT_NEAR(std::abs(fs[static_cast<std::size_t>(k)] -
+                         fx[static_cast<std::size_t>(k)] * ramp),
+                0.0, 1e-8 * n);
+  }
+}
+
+TEST_P(PropSizes, ConvolutionTheorem) {
+  const int n = GetParam();
+  Rng rng(40 + static_cast<std::uint64_t>(n));
+  auto x = rng.complex_vector(static_cast<std::size_t>(n));
+  auto h = rng.complex_vector(static_cast<std::size_t>(n));
+  // Direct circular convolution.
+  std::vector<cplx> conv(static_cast<std::size_t>(n), cplx{});
+  for (int j = 0; j < n; ++j)
+    for (int k = 0; k < n; ++k)
+      conv[static_cast<std::size_t>(j)] +=
+          x[static_cast<std::size_t>(k)] * h[static_cast<std::size_t>((j - k + n) % n)];
+  // Spectral product.
+  auto fx = fft(x, Direction::Forward);
+  auto fh = fft(h, Direction::Forward);
+  std::vector<cplx> prod(fx.size());
+  for (std::size_t i = 0; i < fx.size(); ++i) prod[i] = fx[i] * fh[i];
+  auto back = fft(prod, Direction::Backward);
+  for (int j = 0; j < n; ++j)
+    EXPECT_NEAR(std::abs(back[static_cast<std::size_t>(j)] / static_cast<double>(n) -
+                         conv[static_cast<std::size_t>(j)]),
+                0.0, 1e-7 * n);
+}
+
+TEST_P(PropSizes, ImpulseGivesFlatSpectrum) {
+  const int n = GetParam();
+  std::vector<cplx> x(static_cast<std::size_t>(n), cplx{});
+  x[0] = {1, 0};
+  auto fx = fft(x, Direction::Forward);
+  for (const auto& v : fx) EXPECT_NEAR(std::abs(v - cplx{1, 0}), 0.0, 1e-10);
+}
+
+TEST_P(PropSizes, ConstantGivesImpulse) {
+  const int n = GetParam();
+  std::vector<cplx> x(static_cast<std::size_t>(n), cplx{1, 0});
+  auto fx = fft(x, Direction::Forward);
+  EXPECT_NEAR(std::abs(fx[0] - cplx(static_cast<double>(n), 0)), 0.0, 1e-9 * n);
+  for (int k = 1; k < n; ++k)
+    EXPECT_NEAR(std::abs(fx[static_cast<std::size_t>(k)]), 0.0, 1e-9 * n);
+}
+
+TEST_P(PropSizes, ConjugationSymmetry) {
+  // FFT(conj(x))[k] == conj(FFT(x)[(n-k) % n])
+  const int n = GetParam();
+  Rng rng(50 + static_cast<std::uint64_t>(n));
+  auto x = rng.complex_vector(static_cast<std::size_t>(n));
+  std::vector<cplx> xc(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xc[i] = std::conj(x[i]);
+  auto fx = fft(x, Direction::Forward);
+  auto fxc = fft(xc, Direction::Forward);
+  for (int k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(fxc[static_cast<std::size_t>(k)] -
+                         std::conj(fx[static_cast<std::size_t>((n - k) % n)])),
+                0.0, 1e-9 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PropSizes,
+                         ::testing::Values(1, 2, 3, 4, 8, 12, 16, 27, 30, 64,
+                                           97, 128, 180, 256));
+
+}  // namespace
+}  // namespace parfft::dft

@@ -1,0 +1,129 @@
+// Real-to-complex / complex-to-real transforms: half-complex algorithm for
+// even sizes, fallback for odd sizes, and the local 3-D r2c used by the
+// PPPM substrate.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "fft/real.hpp"
+#include "fft/reference.hpp"
+
+namespace parfft::dft {
+namespace {
+
+class RealSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RealSizes, ForwardMatchesComplexReference) {
+  const int n = GetParam();
+  Rng rng(900 + static_cast<std::uint64_t>(n));
+  auto x = rng.real_vector(static_cast<std::size_t>(n));
+  std::vector<cplx> xc(x.begin(), x.end());
+  auto ref = reference_dft(xc, Direction::Forward);
+
+  RealPlan1D plan(n);
+  std::vector<cplx> spec(static_cast<std::size_t>(plan.spectrum_size()));
+  plan.r2c(x.data(), spec.data());
+  for (int k = 0; k < plan.spectrum_size(); ++k)
+    EXPECT_NEAR(std::abs(spec[static_cast<std::size_t>(k)] - ref[static_cast<std::size_t>(k)]),
+                0.0, 1e-9 * n)
+        << "n=" << n << " k=" << k;
+}
+
+TEST_P(RealSizes, RoundTripIsNTimesInput) {
+  const int n = GetParam();
+  Rng rng(1900 + static_cast<std::uint64_t>(n));
+  auto x = rng.real_vector(static_cast<std::size_t>(n));
+  RealPlan1D plan(n);
+  std::vector<cplx> spec(static_cast<std::size_t>(plan.spectrum_size()));
+  std::vector<double> back(static_cast<std::size_t>(n));
+  plan.r2c(x.data(), spec.data());
+  plan.c2r(spec.data(), back.data());
+  for (int j = 0; j < n; ++j)
+    EXPECT_NEAR(back[static_cast<std::size_t>(j)] / n, x[static_cast<std::size_t>(j)], 1e-10)
+        << "n=" << n;
+}
+
+TEST_P(RealSizes, SpectrumOfRealInputIsHermitianConsistent) {
+  // X[0] (and X[n/2] for even n) must be purely real.
+  const int n = GetParam();
+  Rng rng(2900 + static_cast<std::uint64_t>(n));
+  auto x = rng.real_vector(static_cast<std::size_t>(n));
+  RealPlan1D plan(n);
+  std::vector<cplx> spec(static_cast<std::size_t>(plan.spectrum_size()));
+  plan.r2c(x.data(), spec.data());
+  EXPECT_NEAR(spec[0].imag(), 0.0, 1e-10);
+  if (n % 2 == 0) {
+    EXPECT_NEAR(spec[static_cast<std::size_t>(n / 2)].imag(), 0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RealSizes,
+                         ::testing::Values(2, 4, 6, 8, 16, 32, 64, 128, 100,
+                                           3, 5, 9, 15, 27, 63));
+
+TEST(RealPlan, SpectrumSize) {
+  EXPECT_EQ(RealPlan1D(8).spectrum_size(), 5);
+  EXPECT_EQ(RealPlan1D(9).spectrum_size(), 5);
+}
+
+TEST(RealPlan, RejectsNonPositive) { EXPECT_THROW(RealPlan1D(0), Error); }
+
+TEST(Real3d, MatchesComplexTransformOfRealData) {
+  const std::array<int, 3> n = {4, 6, 8};
+  const int nc = n[2] / 2 + 1;
+  Rng rng(31);
+  auto x = rng.real_vector(static_cast<std::size_t>(4 * 6 * 8));
+  std::vector<cplx> xc(x.begin(), x.end());
+  auto ref = reference_dft3d(xc, n, Direction::Forward);
+
+  std::vector<cplx> spec(static_cast<std::size_t>(n[0] * n[1] * nc));
+  fft3d_r2c_local(x.data(), spec.data(), n);
+  for (int i0 = 0; i0 < n[0]; ++i0)
+    for (int i1 = 0; i1 < n[1]; ++i1)
+      for (int k = 0; k < nc; ++k) {
+        const auto got = spec[static_cast<std::size_t>((i0 * n[1] + i1) * nc + k)];
+        const auto want = ref[static_cast<std::size_t>((i0 * n[1] + i1) * n[2] + k)];
+        EXPECT_NEAR(std::abs(got - want), 0.0, 1e-8);
+      }
+}
+
+TEST(Real3d, RoundTrip) {
+  const std::array<int, 3> n = {6, 4, 10};
+  const int nc = n[2] / 2 + 1;
+  Rng rng(32);
+  auto x = rng.real_vector(static_cast<std::size_t>(6 * 4 * 10));
+  std::vector<cplx> spec(static_cast<std::size_t>(n[0] * n[1] * nc));
+  std::vector<double> back(x.size());
+  fft3d_r2c_local(x.data(), spec.data(), n);
+  fft3d_c2r_local(spec.data(), back.data(), n);
+  const double scale = 6.0 * 4.0 * 10.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(back[i] / scale, x[i], 1e-9);
+}
+
+TEST(Real3d, ParsevalHolds) {
+  // sum |x|^2 == (1/N) sum over FULL spectrum |X|^2; reconstruct the full
+  // spectrum energy from the half spectrum using Hermitian symmetry.
+  const std::array<int, 3> n = {4, 4, 8};
+  const int nc = n[2] / 2 + 1;
+  Rng rng(33);
+  auto x = rng.real_vector(static_cast<std::size_t>(4 * 4 * 8));
+  std::vector<cplx> spec(static_cast<std::size_t>(n[0] * n[1] * nc));
+  fft3d_r2c_local(x.data(), spec.data(), n);
+
+  double ex = 0;
+  for (double v : x) ex += v * v;
+  double es = 0;
+  for (int i0 = 0; i0 < n[0]; ++i0)
+    for (int i1 = 0; i1 < n[1]; ++i1)
+      for (int k = 0; k < nc; ++k) {
+        const double p = std::norm(spec[static_cast<std::size_t>((i0 * n[1] + i1) * nc + k)]);
+        const bool self_conjugate = (k == 0 || k == n[2] / 2);
+        es += self_conjugate ? p : 2 * p;
+      }
+  const double N = 4.0 * 4.0 * 8.0;
+  EXPECT_NEAR(es / N, ex, 1e-8 * ex);
+}
+
+}  // namespace
+}  // namespace parfft::dft

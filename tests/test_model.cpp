@@ -1,0 +1,139 @@
+// The paper's bandwidth model (Section III): equations (2)-(5), the
+// slab/pencil decision the paper derives for Summit (slabs below 64 nodes
+// for 512^3), the power-law regression of [33], and the lower bound of
+// [37].
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "model/bandwidth.hpp"
+
+namespace parfft::model {
+namespace {
+
+constexpr double kSummitBw = 23.5e9;  // Section IV-A
+constexpr double kSummitLat = 1e-6;
+constexpr double kN512 = 512.0 * 512.0 * 512.0;
+
+TEST(Equations, SlabsMatchesHandComputation) {
+  // T = (P-1) * (L + 16N / (B P^2)) with P = 4, N = 8^3.
+  const double t = t_slabs(512, 4, 1e9, 1e-6);
+  EXPECT_NEAR(t, 3.0 * (1e-6 + 16.0 * 512 / (1e9 * 16.0)), 1e-15);
+}
+
+TEST(Equations, PencilsMatchesHandComputation) {
+  const double t = t_pencils(512, 2, 3, 1e9, 1e-6);
+  const double tp = 1.0 * (1e-6 + 16.0 * 512 / (1e9 * 2 * 6));
+  const double tq = 2.0 * (1e-6 + 16.0 * 512 / (1e9 * 3 * 6));
+  EXPECT_NEAR(t, tp + tq, 1e-15);
+}
+
+TEST(Equations, BandwidthInversionRoundTripSlabs) {
+  // Eq. (4) must invert eq. (2) exactly.
+  for (int p : {2, 6, 24, 384}) {
+    const double t = t_slabs(kN512, p, kSummitBw, kSummitLat);
+    EXPECT_NEAR(b_slabs(kN512, p, t, kSummitLat), kSummitBw,
+                1e-6 * kSummitBw)
+        << p;
+  }
+}
+
+TEST(Equations, BandwidthInversionRoundTripPencils) {
+  // Eq. (5) must invert eq. (3) exactly.
+  for (auto [p, q] : {std::pair{2, 3}, {4, 6}, {16, 24}, {24, 32}}) {
+    const double t = t_pencils(kN512, p, q, kSummitBw, kSummitLat);
+    EXPECT_NEAR(b_pencils(kN512, p, q, t, kSummitLat), kSummitBw,
+                1e-6 * kSummitBw)
+        << p << "x" << q;
+  }
+}
+
+TEST(Equations, LowerMeasuredTimeMeansHigherBandwidth) {
+  const double t = t_slabs(kN512, 24, kSummitBw, kSummitLat);
+  EXPECT_GT(b_slabs(kN512, 24, 0.5 * t, kSummitLat), kSummitBw);
+}
+
+TEST(Equations, RejectSubLatencyTimes) {
+  EXPECT_THROW(b_slabs(kN512, 24, 1e-9, kSummitLat), Error);
+}
+
+TEST(Choice, PaperCrossoverAt64Nodes) {
+  // Section IV-A: with B = 23.5 GB/s and L = 1 us, slabs should win below
+  // 64 nodes (384 GPUs) for 512^3 and pencils from 64 nodes on.
+  const std::array<int, 3> n = {512, 512, 512};
+  for (int gpus : {6, 12, 24, 48, 96, 192}) {
+    EXPECT_EQ(choose_decomposition(n, gpus, kSummitBw, kSummitLat),
+              Choice::Slab)
+        << gpus;
+  }
+  for (int gpus : {384, 768}) {
+    EXPECT_EQ(choose_decomposition(n, gpus, kSummitBw, kSummitLat),
+              Choice::Pencil)
+        << gpus;
+  }
+}
+
+TEST(Choice, SlabsInfeasibleBeyondAxisLength) {
+  // 768 > 512: a slab decomposition cannot even be formed.
+  EXPECT_EQ(choose_decomposition({512, 512, 512}, 768, kSummitBw, kSummitLat),
+            Choice::Pencil);
+  EXPECT_EQ(choose_decomposition({512, 512, 512}, 1, kSummitBw, kSummitLat),
+            Choice::Slab);
+}
+
+TEST(Choice, HighLatencyFavorsPencils) {
+  // Slabs send Pi-1 messages per process; pencils only P+Q-2. On a
+  // high-latency network the crossover moves towards pencils.
+  EXPECT_EQ(choose_decomposition({512, 512, 512}, 96, kSummitBw, 1e-3),
+            Choice::Pencil);
+  EXPECT_EQ(choose_decomposition({512, 512, 512}, 96, kSummitBw, kSummitLat),
+            Choice::Slab);
+}
+
+TEST(PhaseDiagram, ShapeAndMonotonicity) {
+  const auto cells = phase_diagram({64, 128, 256, 512, 1024},
+                                   {6, 24, 96, 384}, kSummitBw, kSummitLat);
+  EXPECT_EQ(cells.size(), 20u);
+  // Larger transforms keep slabs attractive to higher process counts:
+  // once pencils win for some cube at a process count, they also win for
+  // any smaller cube at that count.
+  for (int p : {6, 24, 96, 384}) {
+    bool pencil_seen = false;
+    for (int c : {1024, 512, 256, 128, 64}) {
+      for (const auto& cell : cells)
+        if (cell.cube == c && cell.nprocs == p) {
+          if (cell.best == Choice::Pencil) pencil_seen = true;
+          if (pencil_seen) {
+            EXPECT_EQ(cell.best, Choice::Pencil);
+          }
+        }
+    }
+  }
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  std::vector<std::pair<double, double>> samples;
+  for (double n : {1.0, 2.0, 4.0, 8.0, 16.0})
+    samples.push_back({n, 3.0 * std::pow(n, -0.8)});
+  const PowerFit fit = fit_power_law(samples);
+  EXPECT_NEAR(fit.c, 3.0, 1e-9);
+  EXPECT_NEAR(fit.gamma, 0.8, 1e-9);
+  EXPECT_NEAR(fit.predict(32.0), 3.0 * std::pow(32.0, -0.8), 1e-9);
+}
+
+TEST(PowerFit, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_power_law({{1.0, 2.0}}), Error);
+  EXPECT_THROW(fit_power_law({{1.0, 2.0}, {1.0, 3.0}}), Error);
+}
+
+TEST(LowerBound, ScalesAsPToFiveSixths) {
+  const double b1 = comm_lower_bound(kN512, 64, kSummitBw);
+  const double b2 = comm_lower_bound(kN512, 128, kSummitBw);
+  EXPECT_NEAR(b1 / b2, std::pow(2.0, 5.0 / 6.0), 1e-12);
+  // Monotone in problem size, positive.
+  EXPECT_GT(comm_lower_bound(2 * kN512, 64, kSummitBw),
+            comm_lower_bound(kN512, 64, kSummitBw));
+  EXPECT_GT(comm_lower_bound(kN512, 64, kSummitBw), 0);
+}
+
+}  // namespace
+}  // namespace parfft::model

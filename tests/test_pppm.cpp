@@ -1,0 +1,251 @@
+// PPPM / KSPACE application substrate: the distributed mesh solver must
+// reproduce the direct Ewald reciprocal sum exactly for node-placed
+// charges, obey force symmetries, and conserve basic invariants.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pppm/proxy.hpp"
+#include "pppm/solver.hpp"
+
+namespace parfft::pppm {
+namespace {
+
+/// Places particles exactly on mesh nodes so NGP deposition is exact.
+std::vector<Particle> node_particles(const std::array<int, 3>& grid,
+                                     double box_len) {
+  const double h = box_len / grid[0];
+  return {
+      {{2 * h, 3 * h, 1 * h}, +1.0},
+      {{5 * h, 1 * h, 4 * h}, -1.0},
+      {{0 * h, 6 * h, 2 * h}, +0.5},
+      {{7 * h, 7 * h, 7 * h}, -0.5},
+  };
+}
+
+struct DistResult {
+  double energy = 0;
+  std::vector<std::array<double, 3>> forces;  // global particle order
+  double kspace_time = 0;
+};
+
+DistResult run_distributed(int nranks, const std::array<int, 3>& grid,
+                           double box_len, double alpha,
+                           const std::vector<Particle>& all,
+                           bool real_transform = false) {
+  DistResult out;
+  out.forces.resize(all.size());
+  smpi::RuntimeOptions ro;
+  ro.nranks = nranks;
+  smpi::Runtime rt(ro);
+  std::mutex mu;
+  rt.run([&](smpi::Comm& c) {
+    SolverOptions opt;
+    opt.grid = grid;
+    opt.box_len = box_len;
+    opt.alpha = alpha;
+    opt.real_transform = real_transform;
+    KspaceSolver solver(c, opt);
+    std::vector<Particle> mine;
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < all.size(); ++i)
+      if (solver.owns(all[i])) {
+        mine.push_back(all[i]);
+        idx.push_back(i);
+      }
+    std::vector<std::array<double, 3>> f;
+    const StepResult res = solver.step(mine, &f);
+    std::lock_guard lk(mu);
+    out.energy = res.energy;
+    out.kspace_time = std::max(out.kspace_time, res.kspace_time);
+    for (std::size_t i = 0; i < idx.size(); ++i) out.forces[idx[i]] = f[i];
+  });
+  return out;
+}
+
+TEST(Ewald, WavenumbersWrapSymmetrically) {
+  const double L = 2.0;
+  EXPECT_DOUBLE_EQ(mesh_wavenumber(0, 8, L), 0.0);
+  EXPECT_GT(mesh_wavenumber(1, 8, L), 0.0);
+  EXPECT_LT(mesh_wavenumber(7, 8, L), 0.0);  // wraps to -1
+  EXPECT_DOUBLE_EQ(mesh_wavenumber(7, 8, L), -mesh_wavenumber(1, 8, L));
+}
+
+TEST(Ewald, GreensFunctionDecays) {
+  EXPECT_DOUBLE_EQ(greens_function(0.0, 1.0), 0.0);
+  EXPECT_GT(greens_function(1.0, 1.0), greens_function(4.0, 1.0));
+}
+
+TEST(Ewald, ReferenceEnergyOfOppositePairIsNegative) {
+  // A tight +/- pair has negative reciprocal interaction energy relative
+  // to the two isolated self terms; the total including self energy is
+  // dominated by the positive self term, so compare against it.
+  const std::array<int, 3> n = {16, 16, 16};
+  const double L = 1.0, alpha = 8.0;
+  std::vector<Particle> pair = {{{0.50, 0.5, 0.5}, 1.0},
+                                {{0.56, 0.5, 0.5}, -1.0}};
+  std::vector<Particle> lone_plus = {{{0.50, 0.5, 0.5}, 1.0}};
+  std::vector<Particle> lone_minus = {{{0.56, 0.5, 0.5}, -1.0}};
+  const double e_pair = reference_energy(pair, n, L, alpha);
+  const double e_self = reference_energy(lone_plus, n, L, alpha) +
+                        reference_energy(lone_minus, n, L, alpha);
+  EXPECT_LT(e_pair, e_self);  // attraction
+}
+
+TEST(Ewald, ReferenceForcesObeyNewtonsThirdLaw) {
+  const std::array<int, 3> n = {12, 12, 12};
+  std::vector<Particle> pair = {{{0.3, 0.5, 0.5}, 1.0},
+                                {{0.45, 0.5, 0.5}, -1.0}};
+  const auto f = reference_forces(pair, n, 1.0, 8.0);
+  for (int d = 0; d < 3; ++d)
+    EXPECT_NEAR(f[0][static_cast<std::size_t>(d)] +
+                    f[1][static_cast<std::size_t>(d)],
+                0.0, 1e-10);
+  // Attraction along +x for the positive charge.
+  EXPECT_GT(f[0][0], 0.0);
+  EXPECT_LT(f[1][0], 0.0);
+}
+
+TEST(Solver, EnergyMatchesReferenceForNodeCharges) {
+  const std::array<int, 3> grid = {8, 8, 8};
+  const double L = 1.0, alpha = 10.0;
+  const auto parts = node_particles(grid, L);
+  const double want = reference_energy(parts, grid, L, alpha);
+  for (int nranks : {1, 4, 6}) {
+    const auto got = run_distributed(nranks, grid, L, alpha, parts);
+    EXPECT_NEAR(got.energy, want, 1e-9 * std::abs(want) + 1e-12)
+        << nranks << " ranks";
+  }
+}
+
+TEST(Solver, ForcesMatchReferenceForNodeCharges) {
+  const std::array<int, 3> grid = {8, 8, 8};
+  const double L = 1.0, alpha = 10.0;
+  const auto parts = node_particles(grid, L);
+  const auto want = reference_forces(parts, grid, L, alpha);
+  const auto got = run_distributed(4, grid, L, alpha, parts);
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(got.forces[i][static_cast<std::size_t>(d)],
+                  want[i][static_cast<std::size_t>(d)], 1e-8)
+          << "particle " << i << " dim " << d;
+}
+
+TEST(Solver, NetForceIsZero) {
+  const std::array<int, 3> grid = {8, 8, 8};
+  const auto parts = node_particles(grid, 1.0);
+  const auto got = run_distributed(6, grid, 1.0, 10.0, parts);
+  for (int d = 0; d < 3; ++d) {
+    double net = 0;
+    for (const auto& f : got.forces) net += f[static_cast<std::size_t>(d)];
+    EXPECT_NEAR(net, 0.0, 1e-9);
+  }
+}
+
+TEST(Solver, EnergyInvariantUnderRankCount) {
+  const std::array<int, 3> grid = {8, 8, 8};
+  auto parts = make_molecular_system(32, 1.0, 42);
+  const auto a = run_distributed(1, grid, 1.0, 8.0, parts);
+  const auto b = run_distributed(6, grid, 1.0, 8.0, parts);
+  EXPECT_NEAR(a.energy, b.energy, 1e-9 * std::abs(a.energy));
+}
+
+TEST(Solver, KspaceTimeIsPositiveAndIncludesComm) {
+  const std::array<int, 3> grid = {8, 8, 8};
+  const auto parts = node_particles(grid, 1.0);
+  const auto got = run_distributed(6, grid, 1.0, 10.0, parts);
+  EXPECT_GT(got.kspace_time, 0.0);
+}
+
+TEST(Solver, RejectsNonCubicMesh) {
+  smpi::RuntimeOptions ro;
+  ro.nranks = 2;
+  smpi::Runtime rt(ro);
+  EXPECT_THROW(rt.run([](smpi::Comm& c) {
+                 SolverOptions opt;
+                 opt.grid = {8, 8, 4};
+                 KspaceSolver solver(c, opt);
+               }),
+               Error);
+}
+
+TEST(SolverRealPath, EnergyMatchesReferenceForNodeCharges) {
+  // The r2c path (1 r2c + 3 c2r per step, as in LAMMPS) must give the
+  // same physics as the complex path.
+  const std::array<int, 3> grid = {8, 8, 8};
+  const double L = 1.0, alpha = 10.0;
+  const auto parts = node_particles(grid, L);
+  const double want = reference_energy(parts, grid, L, alpha);
+  for (int nranks : {1, 4, 6}) {
+    const auto got =
+        run_distributed(nranks, grid, L, alpha, parts, /*real=*/true);
+    EXPECT_NEAR(got.energy, want, 1e-9 * std::abs(want) + 1e-12)
+        << nranks << " ranks";
+  }
+}
+
+TEST(SolverRealPath, ForcesMatchComplexPath) {
+  const std::array<int, 3> grid = {8, 8, 8};
+  const double L = 1.0, alpha = 10.0;
+  const auto parts = node_particles(grid, L);
+  const auto complex_path = run_distributed(4, grid, L, alpha, parts, false);
+  const auto real_path = run_distributed(4, grid, L, alpha, parts, true);
+  EXPECT_NEAR(real_path.energy, complex_path.energy,
+              1e-10 * std::abs(complex_path.energy));
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(real_path.forces[i][static_cast<std::size_t>(d)],
+                  complex_path.forces[i][static_cast<std::size_t>(d)], 1e-9);
+}
+
+TEST(SolverRealPath, MovesLessDataThanComplexPath) {
+  // The half-spectrum pipeline ships roughly half the bytes; its KSPACE
+  // virtual time must come out lower on a multi-node mesh.
+  const std::array<int, 3> grid = {16, 16, 16};
+  const auto parts = node_particles(grid, 1.0);
+  const auto complex_path =
+      run_distributed(12, grid, 1.0, 10.0, parts, false);
+  const auto real_path = run_distributed(12, grid, 1.0, 10.0, parts, true);
+  EXPECT_LT(real_path.kspace_time, complex_path.kspace_time);
+}
+
+TEST(Proxy, MolecularSystemIsNeutralAndInBox) {
+  const auto atoms = make_molecular_system(1000, 2.5, 7);
+  ASSERT_EQ(atoms.size(), 1000u);
+  double q = 0;
+  for (const auto& a : atoms) {
+    q += a.q;
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(a.r[static_cast<std::size_t>(d)], 0.0);
+      EXPECT_LT(a.r[static_cast<std::size_t>(d)], 2.5);
+    }
+  }
+  EXPECT_DOUBLE_EQ(q, 0.0);
+}
+
+TEST(Proxy, MolecularSystemDeterministic) {
+  const auto a = make_molecular_system(100, 1.0, 3);
+  const auto b = make_molecular_system(100, 1.0, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].r, b[i].r);
+    EXPECT_EQ(a[i].q, b[i].q);
+  }
+}
+
+TEST(Proxy, RejectsOddAtomCount) {
+  EXPECT_THROW(make_molecular_system(7, 1.0, 1), Error);
+}
+
+TEST(Proxy, MdCostsScaleWithWork) {
+  const auto dev = gpu::v100();
+  const auto m = net::summit();
+  const auto small = md_step_costs(100, 100, dev, m);
+  const auto big = md_step_costs(10000, 100, dev, m);
+  EXPECT_GT(big.pair, small.pair);
+  EXPECT_GT(big.neigh, small.neigh);
+  EXPECT_GT(big.comm, small.comm);
+  EXPECT_GT(small.pair, 0);
+  EXPECT_GT(small.other, 0);
+}
+
+}  // namespace
+}  // namespace parfft::pppm

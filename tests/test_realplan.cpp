@@ -1,0 +1,210 @@
+// Distributed real-to-complex transforms: agreement with the local real
+// engine and the complex distributed transform, Hermitian structure, round
+// trips with scaling, and 2-D transform support in the stage builder.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "core/pack.hpp"
+#include "core/real_plan.hpp"
+#include "core/simulate.hpp"
+#include "fft/many.hpp"
+#include "fft/real.hpp"
+#include "fft/reference.hpp"
+
+namespace parfft::core {
+namespace {
+
+struct RealCase {
+  std::array<int, 3> n;
+  int nranks;
+};
+
+class RealDist : public ::testing::TestWithParam<RealCase> {};
+
+TEST_P(RealDist, ForwardMatchesLocalR2C) {
+  const auto [n, nranks] = GetParam();
+  const auto nc = RealPlan3D::spectrum_dims(n);
+  const idx_t N = static_cast<idx_t>(n[0]) * n[1] * n[2];
+  const idx_t NC = static_cast<idx_t>(nc[0]) * nc[1] * nc[2];
+  Rng rng(99);
+  const auto global = rng.real_vector(static_cast<std::size_t>(N));
+  std::vector<cplx> want(static_cast<std::size_t>(NC));
+  dft::fft3d_r2c_local(global.data(), want.data(), n);
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = nranks;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    const auto in_all = brick_layout(n, c.size());
+    const auto out_all = brick_layout(nc, c.size());
+    const Box3& inbox = in_all[static_cast<std::size_t>(c.rank())];
+    const Box3& outbox = out_all[static_cast<std::size_t>(c.rank())];
+    PlanOptions opt;
+    RealPlan3D plan(c, n, inbox, outbox, opt);
+
+    std::vector<double> mine(static_cast<std::size_t>(inbox.count()));
+    pack_box_t(global.data(), world_box(n), inbox, mine.data());
+    std::vector<cplx> spec(static_cast<std::size_t>(outbox.count()));
+    plan.forward(mine.data(), spec.data());
+
+    std::vector<cplx> expect(spec.size());
+    pack_box(want.data(), world_box(nc), outbox, expect.data());
+    for (std::size_t i = 0; i < spec.size(); ++i)
+      EXPECT_NEAR(std::abs(spec[i] - expect[i]), 0.0, 1e-8)
+          << "rank " << c.rank() << " i " << i;
+  });
+}
+
+TEST_P(RealDist, RoundTripWithScaling) {
+  const auto [n, nranks] = GetParam();
+  const auto nc = RealPlan3D::spectrum_dims(n);
+  const idx_t N = static_cast<idx_t>(n[0]) * n[1] * n[2];
+  Rng rng(123);
+  const auto global = rng.real_vector(static_cast<std::size_t>(N));
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = nranks;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    const auto in_all = brick_layout(n, c.size());
+    const auto out_all = brick_layout(nc, c.size());
+    const Box3& inbox = in_all[static_cast<std::size_t>(c.rank())];
+    const Box3& outbox = out_all[static_cast<std::size_t>(c.rank())];
+    PlanOptions opt;
+    opt.scaling = Scaling::Full;
+    RealPlan3D plan(c, n, inbox, outbox, opt);
+
+    std::vector<double> mine(static_cast<std::size_t>(inbox.count()));
+    pack_box_t(global.data(), world_box(n), inbox, mine.data());
+    std::vector<cplx> spec(static_cast<std::size_t>(outbox.count()));
+    std::vector<double> back(mine.size(), -1);
+    plan.forward(mine.data(), spec.data());
+    plan.backward(spec.data(), back.data());
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      EXPECT_NEAR(back[i], mine[i], 1e-10);
+    // Timing flowed through the trace.
+    EXPECT_GT(plan.kernels().total(), 0);
+    EXPECT_GT(plan.kernels().comm, 0);
+    EXPECT_GT(plan.kernels().fft, 0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RealDist,
+    ::testing::Values(RealCase{{8, 8, 8}, 4}, RealCase{{12, 8, 10}, 6},
+                      RealCase{{8, 12, 7}, 4},  // odd fast axis
+                      RealCase{{16, 16, 16}, 1}));
+
+TEST(RealDist, DcModeIsMeanTimesN) {
+  const std::array<int, 3> n = {8, 8, 8};
+  const auto nc = RealPlan3D::spectrum_dims(n);
+  smpi::RuntimeOptions ro;
+  ro.nranks = 4;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    const auto in_all = brick_layout(n, c.size());
+    const auto out_all = brick_layout(nc, c.size());
+    const Box3& inbox = in_all[static_cast<std::size_t>(c.rank())];
+    const Box3& outbox = out_all[static_cast<std::size_t>(c.rank())];
+    RealPlan3D plan(c, n, inbox, outbox, PlanOptions{});
+    std::vector<double> mine(static_cast<std::size_t>(inbox.count()), 2.5);
+    std::vector<cplx> spec(static_cast<std::size_t>(outbox.count()));
+    plan.forward(mine.data(), spec.data());
+    if (outbox.contains({0, 0, 0})) {
+      const auto off = static_cast<std::size_t>(outbox.offset_of({0, 0, 0}));
+      EXPECT_NEAR(spec[off].real(), 2.5 * 512, 1e-8);
+      EXPECT_NEAR(spec[off].imag(), 0.0, 1e-9);
+    }
+  });
+}
+
+TEST(RealDist, RejectsBatched) {
+  smpi::RuntimeOptions ro;
+  ro.nranks = 2;
+  smpi::Runtime rt(ro);
+  EXPECT_THROW(rt.run([](smpi::Comm& c) {
+                 const std::array<int, 3> n = {8, 8, 8};
+                 const auto in_all = brick_layout(n, c.size());
+                 const auto out_all =
+                     brick_layout(RealPlan3D::spectrum_dims(n), c.size());
+                 PlanOptions opt;
+                 opt.batch = 2;
+                 RealPlan3D plan(c, n,
+                                 in_all[static_cast<std::size_t>(c.rank())],
+                                 out_all[static_cast<std::size_t>(c.rank())],
+                                 opt);
+               }),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// 2-D transforms through the stage builder (n[0] == 1).
+// ---------------------------------------------------------------------------
+
+TEST(Fft2dDistributed, MatchesLocalReference) {
+  const std::array<int, 3> n = {1, 12, 16};
+  const idx_t N = 12 * 16;
+  Rng rng(5);
+  const auto global = rng.complex_vector(static_cast<std::size_t>(N));
+  auto ref = global;
+  dft::fft3d_local(ref.data(), n, dft::Direction::Forward);
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = 4;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    const auto boxes = grid_boxes(n, ProcGrid{{1, 2, 2}}, c.size());
+    const Box3& box = boxes[static_cast<std::size_t>(c.rank())];
+    PlanOptions opt;  // any decomposition collapses to the 2-D pipeline
+    Plan3D plan(c, n, box, box, opt);
+    EXPECT_EQ(plan.stage_plan().resolved, Decomposition::Slab);
+
+    std::vector<cplx> mine(static_cast<std::size_t>(box.count()));
+    pack_box(global.data(), world_box(n), box, mine.data());
+    plan.execute(mine.data(), mine.data(), dft::Direction::Forward);
+    std::vector<cplx> want(mine.size());
+    pack_box(ref.data(), world_box(n), box, want.data());
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      EXPECT_NEAR(std::abs(mine[i] - want[i]), 0.0, 1e-9);
+  });
+}
+
+TEST(Fft2dDistributed, BatchedRoundTrip) {
+  const std::array<int, 3> n = {1, 8, 8};
+  smpi::RuntimeOptions ro;
+  ro.nranks = 4;
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& c) {
+    const auto boxes = grid_boxes(n, ProcGrid{{1, 4, 1}}, c.size());
+    const Box3& box = boxes[static_cast<std::size_t>(c.rank())];
+    PlanOptions opt;
+    opt.batch = 3;
+    opt.scaling = Scaling::Full;
+    Plan3D plan(c, n, box, box, opt);
+    Rng rng(8 + static_cast<std::uint64_t>(c.rank()));
+    auto data = rng.complex_vector(static_cast<std::size_t>(box.count() * 3));
+    auto orig = data;
+    plan.execute(data.data(), data.data(), dft::Direction::Forward);
+    plan.execute(data.data(), data.data(), dft::Direction::Backward);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      EXPECT_NEAR(std::abs(data[i] - orig[i]), 0.0, 1e-10);
+  });
+}
+
+TEST(Fft2dDistributed, RejectsTooManyRanks) {
+  smpi::RuntimeOptions ro;
+  ro.nranks = 6;
+  smpi::Runtime rt(ro);
+  EXPECT_THROW(rt.run([](smpi::Comm& c) {
+                 const std::array<int, 3> n = {1, 4, 16};
+                 const auto boxes = grid_boxes(n, ProcGrid{{1, 1, 6}}, c.size());
+                 Plan3D plan(c, n, boxes[static_cast<std::size_t>(c.rank())],
+                             boxes[static_cast<std::size_t>(c.rank())],
+                             PlanOptions{});
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace parfft::core

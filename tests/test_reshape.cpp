@@ -1,0 +1,171 @@
+// Pack/unpack kernels, local transposes, and reshape planning. The
+// property tests drive random layouts and assert exact coverage: every
+// global element is sent exactly once and received exactly once.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "core/pack.hpp"
+#include "core/reshape.hpp"
+
+namespace parfft::core {
+namespace {
+
+TEST(Pack, RoundTripSubBrick) {
+  const Box3 local{{0, 0, 0}, {3, 3, 3}};
+  const Box3 region{{1, 2, 0}, {2, 3, 3}};
+  Rng rng(1);
+  auto data = rng.complex_vector(static_cast<std::size_t>(local.count()));
+  std::vector<cplx> packed(static_cast<std::size_t>(region.count()));
+  pack_box(data.data(), local, region, packed.data());
+  // Packed data is row-major over the region.
+  idx_t k = 0;
+  for (idx_t i0 = 1; i0 <= 2; ++i0)
+    for (idx_t i1 = 2; i1 <= 3; ++i1)
+      for (idx_t i2 = 0; i2 <= 3; ++i2)
+        EXPECT_EQ(packed[static_cast<std::size_t>(k++)],
+                  data[static_cast<std::size_t>(local.offset_of({i0, i1, i2}))]);
+  // Unpack into a fresh brick reproduces exactly the region.
+  std::vector<cplx> fresh(static_cast<std::size_t>(local.count()), cplx{-9, -9});
+  unpack_box(packed.data(), local, region, fresh.data());
+  for (idx_t i0 = 0; i0 < 4; ++i0)
+    for (idx_t i1 = 0; i1 < 4; ++i1)
+      for (idx_t i2 = 0; i2 < 4; ++i2) {
+        const auto off = static_cast<std::size_t>(local.offset_of({i0, i1, i2}));
+        if (region.contains({i0, i1, i2})) {
+          EXPECT_EQ(fresh[off], data[off]);
+        } else {
+          EXPECT_EQ(fresh[off], cplx(-9, -9));
+        }
+      }
+}
+
+TEST(Pack, RegionOutsideLocalThrows) {
+  const Box3 local{{0, 0, 0}, {3, 3, 3}};
+  const Box3 region{{2, 0, 0}, {4, 1, 1}};
+  std::vector<cplx> d(64), p(64);
+  EXPECT_THROW(pack_box(d.data(), local, region, p.data()), Error);
+}
+
+TEST(Pack, ContiguousRunHeuristic) {
+  const Box3 local{{0, 0, 0}, {3, 3, 7}};
+  const Box3 thin{{0, 0, 0}, {3, 3, 0}};   // 16-byte runs
+  const Box3 full{{0, 0, 0}, {1, 3, 7}};   // full rows merge
+  EXPECT_DOUBLE_EQ(pack_contiguous_run(local, thin), 16.0);
+  EXPECT_DOUBLE_EQ(pack_contiguous_run(local, full), 8 * 16.0 * 4);
+}
+
+class TransposeAxes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeAxes, RoundTripAndLineContent) {
+  const int axis = GetParam();
+  const Box3 box{{2, 1, 0}, {5, 4, 5}};  // 4 x 4 x 6
+  Rng rng(10 + static_cast<std::uint64_t>(axis));
+  auto data = rng.complex_vector(static_cast<std::size_t>(box.count()));
+  std::vector<cplx> lines(data.size()), back(data.size());
+  const idx_t nlines = transpose_to_lines(data.data(), box, axis, lines.data());
+  EXPECT_EQ(nlines, box.count() / box.size(axis));
+  transpose_from_lines(lines.data(), box, axis, back.data());
+  EXPECT_EQ(back, data);
+  // Each output line must be a walk along `axis` in the original brick.
+  const idx_t len = box.size(axis);
+  for (idx_t j = 0; j < len; ++j) {
+    // Line 0 starts at the box origin.
+    std::array<idx_t, 3> g = box.lo;
+    g[static_cast<std::size_t>(axis)] += j;
+    EXPECT_EQ(lines[static_cast<std::size_t>(j)],
+              data[static_cast<std::size_t>(box.offset_of(g))]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAxes, TransposeAxes, ::testing::Values(0, 1, 2));
+
+TEST(ReshapePlan, IdentityDetected) {
+  const auto boxes = split_world(world_box({8, 8, 8}), ProcGrid{{2, 2, 1}});
+  const auto plan = ReshapePlan::create(boxes, boxes);
+  EXPECT_TRUE(plan.is_identity());
+  // Every rank "sends" only to itself.
+  for (int r = 0; r < plan.nranks(); ++r) {
+    ASSERT_EQ(plan.sends(r).size(), 1u);
+    EXPECT_EQ(plan.sends(r)[0].peer, r);
+  }
+}
+
+TEST(ReshapePlan, BrickToPencilCoverage) {
+  const std::array<int, 3> n = {8, 12, 10};
+  const auto from = split_world(world_box(n), ProcGrid{{2, 3, 2}});
+  const auto to = split_world(world_box(n), ProcGrid{{1, 4, 3}});
+  const auto plan = ReshapePlan::create(from, to);
+  EXPECT_FALSE(plan.is_identity());
+
+  // Element-exact coverage: sends out of rank r tile from[r]; recvs into
+  // rank d tile to[d].
+  idx_t sent = 0, recvd = 0;
+  for (int r = 0; r < plan.nranks(); ++r) {
+    for (const Transfer& t : plan.sends(r)) {
+      EXPECT_EQ(intersect(t.region, plan.from()[static_cast<std::size_t>(r)]),
+                t.region);
+      EXPECT_EQ(intersect(t.region, plan.to()[static_cast<std::size_t>(t.peer)]),
+                t.region);
+      sent += t.region.count();
+    }
+    for (const Transfer& t : plan.recvs(r)) recvd += t.region.count();
+    EXPECT_EQ(plan.max_recv_elements(r),
+              plan.to()[static_cast<std::size_t>(r)].count());
+  }
+  EXPECT_EQ(sent, world_box(n).count());
+  EXPECT_EQ(recvd, world_box(n).count());
+}
+
+TEST(ReshapePlan, RandomLayoutsProperty) {
+  // Random split factorizations; data integrity is guaranteed iff every
+  // global element appears exactly once on each side.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::array<int, 3> n = {
+        static_cast<int>(rng.uniform_int(4, 12)),
+        static_cast<int>(rng.uniform_int(4, 12)),
+        static_cast<int>(rng.uniform_int(4, 12))};
+    auto rand_grid = [&]() {
+      return ProcGrid{{static_cast<int>(rng.uniform_int(1, 3)),
+                       static_cast<int>(rng.uniform_int(1, 3)),
+                       static_cast<int>(rng.uniform_int(1, 2))}};
+    };
+    ProcGrid ga = rand_grid(), gb = rand_grid();
+    const int R = std::max(ga.count(), gb.count());
+    const auto from = pad_boxes(split_world(world_box(n), ga), R);
+    const auto to = pad_boxes(split_world(world_box(n), gb), R);
+    const auto plan = ReshapePlan::create(from, to);
+
+    idx_t sent = 0;
+    for (int r = 0; r < R; ++r)
+      for (const Transfer& t : plan.sends(r)) sent += t.region.count();
+    EXPECT_EQ(sent, world_box(n).count()) << "trial " << trial;
+  }
+}
+
+TEST(ReshapePlan, SendMatrixScalesWithBatch) {
+  const std::array<int, 3> n = {8, 8, 8};
+  const auto from = split_world(world_box(n), ProcGrid{{2, 1, 1}});
+  const auto to = split_world(world_box(n), ProcGrid{{1, 2, 1}});
+  const auto plan = ReshapePlan::create(from, to);
+  const auto m1 = plan.send_matrix(1);
+  const auto m3 = plan.send_matrix(3);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    ASSERT_EQ(m1[i].size(), m3[i].size());
+    for (std::size_t k = 0; k < m1[i].size(); ++k)
+      EXPECT_DOUBLE_EQ(m3[i][k].second, 3 * m1[i][k].second);
+  }
+  // Off-rank bytes: each rank keeps half its 256 elements, ships half.
+  EXPECT_DOUBLE_EQ(plan.send_bytes(0, 1), 128.0 * sizeof(cplx));
+}
+
+TEST(ReshapePlan, MismatchedSizesThrow) {
+  std::vector<Box3> a(2), b(3);
+  EXPECT_THROW(ReshapePlan::create(a, b), Error);
+}
+
+}  // namespace
+}  // namespace parfft::core

@@ -1,0 +1,504 @@
+// Simulated MPI runtime: point-to-point semantics (tags, wildcards,
+// ordering), requests, collectives (data + virtual-time), communicator
+// split and derived-datatype Alltoallw.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simmpi/runtime.hpp"
+
+namespace parfft::smpi {
+namespace {
+
+RuntimeOptions small_opts(int nranks) {
+  RuntimeOptions o;
+  o.nranks = nranks;
+  return o;
+}
+
+TEST(Runtime, RunsEveryRankOnce) {
+  Runtime rt(small_opts(8));
+  std::atomic<int> count{0};
+  rt.run([&](Comm& c) {
+    EXPECT_EQ(c.size(), 8);
+    EXPECT_GE(c.rank(), 0);
+    EXPECT_LT(c.rank(), 8);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Runtime, RejectsBadRankCounts) {
+  EXPECT_THROW(Runtime(small_opts(0)), Error);
+  EXPECT_THROW(Runtime(small_opts(1000)), Error);
+}
+
+TEST(Runtime, PropagatesRankExceptions) {
+  Runtime rt(small_opts(4));
+  EXPECT_THROW(rt.run([](Comm& c) {
+                 if (c.rank() == 2) throw Error("rank two failed");
+                 c.barrier();  // other ranks park here and must be aborted
+               }),
+               Error);
+}
+
+TEST(P2P, SendRecvMovesData) {
+  Runtime rt(small_opts(2));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const double v = 3.25;
+      c.send(&v, sizeof(v), 1, 7);
+    } else {
+      double v = 0;
+      const Status st = c.recv(&v, sizeof(v), 0, 7);
+      EXPECT_DOUBLE_EQ(v, 3.25);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, sizeof(double));
+    }
+  });
+}
+
+TEST(P2P, TagsSelectMessages) {
+  Runtime rt(small_opts(2));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const int a = 1, b = 2;
+      c.send(&a, sizeof(a), 1, 10);
+      c.send(&b, sizeof(b), 1, 20);
+    } else {
+      int v = 0;
+      c.recv(&v, sizeof(v), 0, 20);  // out of order by tag
+      EXPECT_EQ(v, 2);
+      c.recv(&v, sizeof(v), 0, 10);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(P2P, SameTagPreservesOrder) {
+  Runtime rt(small_opts(2));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) c.send(&i, sizeof(i), 1, 5);
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int v = -1;
+        c.recv(&v, sizeof(v), 0, 5);
+        EXPECT_EQ(v, i);  // non-overtaking
+      }
+    }
+  });
+}
+
+TEST(P2P, WildcardsMatchAnything) {
+  Runtime rt(small_opts(3));
+  rt.run([](Comm& c) {
+    if (c.rank() != 0) {
+      const int v = 100 + c.rank();
+      c.send(&v, sizeof(v), 0, c.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        const Status st = c.recv(&v, sizeof(v), kAnySource, kAnyTag);
+        EXPECT_EQ(v, 100 + st.source);
+        EXPECT_EQ(st.tag, st.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 203);
+    }
+  });
+}
+
+TEST(P2P, WaitanyCompletesAllReceives) {
+  Runtime rt(small_opts(4));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> vals(3, -1);
+      std::vector<Request> reqs;
+      for (int r = 1; r < 4; ++r)
+        reqs.push_back(c.irecv(&vals[static_cast<std::size_t>(r - 1)],
+                               sizeof(int), r, 0));
+      int completed = 0;
+      int idx;
+      while ((idx = c.waitany(reqs)) != -1) {
+        EXPECT_TRUE(reqs[static_cast<std::size_t>(idx)].done);
+        ++completed;
+      }
+      EXPECT_EQ(completed, 3);
+      EXPECT_EQ(vals[0] + vals[1] + vals[2], 1 + 2 + 3);
+    } else {
+      const int v = c.rank();
+      c.send(&v, sizeof(v), 0, 0);
+    }
+  });
+}
+
+TEST(P2P, RecvBufferTooSmallThrows) {
+  Runtime rt(small_opts(2));
+  EXPECT_THROW(rt.run([](Comm& c) {
+                 if (c.rank() == 0) {
+                   const double big[4] = {};
+                   c.send(big, sizeof(big), 1, 0);
+                 } else {
+                   double small = 0;
+                   c.recv(&small, sizeof(small), 0, 0);
+                 }
+               }),
+               Error);
+}
+
+TEST(P2P, AdvancesVirtualClock) {
+  Runtime rt(small_opts(2));
+  rt.run([](Comm& c) {
+    const std::size_t bytes = 10 << 20;
+    std::vector<std::byte> buf(bytes);
+    if (c.rank() == 0) {
+      c.send(buf.data(), bytes, 1, 0, MemSpace::Device);
+    } else {
+      c.recv(buf.data(), bytes, 0, 0, MemSpace::Device);
+      // 10 MiB over NVLink (same node): ~200 us of virtual time.
+      EXPECT_GT(c.vtime(), 100e-6);
+      EXPECT_LT(c.vtime(), 1e-3);
+    }
+  });
+}
+
+TEST(Collectives, BarrierSynchronizesClocks) {
+  Runtime rt(small_opts(6));
+  rt.run([](Comm& c) {
+    c.advance(c.rank() * 1e-3);  // skewed clocks
+    c.barrier();
+    EXPECT_GE(c.vtime(), 5e-3);  // everyone at least at the max
+  });
+}
+
+TEST(Collectives, BcastDelivers) {
+  Runtime rt(small_opts(5));
+  rt.run([](Comm& c) {
+    std::vector<int> data(4, c.rank() == 2 ? 42 : 0);
+    c.bcast(data.data(), data.size() * sizeof(int), 2);
+    for (int v : data) EXPECT_EQ(v, 42);
+  });
+}
+
+TEST(Collectives, AllreduceSumMaxMin) {
+  Runtime rt(small_opts(6));
+  rt.run([](Comm& c) {
+    double v[2] = {static_cast<double>(c.rank()), 1.0};
+    c.allreduce(v, 2, Op::Sum);
+    EXPECT_DOUBLE_EQ(v[0], 15.0);
+    EXPECT_DOUBLE_EQ(v[1], 6.0);
+    double w = c.rank();
+    c.allreduce(&w, 1, Op::Max);
+    EXPECT_DOUBLE_EQ(w, 5.0);
+    double u = c.rank();
+    c.allreduce(&u, 1, Op::Min);
+    EXPECT_DOUBLE_EQ(u, 0.0);
+  });
+}
+
+TEST(Collectives, AllgatherAssemblesInRankOrder) {
+  Runtime rt(small_opts(4));
+  rt.run([](Comm& c) {
+    const int mine = 10 * (c.rank() + 1);
+    std::vector<int> all(4, -1);
+    c.allgather(&mine, sizeof(int), all.data());
+    EXPECT_EQ(all, (std::vector<int>{10, 20, 30, 40}));
+  });
+}
+
+TEST(Collectives, AlltoallvExchangesBlocks) {
+  const int G = 4;
+  Runtime rt(small_opts(G));
+  rt.run([G](Comm& c) {
+    // Rank i sends (i*10 + j) to rank j.
+    std::vector<int> sbuf(G), rbuf(G, -1);
+    std::vector<std::size_t> counts(G, sizeof(int)), displs(G);
+    for (int j = 0; j < G; ++j) {
+      sbuf[static_cast<std::size_t>(j)] = c.rank() * 10 + j;
+      displs[static_cast<std::size_t>(j)] = static_cast<std::size_t>(j) * sizeof(int);
+    }
+    c.alltoallv(sbuf.data(), counts, displs, rbuf.data(), counts, displs);
+    for (int j = 0; j < G; ++j)
+      EXPECT_EQ(rbuf[static_cast<std::size_t>(j)], j * 10 + c.rank());
+  });
+}
+
+TEST(Collectives, AlltoallvUnevenCounts) {
+  const int G = 3;
+  Runtime rt(small_opts(G));
+  rt.run([G](Comm& c) {
+    // Rank i sends i+1 ints to each peer j, all equal to 100*i + j.
+    const int r = c.rank();
+    std::vector<std::size_t> scounts(G), sdispls(G), rcounts(G), rdispls(G);
+    std::size_t soff = 0, roff = 0;
+    for (int j = 0; j < G; ++j) {
+      scounts[static_cast<std::size_t>(j)] = static_cast<std::size_t>(r + 1) * sizeof(int);
+      sdispls[static_cast<std::size_t>(j)] = soff;
+      soff += scounts[static_cast<std::size_t>(j)];
+      rcounts[static_cast<std::size_t>(j)] = static_cast<std::size_t>(j + 1) * sizeof(int);
+      rdispls[static_cast<std::size_t>(j)] = roff;
+      roff += rcounts[static_cast<std::size_t>(j)];
+    }
+    std::vector<int> sbuf(soff / sizeof(int)), rbuf(roff / sizeof(int), -1);
+    for (int j = 0, k = 0; j < G; ++j)
+      for (int q = 0; q <= r; ++q) sbuf[static_cast<std::size_t>(k++)] = 100 * r + j;
+    c.alltoallv(sbuf.data(), scounts, sdispls, rbuf.data(), rcounts, rdispls);
+    int k = 0;
+    for (int j = 0; j < G; ++j)
+      for (int q = 0; q <= j; ++q)
+        EXPECT_EQ(rbuf[static_cast<std::size_t>(k++)], 100 * j + c.rank());
+  });
+}
+
+TEST(Collectives, AlltoallPaddedCostsMoreThanAlltoallv) {
+  // Same data, imbalanced counts: the padded model must burn more vtime.
+  const int G = 6;
+  auto run_with = [&](net::CollectiveAlg alg) {
+    Runtime rt(small_opts(G));
+    double t = 0;
+    rt.run([&t, G, alg](Comm& c) {
+      std::vector<std::size_t> scounts(G, 64), sdispls(G), rcounts(G, 64),
+          rdispls(G);
+      if (c.rank() == 0) scounts[1] = 4 << 20;
+      if (c.rank() == 1) rcounts[0] = 4 << 20;
+      std::size_t so = 0, ro = 0;
+      for (int j = 0; j < G; ++j) {
+        sdispls[static_cast<std::size_t>(j)] = so;
+        so += scounts[static_cast<std::size_t>(j)];
+        rdispls[static_cast<std::size_t>(j)] = ro;
+        ro += rcounts[static_cast<std::size_t>(j)];
+      }
+      std::vector<std::byte> sbuf(so), rbuf(ro);
+      c.alltoallv(sbuf.data(), scounts, sdispls, rbuf.data(), rcounts,
+                  rdispls, MemSpace::Device, alg);
+      if (c.rank() == 0) t = c.vtime();
+    });
+    return t;
+  };
+  EXPECT_GT(run_with(net::CollectiveAlg::Alltoall),
+            run_with(net::CollectiveAlg::Alltoallv));
+}
+
+TEST(Collectives, AlltoallwMovesSubarrays) {
+  // Two ranks swap the halves of a 2x2x4 brick without packing.
+  Runtime rt(small_opts(2));
+  rt.run([](Comm& c) {
+    const idx_t full[3] = {2, 2, 4};
+    std::vector<double> brick(16);
+    for (int i = 0; i < 16; ++i)
+      brick[static_cast<std::size_t>(i)] = c.rank() * 100 + i;
+    std::vector<double> out(16, -1);
+
+    // Send the x-half `rank` of my brick to the other rank; receive into
+    // the same half.
+    const int other = 1 - c.rank();
+    std::vector<Subarray> stypes(2), rtypes(2);
+    Subarray half;
+    half.full = {full[0], full[1], full[2]};
+    half.sub = {1, 2, 4};
+    half.off = {c.rank(), 0, 0};
+    half.elem_bytes = sizeof(double);
+    stypes[static_cast<std::size_t>(other)] = half;
+    rtypes[static_cast<std::size_t>(other)] = half;
+    c.alltoallw(brick.data(), stypes, out.data(), rtypes);
+
+    // Half x == rank of `out` now holds the peer's half x == other.
+    for (int b = 0; b < 2; ++b)
+      for (int k = 0; k < 4; ++k) {
+        const std::size_t idx =
+            static_cast<std::size_t>((c.rank() * 2 + b) * 4 + k);
+        const double peer_value = other * 100 + ((other * 2 + b) * 4 + k);
+        EXPECT_DOUBLE_EQ(out[idx], peer_value);
+      }
+  });
+}
+
+TEST(Collectives, SettlePhaseRaisesClocksConsistently) {
+  Runtime rt(small_opts(4));
+  rt.run([](Comm& c) {
+    std::vector<std::pair<int, double>> sends;
+    for (int j = 0; j < 4; ++j)
+      if (j != c.rank()) sends.push_back({j, 1 << 20});
+    const double t =
+        c.settle_phase(sends, net::CollectiveAlg::P2PNonBlocking,
+                       MemSpace::Device);
+    EXPECT_GT(t, 0);
+    EXPECT_GE(c.vtime(), t);
+  });
+}
+
+TEST(Collectives, GatherAssemblesOnRootOnly) {
+  Runtime rt(small_opts(5));
+  rt.run([](Comm& c) {
+    const int mine = c.rank() * c.rank();
+    std::vector<int> all(5, -1);
+    c.gather(&mine, sizeof(int), all.data(), 2);
+    if (c.rank() == 2) {
+      EXPECT_EQ(all, (std::vector<int>{0, 1, 4, 9, 16}));
+    } else {
+      EXPECT_EQ(all, (std::vector<int>(5, -1)));  // untouched off-root
+    }
+  });
+}
+
+TEST(Collectives, ScatterDistributesFromRoot) {
+  Runtime rt(small_opts(4));
+  rt.run([](Comm& c) {
+    std::vector<int> src = {10, 20, 30, 40};
+    int got = -1;
+    c.scatter(c.rank() == 1 ? src.data() : nullptr, sizeof(int), &got, 1);
+    EXPECT_EQ(got, 10 * (c.rank() + 1));
+  });
+}
+
+TEST(Collectives, ReduceOntoRoot) {
+  Runtime rt(small_opts(6));
+  rt.run([](Comm& c) {
+    double v = c.rank() + 1.0;
+    c.reduce(&v, 1, Op::Sum, 3);
+    if (c.rank() == 3) {
+      EXPECT_DOUBLE_EQ(v, 21.0);
+    } else {
+      EXPECT_DOUBLE_EQ(v, c.rank() + 1.0);  // inputs preserved
+    }
+  });
+}
+
+TEST(Collectives, InclusiveScan) {
+  Runtime rt(small_opts(5));
+  rt.run([](Comm& c) {
+    double v = c.rank() + 1.0;
+    c.scan(&v, 1, Op::Sum);
+    // Inclusive prefix sum of 1..5.
+    const double want[] = {1, 3, 6, 10, 15};
+    EXPECT_DOUBLE_EQ(v, want[c.rank()]);
+    double m = static_cast<double>(c.rank() % 3);
+    c.scan(&m, 1, Op::Max);
+    const double want_max[] = {0, 1, 2, 2, 2};
+    EXPECT_DOUBLE_EQ(m, want_max[c.rank()]);
+  });
+}
+
+TEST(P2P, SendRecvSelfExchange) {
+  Runtime rt(small_opts(2));
+  rt.run([](Comm& c) {
+    const int other = 1 - c.rank();
+    const double mine = 1.5 + c.rank();
+    double got = 0;
+    c.sendrecv(&mine, sizeof(mine), other, 3, &got, sizeof(got), other, 3);
+    EXPECT_DOUBLE_EQ(got, 1.5 + other);
+  });
+}
+
+TEST(Split, ColorsPartitionAndKeysOrder) {
+  Runtime rt(small_opts(6));
+  rt.run([](Comm& c) {
+    // Even/odd split, reversed key order.
+    Comm sub = c.split(c.rank() % 2, -c.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 3);
+    // Highest parent rank gets sub-rank 0 (key = -rank): sub-rank equals
+    // the number of same-parity ranks above mine.
+    const int top = c.rank() % 2 == 0 ? 4 : 5;
+    EXPECT_EQ(sub.rank(), (top - c.rank()) / 2) << "parent rank " << c.rank();
+    // The sub-communicator works: sum of parent ranks within my parity.
+    double v = c.rank();
+    sub.allreduce(&v, 1, Op::Sum);
+    EXPECT_DOUBLE_EQ(v, c.rank() % 2 == 0 ? 6.0 : 9.0);
+  });
+}
+
+TEST(Split, NegativeColorYieldsInvalidComm) {
+  Runtime rt(small_opts(4));
+  rt.run([](Comm& c) {
+    Comm sub = c.split(c.rank() == 0 ? 0 : -1, 0);
+    EXPECT_EQ(sub.valid(), c.rank() == 0);
+  });
+}
+
+TEST(Split, CreateGroupSelectsMembers) {
+  Runtime rt(small_opts(6));
+  rt.run([](Comm& c) {
+    Comm sub = c.create_group({1, 3, 5});
+    if (c.rank() % 2 == 1) {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+      EXPECT_EQ(sub.rank(), c.rank() / 2);
+    } else {
+      EXPECT_FALSE(sub.valid());
+    }
+  });
+}
+
+TEST(VirtualTime, AdvanceAccumulates) {
+  Runtime rt(small_opts(1));
+  rt.run([](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.vtime(), 0.0);
+    c.advance(1.5);
+    c.advance(0.25);
+    EXPECT_DOUBLE_EQ(c.vtime(), 1.75);
+    EXPECT_THROW(c.advance(-1.0), Error);
+  });
+  EXPECT_DOUBLE_EQ(rt.final_vtime(0), 1.75);
+}
+
+TEST(VirtualTime, GpuAwareFasterThanStagedForDeviceBuffers) {
+  auto comm_time = [&](bool aware) {
+    RuntimeOptions o = small_opts(12);
+    o.gpu_aware = aware;
+    Runtime rt(o);
+    double t = 0;
+    rt.run([&t](Comm& c) {
+      const std::size_t bytes = 8 << 20;
+      std::vector<std::byte> buf(bytes);
+      if (c.rank() == 0) {
+        c.send(buf.data(), bytes, 6, 0, MemSpace::Device);  // inter-node
+      } else if (c.rank() == 6) {
+        c.recv(buf.data(), bytes, 0, 0, MemSpace::Device);
+        t = c.vtime();
+      }
+    });
+    return t;
+  };
+  EXPECT_LT(comm_time(true), comm_time(false));
+}
+
+TEST(VirtualTime, CollectiveTimingMatchesCostModel) {
+  // Threaded-mode alltoallv must charge exactly the CommCost estimate
+  // (same machine, same counts) -- the consistency contract between the
+  // two execution modes.
+  const int G = 12;
+  RuntimeOptions o = small_opts(G);
+  Runtime rt(o);
+  std::vector<double> vt(G);
+  const std::size_t block = 1 << 20;
+  rt.run([&](Comm& c) {
+    std::vector<std::size_t> counts(G, block), displs(G);
+    for (int j = 0; j < G; ++j)
+      displs[static_cast<std::size_t>(j)] = static_cast<std::size_t>(j) * block;
+    std::vector<std::byte> sbuf(G * block), rbuf(G * block);
+    c.alltoallv(sbuf.data(), counts, displs, rbuf.data(), counts, displs,
+                MemSpace::Device);
+    vt[static_cast<std::size_t>(c.rank())] = c.vtime();
+  });
+
+  net::SendMatrix sends(G);
+  for (int i = 0; i < G; ++i)
+    for (int j = 0; j < G; ++j)
+      sends[static_cast<std::size_t>(i)].push_back({j, static_cast<double>(block)});
+  std::vector<int> group(G);
+  std::iota(group.begin(), group.end(), 0);
+  const auto want = rt.cost().exchange(group, sends,
+                                       net::CollectiveAlg::Alltoallv,
+                                       net::TransferMode::GpuAware,
+                                       net::MpiFlavor::SpectrumMPI);
+  for (int i = 0; i < G; ++i)
+    EXPECT_NEAR(vt[static_cast<std::size_t>(i)],
+                want.per_rank[static_cast<std::size_t>(i)], 1e-12);
+}
+
+}  // namespace
+}  // namespace parfft::smpi

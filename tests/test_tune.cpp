@@ -1,0 +1,177 @@
+// Autotuner and the newer network-model mechanisms: Bruck small-message
+// Alltoall, staged host-link contention, quadratic RDMA peer pressure, and
+// the sendrecv primitive.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/tune.hpp"
+#include "netsim/collectives.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace parfft::core {
+namespace {
+
+TEST(Autotune, ReproducesFig5Regions) {
+  // Slabs below the paper's 64-node crossover, pencils above.
+  SimConfig small;
+  small.n = {512, 512, 512};
+  small.nranks = 96;  // 16 nodes
+  const auto a = autotune(small);
+  EXPECT_EQ(a.best.decomp, Decomposition::Slab) << a.best.describe();
+
+  SimConfig large = small;
+  large.nranks = 768;  // 128 nodes (slab infeasible: 768 > 512)
+  const auto b = autotune(large);
+  EXPECT_EQ(b.best.decomp, Decomposition::Pencil) << b.best.describe();
+  EXPECT_TRUE(b.best.gpu_aware);
+}
+
+TEST(Autotune, RankingIsSortedAndComplete) {
+  SimConfig cfg;
+  cfg.n = {64, 64, 64};
+  cfg.nranks = 24;
+  TuneOptions topt;
+  topt.sweep_layout = true;
+  const auto r = autotune(cfg, topt);
+  // 2 decomps x 3 backends x 2 aware x 2 layouts.
+  EXPECT_EQ(r.evaluated.size(), 24u);
+  for (std::size_t i = 1; i < r.evaluated.size(); ++i)
+    EXPECT_LE(r.evaluated[i - 1].second, r.evaluated[i].second);
+  EXPECT_DOUBLE_EQ(r.best_time, r.evaluated.front().second);
+  EXPECT_FALSE(r.best.describe().empty());
+}
+
+TEST(Autotune, ApplyTransfersSettings) {
+  TuneCandidate c{Decomposition::Slab, Backend::Alltoall, false, true};
+  PlanOptions opt;
+  bool aware = true;
+  apply(c, &opt, &aware);
+  EXPECT_EQ(opt.decomp, Decomposition::Slab);
+  EXPECT_EQ(opt.backend, Backend::Alltoall);
+  EXPECT_TRUE(opt.contiguous_fft);
+  EXPECT_FALSE(aware);
+}
+
+TEST(Autotune, SkipsInfeasibleSlabs) {
+  SimConfig cfg;
+  cfg.n = {32, 32, 32};
+  cfg.nranks = 48;  // slab infeasible
+  const auto r = autotune(cfg);
+  for (const auto& [cand, t] : r.evaluated)
+    EXPECT_NE(cand.decomp, Decomposition::Slab);
+}
+
+// ---------------------------------------------------------------------------
+// Network-model mechanisms.
+// ---------------------------------------------------------------------------
+
+net::SendMatrix uniform(int g, double bytes) {
+  net::SendMatrix s(static_cast<std::size_t>(g));
+  for (int i = 0; i < g; ++i)
+    for (int j = 0; j < g; ++j)
+      if (i != j) s[static_cast<std::size_t>(i)].push_back({j, bytes});
+  return s;
+}
+
+std::vector<int> iota_group(int g) {
+  std::vector<int> v(static_cast<std::size_t>(g));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(Bruck, SmallBlockAlltoallBeatsAlltoallv) {
+  // The paper: MPICH picks among four MPI_Alltoall implementations by
+  // size; our model switches to Bruck below the threshold, which beats
+  // the per-peer-message exchange for tiny blocks at scale.
+  const auto m = net::summit();
+  net::CommCost cost(m, net::RankMap{6}, 192);
+  const auto g = iota_group(192);
+  const auto s = uniform(192, 256.0);  // 256-byte blocks
+  const auto a2a = cost.exchange(g, s, net::CollectiveAlg::Alltoall,
+                                 net::TransferMode::GpuAware,
+                                 net::MpiFlavor::SpectrumMPI);
+  const auto a2av = cost.exchange(g, s, net::CollectiveAlg::Alltoallv,
+                                  net::TransferMode::GpuAware,
+                                  net::MpiFlavor::SpectrumMPI);
+  EXPECT_LT(a2a.total, a2av.total);
+  // Roughly log2(192) ~ 8 rounds instead of 191 messages.
+  EXPECT_LT(a2a.total, 0.3 * a2av.total);
+}
+
+TEST(Bruck, LargeBlocksUsePairwiseExchange) {
+  const auto m = net::summit();
+  net::CommCost cost(m, net::RankMap{6}, 24);
+  const auto g = iota_group(24);
+  const auto big = uniform(24, 1 << 20);
+  const auto a2a = cost.exchange(g, big, net::CollectiveAlg::Alltoall,
+                                 net::TransferMode::GpuAware,
+                                 net::MpiFlavor::SpectrumMPI);
+  const auto a2av = cost.exchange(g, big, net::CollectiveAlg::Alltoallv,
+                                  net::TransferMode::GpuAware,
+                                  net::MpiFlavor::SpectrumMPI);
+  // Balanced large blocks: padded pairwise == exact pairwise (no Bruck).
+  EXPECT_NEAR(a2a.total, a2av.total, 0.01 * a2av.total);
+}
+
+TEST(RdmaPressure, QuadraticInPeerCount) {
+  // GPU-aware P2P storms degrade superlinearly with the peer count; the
+  // staged variant does not (mechanism of Fig. 9).
+  const auto m = net::summit();
+  net::CommCost cost(m, net::RankMap{6}, 96);
+  const auto g = iota_group(96);
+  const auto s = uniform(96, 1024.0);
+  const auto aware = cost.exchange(g, s, net::CollectiveAlg::P2PNonBlocking,
+                                   net::TransferMode::GpuAware,
+                                   net::MpiFlavor::SpectrumMPI);
+  // Expected stall: 95 peers, 83 over threshold.
+  const double stall = 95.0 * (95 - m.rdma_peer_threshold) *
+                       m.rdma_peer_penalty;
+  EXPECT_GT(aware.total, stall);
+  const auto staged = cost.exchange(g, s, net::CollectiveAlg::P2PNonBlocking,
+                                    net::TransferMode::Staged,
+                                    net::MpiFlavor::SpectrumMPI);
+  EXPECT_GT(aware.total, staged.total);  // pressure exceeds staging cost
+}
+
+TEST(StagedPath, HostLinkContentionSlowsWideExchanges) {
+  // Six ranks of one node staging simultaneously share the host path; a
+  // single staged flow does not.
+  const auto m = net::summit();
+  net::FlowSim sim(m, net::RankMap{6}, 12);
+  const double bytes = 64e6;
+  // All six ranks of node 0 send to node 1 simultaneously, staged.
+  std::vector<net::Flow> flows;
+  for (int r = 0; r < 6; ++r) flows.push_back({r, 6 + r, bytes});
+  auto staged_flows = flows;
+  sim.run(staged_flows, net::TransferMode::Staged);
+  auto aware_flows = flows;
+  sim.run(aware_flows, net::TransferMode::GpuAware);
+  double staged_t = 0, aware_t = 0;
+  for (int r = 0; r < 6; ++r) {
+    staged_t = std::max(staged_t, staged_flows[static_cast<std::size_t>(r)].finish);
+    aware_t = std::max(aware_t, aware_flows[static_cast<std::size_t>(r)].finish);
+  }
+  EXPECT_GT(staged_t, 1.15 * aware_t);
+}
+
+TEST(SendRecv, ExchangesInBothDirections) {
+  smpi::RuntimeOptions ro;
+  ro.nranks = 4;
+  smpi::Runtime rt(ro);
+  rt.run([](smpi::Comm& c) {
+    // Ring shift: send to the right, receive from the left.
+    const int right = (c.rank() + 1) % c.size();
+    const int left = (c.rank() + c.size() - 1) % c.size();
+    const int mine = 100 + c.rank();
+    int got = -1;
+    const smpi::Status st =
+        c.sendrecv(&mine, sizeof(int), right, 0, &got, sizeof(int), left, 0);
+    EXPECT_EQ(got, 100 + left);
+    EXPECT_EQ(st.source, left);
+    EXPECT_GT(c.vtime(), 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace parfft::core
