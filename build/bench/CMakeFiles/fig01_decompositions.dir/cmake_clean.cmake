@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_decompositions.dir/fig01_decompositions.cpp.o"
+  "CMakeFiles/fig01_decompositions.dir/fig01_decompositions.cpp.o.d"
+  "fig01_decompositions"
+  "fig01_decompositions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_decompositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

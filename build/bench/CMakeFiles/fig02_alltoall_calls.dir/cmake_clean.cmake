@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_alltoall_calls.dir/fig02_alltoall_calls.cpp.o"
+  "CMakeFiles/fig02_alltoall_calls.dir/fig02_alltoall_calls.cpp.o.d"
+  "fig02_alltoall_calls"
+  "fig02_alltoall_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_alltoall_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

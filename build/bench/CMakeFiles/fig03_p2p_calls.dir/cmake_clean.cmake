@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_p2p_calls.dir/fig03_p2p_calls.cpp.o"
+  "CMakeFiles/fig03_p2p_calls.dir/fig03_p2p_calls.cpp.o.d"
+  "fig03_p2p_calls"
+  "fig03_p2p_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_p2p_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

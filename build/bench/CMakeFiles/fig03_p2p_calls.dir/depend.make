@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_p2p_calls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_avg_bandwidth.dir/fig04_avg_bandwidth.cpp.o"
+  "CMakeFiles/fig04_avg_bandwidth.dir/fig04_avg_bandwidth.cpp.o.d"
+  "fig04_avg_bandwidth"
+  "fig04_avg_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_avg_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

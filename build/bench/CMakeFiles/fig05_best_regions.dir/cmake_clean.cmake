@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_best_regions.dir/fig05_best_regions.cpp.o"
+  "CMakeFiles/fig05_best_regions.dir/fig05_best_regions.cpp.o.d"
+  "fig05_best_regions"
+  "fig05_best_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_best_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_breakdown_alltoall.dir/fig06_breakdown_alltoall.cpp.o"
+  "CMakeFiles/fig06_breakdown_alltoall.dir/fig06_breakdown_alltoall.cpp.o.d"
+  "fig06_breakdown_alltoall"
+  "fig06_breakdown_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_breakdown_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_breakdown_p2p.dir/fig07_breakdown_p2p.cpp.o"
+  "CMakeFiles/fig07_breakdown_p2p.dir/fig07_breakdown_p2p.cpp.o.d"
+  "fig07_breakdown_p2p"
+  "fig07_breakdown_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_breakdown_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

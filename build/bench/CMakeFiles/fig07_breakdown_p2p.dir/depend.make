@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_breakdown_p2p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scaling_alltoall.dir/fig08_scaling_alltoall.cpp.o"
+  "CMakeFiles/fig08_scaling_alltoall.dir/fig08_scaling_alltoall.cpp.o.d"
+  "fig08_scaling_alltoall"
+  "fig08_scaling_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scaling_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

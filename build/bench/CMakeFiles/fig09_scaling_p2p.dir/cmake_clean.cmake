@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scaling_p2p.dir/fig09_scaling_p2p.cpp.o"
+  "CMakeFiles/fig09_scaling_p2p.dir/fig09_scaling_p2p.cpp.o.d"
+  "fig09_scaling_p2p"
+  "fig09_scaling_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scaling_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cufft_strided.dir/fig10_cufft_strided.cpp.o"
+  "CMakeFiles/fig10_cufft_strided.dir/fig10_cufft_strided.cpp.o.d"
+  "fig10_cufft_strided"
+  "fig10_cufft_strided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cufft_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_gpuaware_effect.dir/fig11_gpuaware_effect.cpp.o"
+  "CMakeFiles/fig11_gpuaware_effect.dir/fig11_gpuaware_effect.cpp.o.d"
+  "fig11_gpuaware_effect"
+  "fig11_gpuaware_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gpuaware_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_lammps_kspace.dir/fig12_lammps_kspace.cpp.o"
+  "CMakeFiles/fig12_lammps_kspace.dir/fig12_lammps_kspace.cpp.o.d"
+  "fig12_lammps_kspace"
+  "fig12_lammps_kspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lammps_kspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_lammps_kspace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_batched.dir/fig13_batched.cpp.o"
+  "CMakeFiles/fig13_batched.dir/fig13_batched.cpp.o.d"
+  "fig13_batched"
+  "fig13_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_localfft.dir/micro_localfft.cpp.o"
+  "CMakeFiles/micro_localfft.dir/micro_localfft.cpp.o.d"
+  "micro_localfft"
+  "micro_localfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_localfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_pack.cpp" "bench/CMakeFiles/micro_pack.dir/micro_pack.cpp.o" "gcc" "bench/CMakeFiles/micro_pack.dir/micro_pack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/parfft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/parfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/parfft_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/parfft_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/parfft_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/parfft_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

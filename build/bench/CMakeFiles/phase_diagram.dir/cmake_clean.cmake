@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_diagram.dir/phase_diagram.cpp.o"
+  "CMakeFiles/phase_diagram.dir/phase_diagram.cpp.o.d"
+  "phase_diagram"
+  "phase_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

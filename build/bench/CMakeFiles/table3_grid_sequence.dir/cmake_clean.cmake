@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_grid_sequence.dir/table3_grid_sequence.cpp.o"
+  "CMakeFiles/table3_grid_sequence.dir/table3_grid_sequence.cpp.o.d"
+  "table3_grid_sequence"
+  "table3_grid_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_grid_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_kspace.dir/md_kspace.cpp.o"
+  "CMakeFiles/md_kspace.dir/md_kspace.cpp.o.d"
+  "md_kspace"
+  "md_kspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_kspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;parfft_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_poisson "/root/repo/build/examples/poisson")
+set_tests_properties(example_poisson PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;parfft_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_md_kspace "/root/repo/build/examples/md_kspace")
+set_tests_properties(example_md_kspace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;parfft_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tuning_advisor "/root/repo/build/examples/tuning_advisor")
+set_tests_properties(example_tuning_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;parfft_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spectrum "/root/repo/build/examples/spectrum")
+set_tests_properties(example_spectrum PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;parfft_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_equation "/root/repo/build/examples/heat_equation")
+set_tests_properties(example_heat_equation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;parfft_add_example;/root/repo/examples/CMakeLists.txt;0;")

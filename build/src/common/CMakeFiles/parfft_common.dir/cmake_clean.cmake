@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfft_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/parfft_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/parfft_common.dir/error.cpp.o"
+  "CMakeFiles/parfft_common.dir/error.cpp.o.d"
+  "CMakeFiles/parfft_common.dir/table.cpp.o"
+  "CMakeFiles/parfft_common.dir/table.cpp.o.d"
+  "CMakeFiles/parfft_common.dir/units.cpp.o"
+  "CMakeFiles/parfft_common.dir/units.cpp.o.d"
+  "libparfft_common.a"
+  "libparfft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

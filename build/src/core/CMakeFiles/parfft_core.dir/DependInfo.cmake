@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/box.cpp" "src/core/CMakeFiles/parfft_core.dir/box.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/box.cpp.o.d"
+  "/root/repo/src/core/fft3d.cpp" "src/core/CMakeFiles/parfft_core.dir/fft3d.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/fft3d.cpp.o.d"
+  "/root/repo/src/core/grids.cpp" "src/core/CMakeFiles/parfft_core.dir/grids.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/grids.cpp.o.d"
+  "/root/repo/src/core/pack.cpp" "src/core/CMakeFiles/parfft_core.dir/pack.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/pack.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/parfft_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/real_plan.cpp" "src/core/CMakeFiles/parfft_core.dir/real_plan.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/real_plan.cpp.o.d"
+  "/root/repo/src/core/reshape.cpp" "src/core/CMakeFiles/parfft_core.dir/reshape.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/reshape.cpp.o.d"
+  "/root/repo/src/core/simulate.cpp" "src/core/CMakeFiles/parfft_core.dir/simulate.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/simulate.cpp.o.d"
+  "/root/repo/src/core/spectral.cpp" "src/core/CMakeFiles/parfft_core.dir/spectral.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/spectral.cpp.o.d"
+  "/root/repo/src/core/stages.cpp" "src/core/CMakeFiles/parfft_core.dir/stages.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/stages.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/parfft_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/tune.cpp" "src/core/CMakeFiles/parfft_core.dir/tune.cpp.o" "gcc" "src/core/CMakeFiles/parfft_core.dir/tune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parfft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/parfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/parfft_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/parfft_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/parfft_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/parfft_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfft_core.dir/box.cpp.o"
+  "CMakeFiles/parfft_core.dir/box.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/fft3d.cpp.o"
+  "CMakeFiles/parfft_core.dir/fft3d.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/grids.cpp.o"
+  "CMakeFiles/parfft_core.dir/grids.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/pack.cpp.o"
+  "CMakeFiles/parfft_core.dir/pack.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/plan.cpp.o"
+  "CMakeFiles/parfft_core.dir/plan.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/real_plan.cpp.o"
+  "CMakeFiles/parfft_core.dir/real_plan.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/reshape.cpp.o"
+  "CMakeFiles/parfft_core.dir/reshape.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/simulate.cpp.o"
+  "CMakeFiles/parfft_core.dir/simulate.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/spectral.cpp.o"
+  "CMakeFiles/parfft_core.dir/spectral.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/stages.cpp.o"
+  "CMakeFiles/parfft_core.dir/stages.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/trace.cpp.o"
+  "CMakeFiles/parfft_core.dir/trace.cpp.o.d"
+  "CMakeFiles/parfft_core.dir/tune.cpp.o"
+  "CMakeFiles/parfft_core.dir/tune.cpp.o.d"
+  "libparfft_core.a"
+  "libparfft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

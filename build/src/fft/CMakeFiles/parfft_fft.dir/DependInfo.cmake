@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/bluestein.cpp" "src/fft/CMakeFiles/parfft_fft.dir/bluestein.cpp.o" "gcc" "src/fft/CMakeFiles/parfft_fft.dir/bluestein.cpp.o.d"
+  "/root/repo/src/fft/factorize.cpp" "src/fft/CMakeFiles/parfft_fft.dir/factorize.cpp.o" "gcc" "src/fft/CMakeFiles/parfft_fft.dir/factorize.cpp.o.d"
+  "/root/repo/src/fft/many.cpp" "src/fft/CMakeFiles/parfft_fft.dir/many.cpp.o" "gcc" "src/fft/CMakeFiles/parfft_fft.dir/many.cpp.o.d"
+  "/root/repo/src/fft/plan1d.cpp" "src/fft/CMakeFiles/parfft_fft.dir/plan1d.cpp.o" "gcc" "src/fft/CMakeFiles/parfft_fft.dir/plan1d.cpp.o.d"
+  "/root/repo/src/fft/real.cpp" "src/fft/CMakeFiles/parfft_fft.dir/real.cpp.o" "gcc" "src/fft/CMakeFiles/parfft_fft.dir/real.cpp.o.d"
+  "/root/repo/src/fft/reference.cpp" "src/fft/CMakeFiles/parfft_fft.dir/reference.cpp.o" "gcc" "src/fft/CMakeFiles/parfft_fft.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfft_fft.dir/bluestein.cpp.o"
+  "CMakeFiles/parfft_fft.dir/bluestein.cpp.o.d"
+  "CMakeFiles/parfft_fft.dir/factorize.cpp.o"
+  "CMakeFiles/parfft_fft.dir/factorize.cpp.o.d"
+  "CMakeFiles/parfft_fft.dir/many.cpp.o"
+  "CMakeFiles/parfft_fft.dir/many.cpp.o.d"
+  "CMakeFiles/parfft_fft.dir/plan1d.cpp.o"
+  "CMakeFiles/parfft_fft.dir/plan1d.cpp.o.d"
+  "CMakeFiles/parfft_fft.dir/real.cpp.o"
+  "CMakeFiles/parfft_fft.dir/real.cpp.o.d"
+  "CMakeFiles/parfft_fft.dir/reference.cpp.o"
+  "CMakeFiles/parfft_fft.dir/reference.cpp.o.d"
+  "libparfft_fft.a"
+  "libparfft_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfft_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

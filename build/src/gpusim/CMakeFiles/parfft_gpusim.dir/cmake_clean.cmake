@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfft_gpusim.dir/device.cpp.o"
+  "CMakeFiles/parfft_gpusim.dir/device.cpp.o.d"
+  "libparfft_gpusim.a"
+  "libparfft_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfft_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfft_model.dir/bandwidth.cpp.o"
+  "CMakeFiles/parfft_model.dir/bandwidth.cpp.o.d"
+  "libparfft_model.a"
+  "libparfft_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfft_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

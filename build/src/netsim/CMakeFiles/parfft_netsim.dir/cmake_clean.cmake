@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfft_netsim.dir/collectives.cpp.o"
+  "CMakeFiles/parfft_netsim.dir/collectives.cpp.o.d"
+  "CMakeFiles/parfft_netsim.dir/flowsim.cpp.o"
+  "CMakeFiles/parfft_netsim.dir/flowsim.cpp.o.d"
+  "CMakeFiles/parfft_netsim.dir/machine.cpp.o"
+  "CMakeFiles/parfft_netsim.dir/machine.cpp.o.d"
+  "libparfft_netsim.a"
+  "libparfft_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfft_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

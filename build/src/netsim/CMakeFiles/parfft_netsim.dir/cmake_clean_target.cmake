@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparfft_netsim.a"
+)

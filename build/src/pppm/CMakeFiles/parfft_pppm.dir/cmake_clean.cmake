@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfft_pppm.dir/ewald.cpp.o"
+  "CMakeFiles/parfft_pppm.dir/ewald.cpp.o.d"
+  "CMakeFiles/parfft_pppm.dir/proxy.cpp.o"
+  "CMakeFiles/parfft_pppm.dir/proxy.cpp.o.d"
+  "CMakeFiles/parfft_pppm.dir/solver.cpp.o"
+  "CMakeFiles/parfft_pppm.dir/solver.cpp.o.d"
+  "libparfft_pppm.a"
+  "libparfft_pppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfft_pppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parfft_pppm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfft_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/parfft_simmpi.dir/runtime.cpp.o.d"
+  "libparfft_simmpi.a"
+  "libparfft_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfft_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

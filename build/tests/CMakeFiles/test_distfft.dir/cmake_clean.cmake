@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distfft.dir/test_distfft.cpp.o"
+  "CMakeFiles/test_distfft.dir/test_distfft.cpp.o.d"
+  "test_distfft"
+  "test_distfft.pdb"
+  "test_distfft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft3d_api.dir/test_fft3d_api.cpp.o"
+  "CMakeFiles/test_fft3d_api.dir/test_fft3d_api.cpp.o.d"
+  "test_fft3d_api"
+  "test_fft3d_api.pdb"
+  "test_fft3d_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft3d_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

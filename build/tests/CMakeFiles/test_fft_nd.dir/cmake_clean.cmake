@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_nd.dir/test_fft_nd.cpp.o"
+  "CMakeFiles/test_fft_nd.dir/test_fft_nd.cpp.o.d"
+  "test_fft_nd"
+  "test_fft_nd.pdb"
+  "test_fft_nd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_nd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fft_nd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pppm.dir/test_pppm.cpp.o"
+  "CMakeFiles/test_pppm.dir/test_pppm.cpp.o.d"
+  "test_pppm"
+  "test_pppm.pdb"
+  "test_pppm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

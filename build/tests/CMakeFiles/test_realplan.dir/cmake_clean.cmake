@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realplan.dir/test_realplan.cpp.o"
+  "CMakeFiles/test_realplan.dir/test_realplan.cpp.o.d"
+  "test_realplan"
+  "test_realplan.pdb"
+  "test_realplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

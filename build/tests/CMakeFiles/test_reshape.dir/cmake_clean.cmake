@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reshape.dir/test_reshape.cpp.o"
+  "CMakeFiles/test_reshape.dir/test_reshape.cpp.o.d"
+  "test_reshape"
+  "test_reshape.pdb"
+  "test_reshape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

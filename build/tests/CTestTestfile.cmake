@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_fft1d[1]_include.cmake")
+include("/root/repo/build/tests/test_fft_nd[1]_include.cmake")
+include("/root/repo/build/tests/test_fft_real[1]_include.cmake")
+include("/root/repo/build/tests/test_fft_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_box[1]_include.cmake")
+include("/root/repo/build/tests/test_reshape[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_stages[1]_include.cmake")
+include("/root/repo/build/tests/test_distfft[1]_include.cmake")
+include("/root/repo/build/tests/test_simulate[1]_include.cmake")
+include("/root/repo/build/tests/test_pppm[1]_include.cmake")
+include("/root/repo/build/tests/test_realplan[1]_include.cmake")
+include("/root/repo/build/tests/test_tune[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_fft3d_api[1]_include.cmake")
+include("/root/repo/build/tests/test_spectral[1]_include.cmake")
