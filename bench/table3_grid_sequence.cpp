@@ -14,8 +14,16 @@ using namespace parfft::bench;
 
 namespace {
 std::string grid_str(const core::ProcGrid& g) {
-  return "(" + std::to_string(g.dims[0]) + "," + std::to_string(g.dims[1]) +
-         "," + std::to_string(g.dims[2]) + ")";
+  // Built with += rather than an operator+ chain: GCC 12 at -O2 raises a
+  // spurious -Wrestrict on the inlined concatenation otherwise.
+  std::string s = "(";
+  s += std::to_string(g.dims[0]);
+  s += ',';
+  s += std::to_string(g.dims[1]);
+  s += ',';
+  s += std::to_string(g.dims[2]);
+  s += ')';
+  return s;
 }
 }  // namespace
 

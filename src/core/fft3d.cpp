@@ -37,6 +37,9 @@ void Fft3D::apply_scale(std::vector<cplx>& data, Scale scale) {
       comm_.options().device, static_cast<double>(data.size()) * sizeof(cplx));
   comm_.advance(t);
   plan_.trace().add_scale(t);
+  if (obs::RunTrace* run = comm_.trace_run(); run != nullptr && t > 0)
+    run->tracer.complete(comm_.world_rank(), obs::Category::Scale, "scale",
+                         comm_.vtime() - t, t);
 }
 
 void Fft3D::forward(const std::vector<cplx>& in, std::vector<cplx>& out,

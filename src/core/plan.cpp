@@ -59,9 +59,29 @@ void Plan3D::execute(const cplx* in, cplx* out, dft::Direction dir) {
     std::memcpy(work_.data(), in,
                 static_cast<std::size_t>(input_elements()) * sizeof(cplx));
 
+  obs::RunTrace* run = comm_.trace_run();
+  const int wrank = comm_.world_rank();
+  if (run != nullptr) {
+    std::vector<obs::SpanArg> args;
+    if (run->with_args())
+      args = {{"n", std::to_string(plan_.n[0]) + "x" +
+                        std::to_string(plan_.n[1]) + "x" +
+                        std::to_string(plan_.n[2])},
+              {"batch", static_cast<double>(batch)},
+              {"backend", backend_name(plan_.options.backend)},
+              {"direction",
+               dir == dft::Direction::Forward ? "forward" : "backward"}};
+    run->tracer.begin(wrank, obs::Category::Transform, "fft3d",
+                      comm_.vtime(), std::move(args));
+  }
+
   for (const Stage& stage : plan_.stages) {
     if (stage.kind == Stage::Kind::Reshape) {
+      if (run != nullptr)
+        run->tracer.begin(wrank, obs::Category::Reshape, "reshape",
+                          comm_.vtime());
       run_reshape(stage, tag_counter_);
+      if (run != nullptr) run->tracer.end(wrank, comm_.vtime());
       tag_counter_ += 1;
     } else {
       run_fft(stage, dir);
@@ -77,7 +97,12 @@ void Plan3D::execute(const cplx* in, cplx* out, dft::Direction dir) {
     const double t = gpu::pointwise_cost(dev_, bytes);
     comm_.advance(t);
     trace_.add_scale(t);
+    if (run != nullptr)
+      run->tracer.complete(wrank, obs::Category::Scale, "scale",
+                           comm_.vtime() - t, t);
   }
+
+  if (run != nullptr) run->tracer.end(wrank, comm_.vtime());
 
   PARFFT_ASSERT(static_cast<idx_t>(work_.size()) == output_elements());
   if (output_elements() > 0)
@@ -129,6 +154,14 @@ void Plan3D::run_reshape_collective(const Stage& stage) {
   if (!rp.sends(me).empty()) pack_t += dev_.kernel_launch;
   comm_.advance(pack_t);
   trace_.add_pack(pack_t);
+  if (obs::RunTrace* run = comm_.trace_run()) {
+    if (pack_t > 0)
+      run->tracer.complete(comm_.world_rank(), obs::Category::Pack, "pack",
+                           comm_.vtime() - pack_t, pack_t);
+    run->metrics
+        .histogram("reshape/fanout", obs::geometric_edges(1.0, 1024.0, 2.0))
+        .observe(static_cast<double>(rp.sends(me).size()));
+  }
 
   // Receive displacements (ascending peer).
   recvbuf_.resize(static_cast<std::size_t>(rp.max_recv_elements(me) * batch));
@@ -164,6 +197,9 @@ void Plan3D::run_reshape_collective(const Stage& stage) {
   if (!rp.recvs(me).empty()) unpack_t += dev_.kernel_launch;
   comm_.advance(unpack_t);
   trace_.add_unpack(unpack_t);
+  if (obs::RunTrace* run = comm_.trace_run(); run != nullptr && unpack_t > 0)
+    run->tracer.complete(comm_.world_rank(), obs::Category::Unpack, "unpack",
+                         comm_.vtime() - unpack_t, unpack_t);
   work_.swap(work2_);
 }
 
@@ -232,6 +268,14 @@ void Plan3D::run_reshape_p2p(const Stage& stage, int tag_base) {
   if (!rp.sends(me).empty()) pack_t += dev_.kernel_launch;
   comm_.advance(pack_t);
   trace_.add_pack(pack_t);
+  if (obs::RunTrace* run = comm_.trace_run()) {
+    if (pack_t > 0)
+      run->tracer.complete(comm_.world_rank(), obs::Category::Pack, "pack",
+                           comm_.vtime() - pack_t, pack_t);
+    run->metrics
+        .histogram("reshape/fanout", obs::geometric_edges(1.0, 1024.0, 2.0))
+        .observe(static_cast<double>(rp.sends(me).size()));
+  }
 
   // Post receives (MPI_Irecv), then sends; data transport is untimed here
   // -- the whole phase is settled with the congestion-aware model below.
@@ -307,6 +351,9 @@ void Plan3D::run_reshape_p2p(const Stage& stage, int tag_base) {
   if (!rp.recvs(me).empty()) unpack_t += dev_.kernel_launch;
   comm_.advance(unpack_t);
   trace_.add_unpack(unpack_t);
+  if (obs::RunTrace* run = comm_.trace_run(); run != nullptr && unpack_t > 0)
+    run->tracer.complete(comm_.world_rank(), obs::Category::Unpack, "unpack",
+                         comm_.vtime() - unpack_t, unpack_t);
   work_.swap(work2_);
 }
 
@@ -332,6 +379,17 @@ void Plan3D::run_fft(const Stage& stage, dft::Direction dir) {
           /*strided=*/!naturally_contiguous);
       comm_.advance(t);
       trace_.add_fft(t, !naturally_contiguous);
+      if (obs::RunTrace* run = comm_.trace_run()) {
+        std::vector<obs::SpanArg> args;
+        if (run->with_args())
+          args = {{"axis", static_cast<double>(axis)},
+                  {"len", static_cast<double>(len)},
+                  {"batches", static_cast<double>(lines) * batch}};
+        run->tracer.complete(
+            comm_.world_rank(), obs::Category::Fft,
+            naturally_contiguous ? "fft(contiguous)" : "fft(strided)",
+            comm_.vtime() - t, t, std::move(args));
+      }
     } else {
       // heFFTe's reorder path: transpose to contiguous lines, transform,
       // transpose back. Costs two local repacks but a contiguous FFT.
@@ -356,6 +414,20 @@ void Plan3D::run_fft(const Stage& stage, dft::Direction dir) {
       comm_.advance(pack_t + t);
       trace_.add_pack(pack_t);
       trace_.add_fft(t, false);
+      if (obs::RunTrace* run = comm_.trace_run()) {
+        // Two equal transposes bracket the contiguous FFT; splitting
+        // pack_t in half keeps the Pack span sum identical to the
+        // aggregate value recorded above.
+        const int wrank = comm_.world_rank();
+        const double end = comm_.vtime();
+        const double half = pack_t / 2.0;
+        run->tracer.complete(wrank, obs::Category::Pack, "transpose",
+                             end - pack_t - t, half);
+        run->tracer.complete(wrank, obs::Category::Fft, "fft(contiguous)",
+                             end - (pack_t - half) - t, t);
+        run->tracer.complete(wrank, obs::Category::Pack, "transpose",
+                             end - (pack_t - half), pack_t - half);
+      }
     }
   }
 }

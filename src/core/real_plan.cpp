@@ -20,6 +20,13 @@ int compute_ranks_of(const PlanOptions& opt, int nranks) {
                                                        : nranks;
 }
 
+/// Records a leaf span ending at the communicator's current virtual time.
+void leaf_span(smpi::Comm& comm, obs::Category cat, const char* name,
+               double t) {
+  if (obs::RunTrace* run = comm.trace_run(); run != nullptr && t > 0)
+    run->tracer.complete(comm.world_rank(), cat, name, comm.vtime() - t, t);
+}
+
 }  // namespace
 
 RealPlan3D::RealPlan3D(smpi::Comm& comm, const std::array<int, 3>& n,
@@ -108,6 +115,7 @@ void RealPlan3D::exchange_real(const ReshapePlan& rp, const double* in,
   if (!rp.sends(me).empty()) pack_t += dev_.kernel_launch;
   comm_.advance(pack_t);
   trace_.add_pack(pack_t);
+  leaf_span(comm_, obs::Category::Pack, "pack", pack_t);
 
   idx_t roff = 0;
   for (const Transfer& t : rp.recvs(me)) {
@@ -139,6 +147,7 @@ void RealPlan3D::exchange_real(const ReshapePlan& rp, const double* in,
   if (!rp.recvs(me).empty()) unpack_t += dev_.kernel_launch;
   comm_.advance(unpack_t);
   trace_.add_unpack(unpack_t);
+  leaf_span(comm_, obs::Category::Unpack, "unpack", unpack_t);
 }
 
 void RealPlan3D::forward(const double* in, cplx* out) {
@@ -157,6 +166,7 @@ void RealPlan3D::forward(const double* in, cplx* out) {
                        : 0.0;
   comm_.advance(t);
   trace_.add_fft(t, false);
+  leaf_span(comm_, obs::Category::Fft, "r2c", t);
 
   complex_fwd_.execute(cwork_.data(), out, dft::Direction::Forward);
 }
@@ -174,6 +184,7 @@ void RealPlan3D::backward(const cplx* in, double* out) {
                        : 0.0;
   comm_.advance(t);
   trace_.add_fft(t, false);
+  leaf_span(comm_, obs::Category::Fft, "c2r", t);
 
   exchange_real(real_bwd_, rwork_.data(), out);
 
@@ -186,6 +197,7 @@ void RealPlan3D::backward(const cplx* in, double* out) {
         dev_, static_cast<double>(cnt) * sizeof(double));
     comm_.advance(ts);
     trace_.add_scale(ts);
+    leaf_span(comm_, obs::Category::Scale, "scale", ts);
   }
 }
 

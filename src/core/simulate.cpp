@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "common/error.hpp"
 #include "core/pack.hpp"
+#include "obs/session.hpp"
 
 namespace parfft::core {
 
@@ -25,11 +27,15 @@ class StageRunner {
   StageRunner(const SimConfig& cfg, const StagePlan& plan,
               const net::CommCost& cost, SimReport& report,
               std::vector<gpu::PlanCache>& caches,
-              std::vector<double>& clocks)
+              std::vector<double>& clocks, obs::RunTrace* run)
       : cfg_(cfg), plan_(plan), cost_(cost), report_(report),
-        caches_(caches), clocks_(clocks) {}
+        caches_(caches), clocks_(clocks), run_(run) {}
 
   void run_transform() {
+    if (run_ != nullptr)
+      for (int r = 0; r < plan_.nranks; ++r)
+        run_->tracer.begin(r, obs::Category::Transform, "fft3d",
+                           clocks_[static_cast<std::size_t>(r)]);
     std::size_t reshape_idx = 0;
     for (const Stage& s : plan_.stages) {
       if (s.kind == Stage::Kind::Reshape) {
@@ -38,6 +44,9 @@ class StageRunner {
         run_fft(s);
       }
     }
+    if (run_ != nullptr)
+      for (int r = 0; r < plan_.nranks; ++r)
+        run_->tracer.end(r, clocks_[static_cast<std::size_t>(r)]);
     first_transform_ = false;
   }
 
@@ -52,6 +61,7 @@ class StageRunner {
     std::vector<double> pack, unpack;  // per rank
     double max_pack = 0, max_unpack = 0;
     net::PhaseTimes phase;
+    net::LinkStats stats;  ///< filled only when tracing is on
   };
 
   const ReshapeCosts& reshape_costs(const Stage& s, std::size_t idx) {
@@ -94,30 +104,95 @@ class StageRunner {
     for (int r = 0; r < R; ++r) group[static_cast<std::size_t>(r)] = r;
     rc.phase = cost_.exchange(group, rp.send_matrix(batch),
                               to_alg(plan_.options.backend), mode(),
-                              cfg_.flavor);
+                              cfg_.flavor, run_ ? &rc.stats : nullptr);
     return rc;
   }
 
   void run_reshape(const Stage& s, std::size_t idx) {
     const int R = plan_.nranks;
     const ReshapeCosts& rc = reshape_costs(s, idx);
-    for (int r = 0; r < R; ++r)
-      clocks_[static_cast<std::size_t>(r)] += rc.pack[static_cast<std::size_t>(r)];
+    if (run_ != nullptr)
+      for (int r = 0; r < R; ++r)
+        run_->tracer.begin(r, obs::Category::Reshape, "reshape",
+                           clocks_[static_cast<std::size_t>(r)]);
+    for (int r = 0; r < R; ++r) {
+      const double p = rc.pack[static_cast<std::size_t>(r)];
+      if (run_ != nullptr && p > 0)
+        run_->tracer.complete(r, obs::Category::Pack, "pack",
+                              clocks_[static_cast<std::size_t>(r)], p);
+      clocks_[static_cast<std::size_t>(r)] += p;
+    }
     report_.kernels.pack += rc.max_pack;
 
     // Exchange: globally synchronizing collective, per-rank completion
     // from the congestion-aware model (identical call to threaded mode).
     const double base = *std::max_element(clocks_.begin(), clocks_.end());
-    for (int r = 0; r < R; ++r)
+    if (run_ != nullptr) record_reshape_obs(s, rc, base);
+    for (int r = 0; r < R; ++r) {
+      if (run_ != nullptr) {
+        const double c = clocks_[static_cast<std::size_t>(r)];
+        if (base > c)
+          run_->tracer.complete(r, obs::Category::Wait, "exchange sync", c,
+                                base - c);
+        run_->tracer.complete(
+            r, obs::Category::Exchange, backend_name(plan_.options.backend),
+            base, rc.phase.per_rank[static_cast<std::size_t>(r)]);
+      }
       clocks_[static_cast<std::size_t>(r)] =
           base + rc.phase.per_rank[static_cast<std::size_t>(r)];
+    }
     report_.kernels.comm += rc.phase.total;
     report_.comm_calls.push_back(
         {backend_name(plan_.options.backend), rc.phase.total});
 
-    for (int r = 0; r < R; ++r)
-      clocks_[static_cast<std::size_t>(r)] += rc.unpack[static_cast<std::size_t>(r)];
+    for (int r = 0; r < R; ++r) {
+      const double u = rc.unpack[static_cast<std::size_t>(r)];
+      if (run_ != nullptr && u > 0)
+        run_->tracer.complete(r, obs::Category::Unpack, "unpack",
+                              clocks_[static_cast<std::size_t>(r)], u);
+      clocks_[static_cast<std::size_t>(r)] += u;
+      if (run_ != nullptr)
+        run_->tracer.end(r, clocks_[static_cast<std::size_t>(r)]);
+    }
     report_.kernels.unpack += rc.max_unpack;
+  }
+
+  /// Per-execution metrics: bytes sent, message sizes, fan-out, and the
+  /// link-utilization record of this reshape's exchange (gauges keep the
+  /// peak over executions; counter tracks get the time-shifted samples).
+  void record_reshape_obs(const Stage& s, const ReshapeCosts& rc,
+                          double base) {
+    const ReshapePlan& rp = s.reshape;
+    const int batch = plan_.options.batch;
+    for (int r = 0; r < plan_.nranks; ++r) {
+      double sent = 0;
+      for (const Transfer& tr : rp.sends(r)) {
+        const double b =
+            static_cast<double>(tr.region.count() * batch) * sizeof(cplx);
+        sent += b;
+        run_->metrics
+            .histogram("reshape/message_bytes",
+                       obs::geometric_edges(1024.0, 1e9, 4.0))
+            .observe(b);
+      }
+      run_->metrics.counter("rank/" + std::to_string(r) + "/bytes_sent")
+          .add(sent);
+      run_->metrics
+          .histogram("reshape/fanout", obs::geometric_edges(1.0, 1024.0, 2.0))
+          .observe(static_cast<double>(rp.sends(r).size()));
+    }
+    for (const net::LinkStats::Link& l : rc.stats.links) {
+      if (l.capacity <= 0) continue;
+      run_->metrics.gauge("link/" + l.name + "/peak_util")
+          .set_max(l.peak_rate / l.capacity);
+      run_->metrics.gauge("link/" + l.name + "/mean_util")
+          .set_max(l.mean_rate(rc.stats.duration) / l.capacity);
+      run_->metrics.gauge("link/" + l.name + "/saturated_frac")
+          .set_max(l.saturated_fraction(rc.stats.duration));
+      for (const auto& [t, rate] : l.samples)
+        run_->counter_sample("link/" + l.name + " GB/s", base + t,
+                             rate / 1e9);
+    }
   }
 
   void run_fft(const Stage& s) {
@@ -146,10 +221,24 @@ class StageRunner {
               static_cast<double>(box.count()) * batch * sizeof(cplx);
           const double p =
               2.0 * gpu::pack_cost(cfg_.device, bytes, sizeof(cplx));
+          if (run_ != nullptr && p > 0)
+            run_->tracer.complete(r, obs::Category::Pack, "transpose",
+                                  clocks_[static_cast<std::size_t>(r)], p);
           clocks_[static_cast<std::size_t>(r)] += p;
           max_pack = std::max(max_pack, p);
         }
         any_strided = any_strided || !contiguous;
+        if (run_ != nullptr && t > 0)
+          run_->tracer.complete(
+              r, obs::Category::Fft,
+              contiguous ? "fft(contiguous)" : "fft(strided)",
+              clocks_[static_cast<std::size_t>(r)], t,
+              run_->with_args()
+                  ? std::vector<obs::SpanArg>{{"axis",
+                                               static_cast<double>(axis)},
+                                              {"len",
+                                               static_cast<double>(len)}}
+                  : std::vector<obs::SpanArg>{});
         clocks_[static_cast<std::size_t>(r)] += t;
         max_fft = std::max(max_fft, t);
       }
@@ -166,6 +255,7 @@ class StageRunner {
   SimReport& report_;
   std::vector<gpu::PlanCache>& caches_;
   std::vector<double>& clocks_;
+  obs::RunTrace* run_;  ///< nullptr when tracing is off
   std::vector<std::unique_ptr<ReshapeCosts>> reshape_cache_;
   bool first_transform_ = true;
 };
@@ -298,7 +388,14 @@ SimReport simulate(const SimConfig& cfg) {
   std::vector<double> clocks(static_cast<std::size_t>(c.nranks), 0.0);
   std::vector<gpu::PlanCache> caches(
       c.warmed ? 0 : static_cast<std::size_t>(c.nranks));
-  StageRunner runner(c, plan, cost, report, caches, clocks);
+  // One RunTrace per simulate() call (nullptr when tracing is off); the
+  // overlapped-batch path above is aggregate-only and is never traced.
+  obs::RunTrace* run = obs::Session::global().begin_run(
+      "simulate " + std::to_string(c.n[0]) + "x" + std::to_string(c.n[1]) +
+          "x" + std::to_string(c.n[2]) + " " + std::to_string(c.nranks) +
+          " ranks",
+      c.nranks, c.options.trace);
+  StageRunner runner(c, plan, cost, report, caches, clocks, run);
   for (int rep = 0; rep < c.repeats; ++rep) runner.run_transform();
 
   report.rank_times = clocks;
@@ -316,14 +413,32 @@ SimReport simulate(const SimConfig& cfg) {
   return report;
 }
 
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';  // RFC 4180: double embedded quotes
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 void write_call_csv(const SimReport& report, std::ostream& os) {
+  // Schema: kind,index,name,seconds
+  //   kind    -- "comm" (one row per reshape execution) or "fft" (one row
+  //              per FFT stage axis)
+  //   index   -- 1-based position within its kind, in execution order
+  //   name    -- MPI routine or kernel label, RFC 4180-quoted if it
+  //              contains commas, quotes or newlines
+  //   seconds -- virtual duration (max over ranks) of that call
   os << "kind,index,name,seconds\n";
   for (std::size_t i = 0; i < report.comm_calls.size(); ++i)
-    os << "comm," << i + 1 << ',' << report.comm_calls[i].name << ','
-       << report.comm_calls[i].seconds << '\n';
+    os << "comm," << i + 1 << ',' << csv_escape(report.comm_calls[i].name)
+       << ',' << report.comm_calls[i].seconds << '\n';
   for (std::size_t i = 0; i < report.fft_calls.size(); ++i)
-    os << "fft," << i + 1 << ',' << report.fft_calls[i].name << ','
-       << report.fft_calls[i].seconds << '\n';
+    os << "fft," << i + 1 << ',' << csv_escape(report.fft_calls[i].name)
+       << ',' << report.fft_calls[i].seconds << '\n';
 }
 
 }  // namespace parfft::core

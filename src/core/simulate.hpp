@@ -12,6 +12,7 @@
 /// configurations.
 
 #include <ostream>
+#include <string>
 
 #include "core/stages.hpp"
 #include "core/trace.hpp"
@@ -52,9 +53,16 @@ struct SimReport {
 /// Builds the stage plan for `cfg` and runs the virtual-time simulation.
 SimReport simulate(const SimConfig& cfg);
 
-/// Writes the report's per-call traces as CSV rows
-/// ("kind,index,name,seconds") for external plotting of the per-call
-/// figures (paper Figs. 2, 3, 10).
+/// RFC 4180 CSV field quoting: fields containing commas, quotes or line
+/// breaks are wrapped in double quotes with embedded quotes doubled;
+/// everything else passes through unchanged.
+std::string csv_escape(const std::string& field);
+
+/// Writes the report's per-call traces as CSV rows for external plotting
+/// of the per-call figures (paper Figs. 2, 3, 10). Schema (header row
+/// included): kind ("comm"|"fft"), index (1-based within kind, execution
+/// order), name (routine/kernel label, csv_escape()d), seconds (virtual
+/// duration, max over ranks).
 void write_call_csv(const SimReport& report, std::ostream& os);
 
 /// Convenience: the boxes of `grid` over an n-sized space, padded to

@@ -13,6 +13,7 @@
 
 #include "core/reshape.hpp"
 #include "netsim/machine.hpp"
+#include "obs/tracer.hpp"
 
 namespace parfft::core {
 
@@ -54,6 +55,9 @@ struct PlanOptions {
   /// (simulate-mode timing; the source of the Fig. 13 speedup).
   bool overlap_batches = true;
   Scaling scaling = Scaling::None;
+  /// Span/metric recording for this plan's executions (simulate mode). Also
+  /// switched on globally by the PARFFT_TRACE environment variable.
+  obs::TraceConfig trace;
 };
 
 /// One pipeline step.

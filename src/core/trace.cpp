@@ -1,3 +1,49 @@
-// trace.hpp is header-only; this translation unit exists so the target has
-// a stable archive member for the class (and a home for future expansion).
 #include "core/trace.hpp"
+
+#include <utility>
+
+namespace parfft::core {
+
+void Trace::add(obs::Category cat, std::string name, double t) {
+  calls_.push_back({std::move(name), t, cat});
+}
+
+KernelTimes Trace::kernels() const {
+  KernelTimes k;
+  for (const CallRecord& c : calls_) {
+    switch (c.cat) {
+      case obs::Category::Fft:
+        k.fft += c.seconds;
+        break;
+      case obs::Category::Pack:
+        k.pack += c.seconds;
+        break;
+      case obs::Category::Unpack:
+        k.unpack += c.seconds;
+        break;
+      case obs::Category::Scale:
+        k.scale += c.seconds;
+        break;
+      default:  // Exchange / Wait / Send / Collective: communication time
+        k.comm += c.seconds;
+        break;
+    }
+  }
+  return k;
+}
+
+std::vector<CallRecord> Trace::comm_calls() const {
+  std::vector<CallRecord> out;
+  for (const CallRecord& c : calls_)
+    if (c.cat == obs::Category::Exchange) out.push_back(c);
+  return out;
+}
+
+std::vector<CallRecord> Trace::fft_calls() const {
+  std::vector<CallRecord> out;
+  for (const CallRecord& c : calls_)
+    if (c.cat == obs::Category::Fft) out.push_back(c);
+  return out;
+}
+
+}  // namespace parfft::core

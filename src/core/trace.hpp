@@ -3,9 +3,15 @@
 /// Virtual-time accounting of a distributed transform: per-kernel totals
 /// (the runtime breakdowns of paper Figs. 6, 7 and 12) and per-call records
 /// (the per-MPI-call traces of Figs. 2, 3 and 10).
+///
+/// Trace is the aggregate view; the span-level timeline lives in obs::Tracer
+/// (see obs/tracer.hpp). Both are fed from the same call sites with the same
+/// cost doubles, so their per-category sums agree bit-for-bit.
 
 #include <string>
 #include <vector>
+
+#include "obs/tracer.hpp"
 
 namespace parfft::core {
 
@@ -28,40 +34,44 @@ struct KernelTimes {
   }
 };
 
-/// One kernel or MPI call with its virtual duration.
+/// One kernel or MPI call with its virtual duration. `cat` is last so the
+/// historical `{name, seconds}` aggregate initialization keeps working.
 struct CallRecord {
   std::string name;
   double seconds = 0;
+  obs::Category cat = obs::Category::Fft;
 };
 
+/// Flat per-plan record of every timed call, in execution order. All
+/// categories funnel through the single add() entry point; the named
+/// helpers only choose the category and display name.
 class Trace {
  public:
+  void add(obs::Category cat, std::string name, double t);
+
   void add_fft(double t, bool strided) {
-    kernels_.fft += t;
-    fft_calls_.push_back({strided ? "fft(strided)" : "fft(contiguous)", t});
+    add(obs::Category::Fft, strided ? "fft(strided)" : "fft(contiguous)", t);
   }
-  void add_pack(double t) { kernels_.pack += t; }
-  void add_unpack(double t) { kernels_.unpack += t; }
-  void add_scale(double t) { kernels_.scale += t; }
+  void add_pack(double t) { add(obs::Category::Pack, "pack", t); }
+  void add_unpack(double t) { add(obs::Category::Unpack, "unpack", t); }
+  void add_scale(double t) { add(obs::Category::Scale, "scale", t); }
   void add_comm(const std::string& routine, double t) {
-    kernels_.comm += t;
-    comm_calls_.push_back({routine, t});
+    add(obs::Category::Exchange, routine, t);
   }
 
-  const KernelTimes& kernels() const { return kernels_; }
-  const std::vector<CallRecord>& comm_calls() const { return comm_calls_; }
-  const std::vector<CallRecord>& fft_calls() const { return fft_calls_; }
+  /// Folds the call list into per-category totals.
+  KernelTimes kernels() const;
+  /// Exchange-category calls, in execution order.
+  std::vector<CallRecord> comm_calls() const;
+  /// Fft-category calls, in execution order.
+  std::vector<CallRecord> fft_calls() const;
+  /// Every call, in execution order.
+  const std::vector<CallRecord>& calls() const { return calls_; }
 
-  void clear() {
-    kernels_ = {};
-    comm_calls_.clear();
-    fft_calls_.clear();
-  }
+  void clear() { calls_.clear(); }
 
  private:
-  KernelTimes kernels_;
-  std::vector<CallRecord> comm_calls_;
-  std::vector<CallRecord> fft_calls_;
+  std::vector<CallRecord> calls_;
 };
 
 }  // namespace parfft::core

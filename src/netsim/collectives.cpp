@@ -48,7 +48,8 @@ double CommCost::point_to_point(int src, int dst, double bytes,
 
 PhaseTimes CommCost::pairwise_rounds(const std::vector<int>& group,
                                      const SendMatrix& sends, bool padded,
-                                     TransferMode mode) const {
+                                     TransferMode mode,
+                                     LinkStats* stats) const {
   const int G = static_cast<int>(group.size());
   PARFFT_CHECK(static_cast<int>(sends.size()) == G,
                "send matrix does not match group size");
@@ -161,7 +162,7 @@ PhaseTimes CommCost::pairwise_rounds(const std::vector<int>& group,
       }
     }
   }
-  sim_.run(flows, mode);
+  sim_.run(flows, mode, stats);
   for (std::size_t f = 0; f < flows.size(); ++f) {
     auto& s_ = out.per_rank[static_cast<std::size_t>(src_pos[f])];
     s_ = std::max(s_, flows[f].finish);
@@ -177,7 +178,7 @@ PhaseTimes CommCost::pairwise_rounds(const std::vector<int>& group,
 
 PhaseTimes CommCost::storm(const std::vector<int>& group,
                            const SendMatrix& sends, CollectiveAlg alg,
-                           TransferMode mode) const {
+                           TransferMode mode, LinkStats* stats) const {
   const int G = static_cast<int>(group.size());
   PARFFT_CHECK(static_cast<int>(sends.size()) == G,
                "send matrix does not match group size");
@@ -203,7 +204,7 @@ PhaseTimes CommCost::storm(const std::vector<int>& group,
     }
     peers[static_cast<std::size_t>(i)] = k;
   }
-  sim_.run(flows, mode);
+  sim_.run(flows, mode, stats);
 
   // An unscheduled storm loses some fabric efficiency to incast and
   // switch-buffer pressure compared to a scheduled pairwise exchange.
@@ -258,8 +259,10 @@ PhaseTimes CommCost::storm(const std::vector<int>& group,
 
 PhaseTimes CommCost::exchange(const std::vector<int>& group,
                               const SendMatrix& sends, CollectiveAlg alg,
-                              TransferMode mode, MpiFlavor flavor) const {
+                              TransferMode mode, MpiFlavor flavor,
+                              LinkStats* stats) const {
   PARFFT_CHECK(!group.empty(), "empty group");
+  if (stats) *stats = LinkStats{};
 
   // SpectrumMPI 10.4 ships no GPU-aware MPI_Alltoallw: device buffers are
   // staged through the host (paper Section II footnote).
@@ -270,13 +273,13 @@ PhaseTimes CommCost::exchange(const std::vector<int>& group,
 
   switch (alg) {
     case CollectiveAlg::Alltoall:
-      return pairwise_rounds(group, sends, /*padded=*/true, mode);
+      return pairwise_rounds(group, sends, /*padded=*/true, mode, stats);
     case CollectiveAlg::Alltoallv:
-      return pairwise_rounds(group, sends, /*padded=*/false, mode);
+      return pairwise_rounds(group, sends, /*padded=*/false, mode, stats);
     case CollectiveAlg::Alltoallw:
     case CollectiveAlg::P2PBlocking:
     case CollectiveAlg::P2PNonBlocking:
-      return storm(group, sends, alg, mode);
+      return storm(group, sends, alg, mode, stats);
   }
   PARFFT_ASSERT(false);
   return {};

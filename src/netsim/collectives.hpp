@@ -50,10 +50,12 @@ class CommCost {
   /// within the group. `mode` is the transfer path actually used; note SpectrumMPI
   /// has no GPU-aware Alltoallw, so callers asking for
   /// {Alltoallw, GpuAware, SpectrumMPI} are silently downgraded to Staged,
-  /// as on the real machine (Section II, footnote).
+  /// as on the real machine (Section II, footnote). When `stats` is
+  /// non-null it receives the fabric's per-link utilization for this phase
+  /// (empty for the Bruck small-message path, which never hits FlowSim).
   PhaseTimes exchange(const std::vector<int>& group, const SendMatrix& sends,
-                      CollectiveAlg alg, TransferMode mode,
-                      MpiFlavor flavor) const;
+                      CollectiveAlg alg, TransferMode mode, MpiFlavor flavor,
+                      LinkStats* stats = nullptr) const;
 
   /// Single isolated message cost (latency + overhead + transport).
   double point_to_point(int src, int dst, double bytes,
@@ -64,9 +66,10 @@ class CommCost {
  private:
   PhaseTimes pairwise_rounds(const std::vector<int>& group,
                              const SendMatrix& sends, bool padded,
-                             TransferMode mode) const;
+                             TransferMode mode, LinkStats* stats) const;
   PhaseTimes storm(const std::vector<int>& group, const SendMatrix& sends,
-                   CollectiveAlg alg, TransferMode mode) const;
+                   CollectiveAlg alg, TransferMode mode,
+                   LinkStats* stats) const;
   double per_message_overhead(TransferMode mode, double bytes) const;
 
   FlowSim sim_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/error.hpp"
 
@@ -30,7 +32,75 @@ FlowSim::FlowSim(const MachineSpec& spec, const RankMap& map, int nranks)
   PARFFT_CHECK(map.ranks_per_node >= 1, "ranks_per_node must be positive");
 }
 
-void FlowSim::run(std::vector<Flow>& flows, TransferMode mode) const {
+namespace {
+
+/// Human-readable link name for the layout documented in FlowSim::run.
+std::string link_name(int l, int R, int N) {
+  if (l < R) return "dev_out/" + std::to_string(l);
+  if (l < 2 * R) return "dev_in/" + std::to_string(l - R);
+  if (l < 2 * R + N) return "nic_out/node" + std::to_string(l - 2 * R);
+  if (l < 2 * R + 2 * N)
+    return "nic_in/node" + std::to_string(l - 2 * R - N);
+  if (l < 2 * R + 3 * N)
+    return "host_stage/node" + std::to_string(l - 2 * R - 2 * N);
+  return "core";
+}
+
+/// Accumulates per-link utilization while the filling loop runs.
+struct StatsAcc {
+  std::vector<double> bytes, peak, util_sum, busy, saturated;
+  std::vector<std::vector<std::pair<double, double>>> samples;
+  std::vector<double> last_sample;
+
+  explicit StatsAcc(std::size_t L)
+      : bytes(L, 0.0), peak(L, 0.0), util_sum(L, 0.0), busy(L, 0.0),
+        saturated(L, 0.0), samples(L), last_sample(L, -1.0) {}
+
+  /// One progressive-filling interval [t, t+dt) with allocation
+  /// base_cap - resid on every link.
+  void interval(double t, double dt, const std::vector<double>& base_cap,
+                const std::vector<double>& resid) {
+    for (std::size_t l = 0; l < base_cap.size(); ++l) {
+      const double rate = std::max(base_cap[l] - resid[l], 0.0);
+      peak[l] = std::max(peak[l], rate);
+      util_sum[l] += rate * dt;
+      if (rate > 0) busy[l] += dt;
+      if (rate >= 0.99 * base_cap[l]) saturated[l] += dt;
+      if (last_sample[l] < 0 ||
+          std::abs(rate - last_sample[l]) > 1e-3 * base_cap[l]) {
+        samples[l].push_back({t, rate});
+        last_sample[l] = rate;
+      }
+    }
+  }
+
+  void finish(LinkStats& out, double duration,
+              const std::vector<double>& base_cap, int R, int N) {
+    out.duration = duration;
+    for (std::size_t l = 0; l < bytes.size(); ++l) {
+      if (bytes[l] <= 0) continue;
+      LinkStats::Link link;
+      link.name = link_name(static_cast<int>(l), R, N);
+      link.capacity = base_cap[l];
+      link.bytes = bytes[l];
+      link.peak_rate = peak[l];
+      link.util_sum = util_sum[l];
+      link.busy_time = busy[l];
+      link.saturated_time = saturated[l];
+      link.samples = std::move(samples[l]);
+      if (!link.samples.empty() &&
+          (link.samples.back().second != 0.0 ||
+           link.samples.back().first < duration))
+        link.samples.push_back({duration, 0.0});
+      out.links.push_back(std::move(link));
+    }
+  }
+};
+
+}  // namespace
+
+void FlowSim::run(std::vector<Flow>& flows, TransferMode mode,
+                  LinkStats* stats) const {
   // Link layout: [0,R) dev_out, [R,2R) dev_in, [2R,2R+N) nic_out,
   // [2R+N,2R+2N) nic_in, [2R+2N,2R+3N) host staging (used by Staged
   // flows: all ranks of a node share the host-memory path), [2R+3N] core.
@@ -109,6 +179,15 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode) const {
     rt.cap = cap;
   }
 
+  std::optional<StatsAcc> acc;
+  if (stats) {
+    *stats = LinkStats{};
+    acc.emplace(static_cast<std::size_t>(L));
+    for (std::size_t f = 0; f < F; ++f)
+      for (int l = 0; l < route[f].nlinks; ++l)
+        acc->bytes[static_cast<std::size_t>(route[f].link[l])] += rem[f];
+  }
+
   // Very wide phases (thousands of flows) use the bottleneck bound: each
   // flow runs at min(its rate cap, its most-loaded link's capacity split
   // by byte share), i.e. finish = start + max over links of
@@ -133,6 +212,27 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode) const {
         tmin = std::max(tmin, load[li] / base_cap[li]);
       }
       flows[f].finish = flows[f].start + tmin;
+    }
+    if (stats) {
+      // Bottleneck-bound estimates: each link runs at its mean rate for
+      // the whole phase.
+      double duration = 0;
+      for (const Flow& fl : flows) duration = std::max(duration, fl.finish);
+      stats->duration = duration;
+      for (std::size_t l = 0; l < acc->bytes.size(); ++l) {
+        if (acc->bytes[l] <= 0) continue;
+        LinkStats::Link link;
+        link.name = link_name(static_cast<int>(l), R, N);
+        link.capacity = base_cap[l];
+        link.bytes = acc->bytes[l];
+        const double mean = duration > 0 ? acc->bytes[l] / duration : 0.0;
+        link.peak_rate = mean;
+        link.util_sum = acc->bytes[l];
+        link.busy_time = mean > 0 ? duration : 0.0;
+        link.saturated_time = mean >= 0.99 * base_cap[l] ? duration : 0.0;
+        link.samples = {{0.0, mean}, {duration, 0.0}};
+        stats->links.push_back(std::move(link));
+      }
     }
     return;
   }
@@ -248,6 +348,7 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode) const {
       dt = std::min(dt, rem[f] / rate[f]);
     }
     PARFFT_ASSERT(dt < kInf && dt >= 0);
+    if (acc) acc->interval(t, dt, base_cap, resid);
     t += dt;
     for (std::size_t f = 0; f < F; ++f) {
       if (done[f] || flows[f].start > t + eps) continue;
@@ -258,6 +359,12 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode) const {
         --remaining;
       }
     }
+  }
+
+  if (acc) {
+    double duration = t;
+    for (const Flow& fl : flows) duration = std::max(duration, fl.finish);
+    acc->finish(*stats, duration, base_cap, R, N);
   }
 }
 

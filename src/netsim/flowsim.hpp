@@ -11,6 +11,8 @@
 /// what makes the paper's congestion phenomena (NIC saturation, per-process
 /// bandwidth collapse at scale, Fig. 4) emerge rather than being hard-coded.
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "netsim/machine.hpp"
@@ -34,6 +36,34 @@ struct Flow {
 /// to the bottleneck-bound approximation (see flowsim.cpp).
 inline constexpr int kExactFlowLimit = 1024;
 
+/// Per-link utilization observed during one simulated phase -- the
+/// contention state that makes the paper's bandwidth collapse (Fig. 4)
+/// emerge, made visible. Only links that carried traffic are reported.
+/// In the exact progressive-filling regime every figure is exact; in the
+/// wide-phase approximation they are the bottleneck-bound estimates.
+struct LinkStats {
+  struct Link {
+    std::string name;       ///< "dev_out/3", "nic_in/node0", "core", ...
+    double capacity = 0;    ///< bytes/s
+    double bytes = 0;       ///< payload carried across the phase
+    double peak_rate = 0;   ///< max allocated rate, bytes/s
+    double util_sum = 0;    ///< integral of allocated rate over time
+    double busy_time = 0;   ///< seconds with any allocated rate
+    double saturated_time = 0;  ///< seconds at >= 99% of capacity
+    /// Step samples (t, allocated rate) for counter-track export.
+    std::vector<std::pair<double, double>> samples;
+
+    double mean_rate(double duration) const {
+      return duration > 0 ? util_sum / duration : 0.0;
+    }
+    double saturated_fraction(double duration) const {
+      return duration > 0 ? saturated_time / duration : 0.0;
+    }
+  };
+  double duration = 0;  ///< phase completion time
+  std::vector<Link> links;
+};
+
 class FlowSim {
  public:
   /// The fabric for `nranks` ranks mapped by `map`; link capacities come
@@ -44,8 +74,10 @@ class FlowSim {
   /// Simulates one phase under the given transfer mode, filling each
   /// flow's `finish`. Flows with src == dst complete at bytes / (hbm/2)
   /// (a local device copy). Thread-safe: `run` is const and keeps all
-  /// mutable state on the stack.
-  void run(std::vector<Flow>& flows, TransferMode mode) const;
+  /// mutable state on the stack. When `stats` is non-null it receives the
+  /// phase's per-link utilization record.
+  void run(std::vector<Flow>& flows, TransferMode mode,
+           LinkStats* stats = nullptr) const;
 
   /// Transport time of a single message with an otherwise idle fabric.
   double single_flow_time(int src, int dst, double bytes,

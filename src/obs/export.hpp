@@ -1,0 +1,33 @@
+#pragma once
+/// \file export.hpp
+/// Trace/metrics exporters.
+///
+/// Chrome trace-event JSON: one "process" per run, one thread track per
+/// simulated rank ("rank N"), "X" complete events for spans and "C"
+/// counter events for the time-varying series (link utilization). The
+/// output loads directly in Perfetto (https://ui.perfetto.dev) or
+/// chrome://tracing. Timestamps are virtual microseconds.
+///
+/// Summary: fixed-width tables (common/table.hpp) of the per-category
+/// span totals, counters, gauges and histogram buckets of one run.
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/session.hpp"
+
+namespace parfft::obs {
+
+/// Writes every run as one Chrome trace-event JSON document.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const RunTrace*>& runs);
+
+/// Writes one run's aggregate tables: span breakdown per category (span
+/// count, total over all ranks, busiest rank's total), then counters,
+/// gauges and histograms.
+void write_run_summary(std::ostream& os, const RunTrace& run);
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace parfft::obs

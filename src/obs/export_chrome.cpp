@@ -1,0 +1,140 @@
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace parfft::obs {
+
+namespace {
+
+/// Formats a double compactly with enough digits to round-trip timeline
+/// positions (%.12g keeps sub-nanosecond resolution at second scale).
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // JSON forbids bare inf/nan; clamp to null-ish zero (never expected).
+  for (const char* bad : {"inf", "nan", "INF", "NAN"})
+    if (std::string(buf).find(bad) != std::string::npos) return "0";
+  return buf;
+}
+
+constexpr double kMicro = 1e6;  ///< seconds -> trace-event microseconds
+
+void write_args(std::ostream& os, const std::vector<SpanArg>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(args[i].key) << "\":";
+    if (args[i].numeric) {
+      os << num(args[i].dval);
+    } else {
+      os << "\"" << json_escape(args[i].sval) << "\"";
+    }
+  }
+  os << "}";
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  std::ostream& event() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    return os_;
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const RunTrace*>& runs) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventWriter w(os);
+  for (const RunTrace* run : runs) {
+    const int pid = run->pid();
+    // Process and thread naming metadata: one Perfetto process per run,
+    // one thread track per simulated rank, ordered by rank.
+    w.event() << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+              << ",\"args\":{\"name\":\"" << json_escape(run->label())
+              << "\"}}";
+    for (int r = 0; r < run->nranks(); ++r) {
+      w.event() << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+                << ",\"tid\":" << r << ",\"args\":{\"name\":\"rank " << r
+                << "\"}}";
+      w.event() << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":"
+                << pid << ",\"tid\":" << r << ",\"args\":{\"sort_index\":"
+                << r << "}}";
+    }
+    // Span events. Emitted in begin order so equal-extent nestings keep
+    // parent-before-child, which Perfetto renders correctly.
+    for (int r = 0; r < run->nranks(); ++r) {
+      std::vector<const Span*> spans;
+      for (const Span& s : run->tracer.spans(r)) spans.push_back(&s);
+      std::stable_sort(spans.begin(), spans.end(),
+                       [](const Span* a, const Span* b) {
+                         if (a->begin != b->begin) return a->begin < b->begin;
+                         if (a->dur != b->dur) return a->dur > b->dur;
+                         return a->depth < b->depth;
+                       });
+      for (const Span* s : spans) {
+        w.event() << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << r
+                  << ",\"ts\":" << num(s->begin * kMicro)
+                  << ",\"dur\":" << num(s->dur * kMicro) << ",\"cat\":\""
+                  << category_name(s->cat) << "\",\"name\":\""
+                  << json_escape(s->name) << "\"";
+        if (!s->args.empty()) {
+          os << ",\"args\":";
+          write_args(os, s->args);
+        }
+        os << "}";
+      }
+    }
+    // Counter tracks: one "C" event per sample, sorted by time.
+    for (CounterSeries series : run->counter_series()) {
+      std::stable_sort(series.samples.begin(), series.samples.end(),
+                       [](const CounterSample& a, const CounterSample& b) {
+                         return a.t < b.t;
+                       });
+      for (const CounterSample& s : series.samples) {
+        w.event() << "{\"ph\":\"C\",\"pid\":" << pid << ",\"ts\":"
+                  << num(s.t * kMicro) << ",\"name\":\""
+                  << json_escape(series.name) << "\",\"args\":{\"value\":"
+                  << num(s.value) << "}}";
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace parfft::obs

@@ -1,0 +1,87 @@
+#include <array>
+#include <map>
+#include <ostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "obs/export.hpp"
+
+namespace parfft::obs {
+
+namespace {
+
+struct CategoryAgg {
+  std::size_t count = 0;
+  double total = 0;     ///< summed over every rank
+  double max_rank = 0;  ///< busiest rank's per-rank total
+};
+
+}  // namespace
+
+void write_run_summary(std::ostream& os, const RunTrace& run) {
+  os << "== " << run.label() << " (" << run.nranks() << " ranks) ==\n\n";
+
+  // Span breakdown per category.
+  std::map<Category, CategoryAgg> agg;
+  for (int r = 0; r < run.nranks(); ++r) {
+    std::map<Category, double> rank_total;
+    for (const Span& s : run.tracer.spans(r)) {
+      CategoryAgg& a = agg[s.cat];
+      ++a.count;
+      a.total += s.dur;
+      rank_total[s.cat] += s.dur;
+    }
+    for (const auto& [cat, t] : rank_total) {
+      CategoryAgg& a = agg[cat];
+      a.max_rank = std::max(a.max_rank, t);
+    }
+  }
+  if (!agg.empty()) {
+    Table t({"category", "spans", "total(all ranks)", "busiest rank"});
+    for (const auto& [cat, a] : agg)
+      t.add_row({category_name(cat), std::to_string(a.count),
+                 format_time(a.total), format_time(a.max_rank)});
+    t.print(os);
+    os << "\n";
+  }
+
+  const auto counters = run.metrics.counters();
+  if (!counters.empty()) {
+    Table t({"counter", "value"});
+    for (const auto& [name, v] : counters)
+      t.add_row({name, name.find("bytes") != std::string::npos
+                           ? format_bytes(v)
+                           : format_fixed(v, 3)});
+    t.print(os);
+    os << "\n";
+  }
+
+  const auto gauges = run.metrics.gauges();
+  if (!gauges.empty()) {
+    Table t({"gauge", "value"});
+    for (const auto& [name, v] : gauges) t.add_row({name, format_fixed(v, 4)});
+    t.print(os);
+    os << "\n";
+  }
+
+  for (const auto& [name, h] : run.metrics.histograms()) {
+    Table t({name, "count"});
+    const auto counts = h->counts();
+    const auto& edges = h->edges();
+    const bool as_bytes = name.find("bytes") != std::string::npos;
+    auto fmt = [as_bytes](double e) {
+      return as_bytes ? format_bytes(e) : format_fixed(e, 0);
+    };
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::string label = i < edges.size()
+                                    ? "<= " + fmt(edges[i])
+                                    : "> " + fmt(edges.back());
+      t.add_row({label, std::to_string(counts[i])});
+    }
+    t.add_row({"TOTAL", std::to_string(h->count())});
+    t.print(os);
+    os << "\n";
+  }
+}
+
+}  // namespace parfft::obs

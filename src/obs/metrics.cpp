@@ -1,0 +1,89 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace parfft::obs {
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)), buckets_(edges_.size() + 1) {
+  PARFFT_CHECK(!edges_.empty(), "histogram needs at least one bucket edge");
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    PARFFT_CHECK(edges_[i - 1] < edges_[i],
+                 "histogram edges must be strictly ascending");
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  n_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, x);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<double> geometric_edges(double lo, double hi, double factor) {
+  PARFFT_CHECK(lo > 0 && factor > 1, "geometric edges need lo > 0, factor > 1");
+  std::vector<double> edges;
+  for (double e = lo; ; e *= factor) {
+    edges.push_back(e);
+    if (e >= hi) break;
+  }
+  return edges;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& edges) {
+  std::lock_guard lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(edges);
+  return *slot;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::counters() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histograms() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+}  // namespace parfft::obs

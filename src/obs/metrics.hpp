@@ -1,0 +1,109 @@
+#pragma once
+/// \file metrics.hpp
+/// Minimal metrics registry: monotonically growing counters, last/peak
+/// gauges and fixed-bucket histograms, keyed by name. The FFT layers feed
+/// it with bytes sent per rank, message-size distributions, reshape
+/// fan-out degrees and FlowSim link-utilization figures; exporters render
+/// it as counter tracks (Chrome JSON) or summary tables.
+///
+/// All mutators are thread-safe: the registry serializes name lookup, and
+/// the metric objects themselves use atomics so concurrent rank threads
+/// can update them without a lock.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parfft::obs {
+
+namespace detail {
+/// Portable atomic add for doubles (fetch_add on floating atomics is
+/// C++20; CAS keeps us independent of library support).
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// A monotonically accumulating value (bytes sent, calls made).
+class Counter {
+ public:
+  void add(double v) { detail::atomic_add(v_, v); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// A point-in-time value; set() overwrites, set_max() keeps the peak.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void set_max(double v) { detail::atomic_max(v_, v); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// x <= edges[i] (and x > edges[i-1]); one implicit overflow bucket
+/// catches everything above the last edge, so counts() has
+/// edges().size() + 1 entries.
+class Histogram {
+ public:
+  /// `upper_edges` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void observe(double x);
+
+  const std::vector<double>& edges() const { return edges_; }
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return n_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> n_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Geometric bucket edges lo, lo*factor, ... up to and including the
+/// first edge >= hi. Convenient for message-size histograms.
+std::vector<double> geometric_edges(double lo, double hi, double factor);
+
+/// Name -> metric map. Lookup creates on first use; returned references
+/// stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `edges` is consulted only when `name` is first created.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& edges);
+
+  /// Sorted (name, value) snapshots for exporters.
+  std::vector<std::pair<std::string, double>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace parfft::obs

@@ -1,0 +1,96 @@
+#include "obs/session.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "obs/export.hpp"
+
+namespace parfft::obs {
+
+RunTrace::RunTrace(std::string label, int pid, int nranks, bool with_args)
+    : tracer(nranks), label_(std::move(label)), pid_(pid), nranks_(nranks),
+      with_args_(with_args) {}
+
+void RunTrace::counter_sample(const std::string& name, double t,
+                              double value) {
+  std::lock_guard lk(mu_);
+  for (CounterSeries& s : series_) {
+    if (s.name == name) {
+      s.samples.push_back({t, value});
+      return;
+    }
+  }
+  series_.push_back({name, {{t, value}}});
+}
+
+std::vector<CounterSeries> RunTrace::counter_series() const {
+  std::lock_guard lk(mu_);
+  return series_;
+}
+
+Session::Session() {
+  if (const char* p = std::getenv("PARFFT_TRACE"); p != nullptr && *p) {
+    env_enabled_ = true;
+    env_path_ = p;
+  }
+  if (const char* p = std::getenv("PARFFT_TRACE_SUMMARY");
+      p != nullptr && *p) {
+    env_enabled_ = true;
+    env_summary_path_ = p;
+  }
+}
+
+Session::~Session() { flush_env_outputs(); }
+
+Session& Session::global() {
+  static Session session;
+  return session;
+}
+
+RunTrace* Session::begin_run(const std::string& label, int nranks,
+                             const TraceConfig& cfg) {
+  if (!enabled(cfg)) return nullptr;
+  std::lock_guard lk(mu_);
+  runs_.push_back(
+      std::make_unique<RunTrace>(label, next_pid_++, nranks, cfg.args));
+  return runs_.back().get();
+}
+
+std::vector<const RunTrace*> Session::runs() const {
+  std::lock_guard lk(mu_);
+  std::vector<const RunTrace*> out;
+  out.reserve(runs_.size());
+  for (const auto& r : runs_) out.push_back(r.get());
+  return out;
+}
+
+void Session::write_chrome(std::ostream& os) const {
+  write_chrome_trace(os, runs());
+}
+
+void Session::write_summary(std::ostream& os) const {
+  for (const RunTrace* r : runs()) write_run_summary(os, *r);
+}
+
+void Session::flush_env_outputs() {
+  if (runs().empty()) return;
+  if (!env_path_.empty()) {
+    std::ofstream f(env_path_);
+    if (f) {
+      write_chrome(f);
+    } else {
+      std::cerr << "parfft: cannot write trace to " << env_path_ << "\n";
+    }
+  }
+  if (!env_summary_path_.empty()) {
+    if (env_summary_path_ == "-") {
+      write_summary(std::cerr);
+    } else {
+      std::ofstream f(env_summary_path_);
+      if (f) write_summary(f);
+    }
+  }
+}
+
+}  // namespace parfft::obs

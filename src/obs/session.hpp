@@ -1,0 +1,111 @@
+#pragma once
+/// \file session.hpp
+/// Process-wide observability session.
+///
+/// Each traced execution (one core::simulate() call, one
+/// smpi::Runtime::run()) is a *run*: an independent timeline with its own
+/// span tracer, metrics registry and counter time series, rendered as one
+/// Perfetto "process" with one track per simulated rank. The session owns
+/// every run recorded by the process and writes them all as Chrome
+/// trace-event JSON to `$PARFFT_TRACE` at exit, which is how existing
+/// benches and examples gain timelines with zero per-binary code.
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace parfft::obs {
+
+/// One sample of a time-varying counter (e.g. a link's allocated rate).
+struct CounterSample {
+  double t = 0;  ///< virtual seconds
+  double value = 0;
+};
+
+/// A named counter track; rendered as a Perfetto counter series.
+struct CounterSeries {
+  std::string name;
+  std::vector<CounterSample> samples;
+};
+
+/// One traced execution: label + spans + metrics + counter tracks.
+class RunTrace {
+ public:
+  RunTrace(std::string label, int pid, int nranks, bool with_args);
+
+  const std::string& label() const { return label_; }
+  int pid() const { return pid_; }
+  int nranks() const { return nranks_; }
+  /// Whether instrumentation sites should attach key/value span args.
+  bool with_args() const { return with_args_; }
+
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  /// Appends a sample to the named counter track (created on first use).
+  /// Thread-safe; samples may arrive out of time order and are sorted at
+  /// export.
+  void counter_sample(const std::string& name, double t, double value);
+  std::vector<CounterSeries> counter_series() const;
+
+ private:
+  std::string label_;
+  int pid_;
+  int nranks_;
+  bool with_args_;
+  mutable std::mutex mu_;
+  std::vector<CounterSeries> series_;
+};
+
+/// Owns all runs of the process. Use Session::global(); a fresh Session
+/// is constructible for tests that want isolation.
+class Session {
+ public:
+  Session();
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The process-wide session, configured from `PARFFT_TRACE` (Chrome
+  /// JSON output path) and `PARFFT_TRACE_SUMMARY` (summary table path,
+  /// "-" for stderr) on first use; flushed at process exit.
+  static Session& global();
+
+  /// True when `cfg` or the environment asks for collection.
+  bool enabled(const TraceConfig& cfg) const {
+    return cfg.enabled || env_enabled_;
+  }
+
+  /// Starts a new run if tracing is enabled; returns nullptr otherwise.
+  /// The pointer stays valid for the session's lifetime.
+  RunTrace* begin_run(const std::string& label, int nranks,
+                      const TraceConfig& cfg);
+
+  /// All runs recorded so far, in creation order.
+  std::vector<const RunTrace*> runs() const;
+
+  /// Chrome trace-event JSON of every run (one process per run).
+  void write_chrome(std::ostream& os) const;
+  /// Plain-text summary tables of every run.
+  void write_summary(std::ostream& os) const;
+
+  /// Path from `PARFFT_TRACE` (empty when unset).
+  const std::string& env_path() const { return env_path_; }
+
+ private:
+  void flush_env_outputs();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<RunTrace>> runs_;
+  std::string env_path_;
+  std::string env_summary_path_;
+  bool env_enabled_ = false;
+  int next_pid_ = 1;
+};
+
+}  // namespace parfft::obs

@@ -65,6 +65,10 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
     rc->inbox.clear();
     rc->vclock = 0;
   }
+  // One RunTrace per run() call: each becomes its own Perfetto process.
+  trace_run_ = obs::Session::global().begin_run(
+      "smpi " + std::to_string(opt_.nranks) + " ranks", opt_.nranks,
+      opt_.trace);
 
   std::mutex err_mu;
   std::exception_ptr first_error;
@@ -104,6 +108,10 @@ int Comm::size() const {
 
 const RuntimeOptions& Comm::options() const { return rt_->options(); }
 const net::CommCost& Comm::cost() const { return rt_->cost(); }
+
+obs::RunTrace* Comm::trace_run() const {
+  return rt_ ? rt_->trace_run_ : nullptr;
+}
 
 double Comm::vtime() const { return rt_->ctx(wrank_).vclock; }
 
@@ -180,7 +188,19 @@ Request Comm::isend(const void* buf, std::size_t bytes, int dst, int tag,
   m.arrival = me.vclock + transport;
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), buf, bytes);
+  const double post_t0 = me.vclock;
   if (timed) me.vclock += rt_->options().machine.mpi_overhead;
+
+  if (obs::RunTrace* run = trace_run(); run && timed) {
+    std::vector<obs::SpanArg> args;
+    if (run->with_args())
+      args = {{"bytes", static_cast<double>(bytes)},
+              {"dst", static_cast<double>(wdst)}};
+    run->tracer.complete(wrank_, obs::Category::Send, "MPI_Isend", post_t0,
+                         me.vclock - post_t0, std::move(args));
+    run->metrics.counter("rank/" + std::to_string(wrank_) + "/bytes_sent")
+        .add(static_cast<double>(bytes));
+  }
 
   auto& dst_ctx = rt_->ctx(wdst);
   {
@@ -252,6 +272,7 @@ int Comm::waitany(std::vector<Request>& reqs) {
   }
   if (all_consumed) return -1;
 
+  const double wait_t0 = me.vclock;
   std::unique_lock lk(me.mu);
   for (;;) {
     // Try to match any pending receive against the inbox, preserving
@@ -274,6 +295,9 @@ int Comm::waitany(std::vector<Request>& reqs) {
         r.consumed = true;
         me.vclock = std::max(me.vclock, it->arrival);
         me.inbox.erase(it);
+        if (obs::RunTrace* run = trace_run(); run && me.vclock > wait_t0)
+          run->tracer.complete(wrank_, obs::Category::Wait, "MPI_Waitany",
+                               wait_t0, me.vclock - wait_t0);
         return static_cast<int>(i);
       }
     }
@@ -341,13 +365,25 @@ void Comm::collective(const void* contribution,
   }
 }
 
+namespace {
+/// Records a Collective span covering [t0, now] on the calling rank.
+void record_collective(Comm& c, const char* name, double t0) {
+  if (obs::RunTrace* run = c.trace_run())
+    run->tracer.complete(c.world_rank(), obs::Category::Collective, name, t0,
+                         c.vtime() - t0);
+}
+}  // namespace
+
 void Comm::barrier() {
+  const double t0 = vtime();
   collective(nullptr, nullptr, nullptr,
              [this](int, int G) { return tree_cost(0, G); });
+  record_collective(*this, "MPI_Barrier", t0);
 }
 
 void Comm::bcast(void* buf, std::size_t bytes, int root) {
   PARFFT_CHECK(root >= 0 && root < size(), "root out of range");
+  const double t0 = vtime();
   struct C {
     void* buf;
   } mine{buf};
@@ -362,9 +398,11 @@ void Comm::bcast(void* buf, std::size_t bytes, int root) {
       },
       nullptr,
       [this, bytes](int, int G) { return tree_cost(static_cast<double>(bytes), G); });
+  record_collective(*this, "MPI_Bcast", t0);
 }
 
 void Comm::allgather(const void* sendbuf, std::size_t bytes, void* recvbuf) {
+  const double t0 = vtime();
   struct C {
     const void* s;
     void* r;
@@ -387,11 +425,13 @@ void Comm::allgather(const void* sendbuf, std::size_t bytes, void* recvbuf) {
                 static_cast<double>(bytes) /
                     (machine.nic_bw * machine.single_flow_nic_fraction));
       });
+  record_collective(*this, "MPI_Allgather", t0);
 }
 
 void Comm::gather(const void* sendbuf, std::size_t bytes, void* recvbuf,
                   int root) {
   PARFFT_CHECK(root >= 0 && root < size(), "root out of range");
+  const double t0 = vtime();
   struct C {
     const void* s;
     void* r;
@@ -410,11 +450,13 @@ void Comm::gather(const void* sendbuf, std::size_t bytes, void* recvbuf,
       [this, bytes](int, int G) {
         return tree_cost(static_cast<double>(bytes) * G / 2.0, G);
       });
+  record_collective(*this, "MPI_Gather", t0);
 }
 
 void Comm::scatter(const void* sendbuf, std::size_t bytes, void* recvbuf,
                    int root) {
   PARFFT_CHECK(root >= 0 && root < size(), "root out of range");
+  const double t0 = vtime();
   struct C {
     const void* s;
     void* r;
@@ -433,6 +475,7 @@ void Comm::scatter(const void* sendbuf, std::size_t bytes, void* recvbuf,
       [this, bytes](int, int G) {
         return tree_cost(static_cast<double>(bytes) * G / 2.0, G);
       });
+  record_collective(*this, "MPI_Scatter", t0);
 }
 
 void Comm::alltoallv(const void* sbuf, const std::vector<std::size_t>& scounts,
@@ -449,6 +492,7 @@ void Comm::alltoallv(const void* sbuf, const std::vector<std::size_t>& scounts,
   PARFFT_CHECK(alg == net::CollectiveAlg::Alltoall ||
                    alg == net::CollectiveAlg::Alltoallv,
                "alltoallv supports the Alltoall/Alltoallv cost models");
+  const double t0 = vtime();
 
   struct C {
     const std::byte* sbuf;
@@ -497,6 +541,33 @@ void Comm::alltoallv(const void* sbuf, const std::vector<std::size_t>& scounts,
         }
       },
       nullptr, [&mine](int, int) { return mine.out_time; });
+
+  if (obs::RunTrace* run = trace_run()) {
+    double sent = 0;
+    int peers = 0;
+    for (std::size_t j = 0; j < scounts.size(); ++j) {
+      if (scounts[j] == 0) continue;
+      sent += static_cast<double>(scounts[j]);
+      if (static_cast<int>(j) != grank_) ++peers;
+      run->metrics
+          .histogram("exchange/message_bytes",
+                     obs::geometric_edges(1024.0, 1e9, 4.0))
+          .observe(static_cast<double>(scounts[j]));
+    }
+    std::vector<obs::SpanArg> args;
+    if (run->with_args())
+      args = {{"bytes_sent", sent}, {"peers", static_cast<double>(peers)}};
+    // The span covers entry-to-exit virtual time, i.e. peer synchronization
+    // plus the exchange itself -- the same interval the aggregate trace
+    // books as communication.
+    run->tracer.complete(wrank_, obs::Category::Exchange,
+                         alg == net::CollectiveAlg::Alltoall
+                             ? "MPI_Alltoall"
+                             : "MPI_Alltoallv",
+                         t0, vtime() - t0, std::move(args));
+    run->metrics.counter("rank/" + std::to_string(wrank_) + "/bytes_sent")
+        .add(sent);
+  }
 }
 
 void Comm::alltoallw(const void* sbuf, const std::vector<Subarray>& stypes,
@@ -506,6 +577,7 @@ void Comm::alltoallw(const void* sbuf, const std::vector<Subarray>& stypes,
   PARFFT_CHECK(static_cast<int>(stypes.size()) == G &&
                    static_cast<int>(rtypes.size()) == G,
                "datatype arrays must match communicator size");
+  const double t0 = vtime();
 
   struct C {
     const std::byte* sbuf;
@@ -568,11 +640,33 @@ void Comm::alltoallw(const void* sbuf, const std::vector<Subarray>& stypes,
         }
       },
       nullptr, [&mine](int, int) { return mine.out_time; });
+
+  if (obs::RunTrace* run = trace_run()) {
+    double sent = 0;
+    int peers = 0;
+    for (std::size_t j = 0; j < stypes.size(); ++j) {
+      if (stypes[j].empty()) continue;
+      sent += stypes[j].bytes();
+      if (static_cast<int>(j) != grank_) ++peers;
+      run->metrics
+          .histogram("exchange/message_bytes",
+                     obs::geometric_edges(1024.0, 1e9, 4.0))
+          .observe(stypes[j].bytes());
+    }
+    std::vector<obs::SpanArg> args;
+    if (run->with_args())
+      args = {{"bytes_sent", sent}, {"peers", static_cast<double>(peers)}};
+    run->tracer.complete(wrank_, obs::Category::Exchange, "MPI_Alltoallw",
+                         t0, vtime() - t0, std::move(args));
+    run->metrics.counter("rank/" + std::to_string(wrank_) + "/bytes_sent")
+        .add(sent);
+  }
 }
 
 double Comm::settle_phase(
     const std::vector<std::pair<int, double>>& my_sends,
     net::CollectiveAlg alg, MemSpace space) {
+  const double t0 = vtime();
   struct C {
     const std::vector<std::pair<int, double>>* sends;
     double out_time;
@@ -597,6 +691,28 @@ double Comm::settle_phase(
         }
       },
       nullptr, [&mine](int, int) { return mine.out_time; });
+
+  if (obs::RunTrace* run = trace_run()) {
+    // The clock jumped to base + out_time: book [t0, base) as peer
+    // synchronization and [base, base + out_time) as the exchange proper,
+    // matching the out_time the aggregate trace records for P2P phases.
+    const double base = vtime() - mine.out_time;
+    if (base > t0)
+      run->tracer.complete(wrank_, obs::Category::Wait, "phase sync", t0,
+                           base - t0);
+    double sent = 0;
+    for (const auto& [dst, b] : my_sends) {
+      (void)dst;
+      sent += b;
+    }
+    std::vector<obs::SpanArg> args;
+    if (run->with_args())
+      args = {{"bytes_sent", sent},
+              {"peers", static_cast<double>(my_sends.size())}};
+    run->tracer.complete(wrank_, obs::Category::Exchange,
+                         net::is_p2p(alg) ? "p2p phase" : "settled phase",
+                         base, mine.out_time, std::move(args));
+  }
   return mine.out_time;
 }
 

@@ -26,6 +26,7 @@
 #include "common/types.hpp"
 #include "gpusim/device.hpp"
 #include "netsim/collectives.hpp"
+#include "obs/session.hpp"
 
 namespace parfft::smpi {
 
@@ -89,6 +90,9 @@ struct RuntimeOptions {
   bool gpu_aware = true;
   net::MpiFlavor flavor = net::MpiFlavor::SpectrumMPI;
   gpu::DeviceSpec device = gpu::v100();
+  /// Span/metric recording for runs of this runtime. Also switched on
+  /// globally by the PARFFT_TRACE environment variable.
+  obs::TraceConfig trace;
 };
 
 class Runtime;
@@ -106,6 +110,11 @@ class Comm {
   // --- Virtual clock ----------------------------------------------------
   double vtime() const;
   void advance(double dt);
+
+  // --- Observability ------------------------------------------------------
+  /// The active run's trace (spans keyed by world rank), or nullptr when
+  /// tracing is off. Valid for the duration of Runtime::run().
+  obs::RunTrace* trace_run() const;
 
   // --- Point-to-point ----------------------------------------------------
   /// Blocking standard send (buffered internally; completes locally).
@@ -241,6 +250,10 @@ class Runtime {
   const net::CommCost& cost() const { return cost_; }
   const net::RankMap& rank_map() const { return map_; }
 
+  /// The trace of the current (or most recent) run; nullptr when tracing
+  /// is disabled.
+  obs::RunTrace* trace_run() const { return trace_run_; }
+
   /// Virtual clock of a rank after run() returned (for reporting).
   double final_vtime(int rank) const;
 
@@ -285,6 +298,7 @@ class Runtime {
   std::mutex groups_mu_;
   std::deque<Group> groups_;  // deque keeps addresses stable
   std::atomic<bool> aborted_{false};
+  obs::RunTrace* trace_run_ = nullptr;  ///< owned by obs::Session::global()
 };
 
 // --- template implementation ------------------------------------------------

@@ -68,9 +68,13 @@ TEST(Table, RejectsEmptyHeader) {
 
 TEST(AsciiPlot, RendersSeries) {
   std::ostringstream os;
+  PlotOptions po;
+  po.width = 40;
+  po.height = 8;
+  po.log_y = true;
+  po.x_label = "nodes";
   ascii_plot(os, {"1", "2", "4", "8"},
-             {{"runtime", {1.0, 0.5, 0.25, 0.125}}},
-             {.width = 40, .height = 8, .log_y = true, .x_label = "nodes"});
+             {{"runtime", {1.0, 0.5, 0.25, 0.125}}}, po);
   EXPECT_NE(os.str().find("runtime"), std::string::npos);
   EXPECT_NE(os.str().find("nodes"), std::string::npos);
 }

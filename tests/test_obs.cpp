@@ -1,0 +1,584 @@
+/// Tests for the observability subsystem (src/obs): span tracer, metrics
+/// registry, Chrome trace-event export, and the integration of all three
+/// with the threaded runtime and the virtual-time simulator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/plan.hpp"
+#include "core/simulate.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/tracer.hpp"
+
+using namespace parfft;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON parser, enough to validate the Chrome export. Throws
+// std::runtime_error on any syntax violation (trailing commas, bare inf,
+// unterminated strings, garbage after the document), which gtest reports
+// as a test failure.
+
+struct JValue {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  const JValue* find(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  double number(const std::string& key) const {
+    const JValue* v = find(key);
+    if (v == nullptr || v->kind != Kind::Num)
+      throw std::runtime_error("missing number field: " + key);
+    return v->num;
+  }
+  std::string string(const std::string& key) const {
+    const JValue* v = find(key);
+    if (v == nullptr || v->kind != Kind::Str)
+      throw std::runtime_error("missing string field: " + key);
+    return v->str;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string s) : s_(std::move(s)) {}
+
+  JValue parse() {
+    JValue v = value();
+    skip();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    skip();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JValue object() {
+    expect('{');
+    JValue v;
+    v.kind = JValue::Kind::Obj;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JValue key = string_value();
+      expect(':');
+      v.obj.emplace(key.str, value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JValue array() {
+    expect('[');
+    JValue v;
+    v.kind = JValue::Kind::Arr;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JValue string_value() {
+    expect('"');
+    JValue v;
+    v.kind = JValue::Kind::Str;
+    while (true) {
+      if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            v.str += static_cast<char>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: throw std::runtime_error("bad escape char");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+
+  JValue boolean() {
+    JValue v;
+    v.kind = JValue::Kind::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JValue null() {
+    if (s_.compare(pos_, 4, "null") != 0)
+      throw std::runtime_error("bad literal");
+    pos_ += 4;
+    return JValue{};
+  }
+
+  JValue number() {
+    JValue v;
+    v.kind = JValue::Kind::Num;
+    const char* start = s_.c_str() + pos_;
+    // JSON numbers may not be inf/nan; the exporter must never emit them.
+    if (s_.compare(pos_, 1, "i") == 0 || s_.compare(pos_, 1, "N") == 0)
+      throw std::runtime_error("bare inf/nan");
+    char* end = nullptr;
+    v.num = std::strtod(start, &end);
+    if (end == start) throw std::runtime_error("bad number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+/// EXPECT_NEAR with a relative tolerance tight enough to be "equal up to
+/// summation-order rounding" (the tracer and the legacy aggregates sum the
+/// same doubles, occasionally in different association).
+void expect_close(double a, double b) {
+  EXPECT_NEAR(a, b, 1e-12 * (1.0 + std::abs(b)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(Metrics, CounterAndGauge) {
+  obs::MetricsRegistry reg;
+  reg.counter("bytes").add(10);
+  reg.counter("bytes").add(32);
+  EXPECT_DOUBLE_EQ(reg.counter("bytes").value(), 42.0);
+
+  reg.gauge("util").set_max(0.5);
+  reg.gauge("util").set_max(0.25);  // lower: peak is kept
+  EXPECT_DOUBLE_EQ(reg.gauge("util").value(), 0.5);
+  reg.gauge("util").set(0.1);
+  EXPECT_DOUBLE_EQ(reg.gauge("util").value(), 0.1);
+
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "bytes");
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  // Bucket i counts x <= edges[i]; one overflow bucket past the last edge.
+  obs::Histogram h({10.0, 100.0});
+  for (double x : {5.0, 10.0, 10.0001, 100.0, 1000.0}) h.observe(x);
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);  // 2 edges + overflow
+  EXPECT_EQ(counts[0], 2u);      // 5, 10
+  EXPECT_EQ(counts[1], 2u);      // 10.0001, 100
+  EXPECT_EQ(counts[2], 1u);      // 1000
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5 + 10 + 10.0001 + 100 + 1000);
+}
+
+TEST(Metrics, GeometricEdges) {
+  const auto e = obs::geometric_edges(1024.0, 1e9, 4.0);
+  ASSERT_FALSE(e.empty());
+  EXPECT_DOUBLE_EQ(e.front(), 1024.0);
+  EXPECT_GE(e.back(), 1e9);
+  for (std::size_t i = 1; i < e.size(); ++i)
+    EXPECT_DOUBLE_EQ(e[i], e[i - 1] * 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(Tracer, NestingAndTotals) {
+  obs::Tracer tr(2);
+  tr.begin(0, obs::Category::Transform, "fft3d", 0.0);
+  EXPECT_EQ(tr.open_spans(0), 1);
+  tr.begin(0, obs::Category::Reshape, "reshape 0", 0.0);
+  tr.complete(0, obs::Category::Pack, "pack", 0.0, 1.0);
+  tr.complete(0, obs::Category::Exchange, "alltoallv", 1.0, 2.0);
+  tr.end(0, 3.0);  // reshape
+  tr.complete(0, obs::Category::Fft, "fft", 3.0, 4.0);
+  tr.end(0, 7.0);  // transform
+  EXPECT_EQ(tr.open_spans(0), 0);
+
+  const auto& spans = tr.spans(0);
+  ASSERT_EQ(spans.size(), 5u);
+  // Completion order: children close before their parents.
+  EXPECT_EQ(spans[0].name, "pack");
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_EQ(spans[1].name, "alltoallv");
+  EXPECT_EQ(spans[2].name, "reshape 0");
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_EQ(spans[4].name, "fft3d");
+  EXPECT_EQ(spans[4].depth, 0);
+  EXPECT_DOUBLE_EQ(spans[4].dur, 7.0);
+
+  // Leaves lie inside their parents; timestamps are monotone.
+  for (const auto& s : spans) {
+    EXPECT_GE(s.dur, 0.0);
+    EXPECT_GE(s.begin, 0.0);
+    EXPECT_LE(s.end(), 7.0);
+  }
+  EXPECT_DOUBLE_EQ(tr.total(0, obs::Category::Pack), 1.0);
+  EXPECT_DOUBLE_EQ(tr.total(0, obs::Category::Exchange), 2.0);
+  EXPECT_DOUBLE_EQ(tr.total(0, obs::Category::Fft), 4.0);
+  // Rank 1 untouched.
+  EXPECT_TRUE(tr.spans(1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(ChromeExport, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("x\ny"), "x\\ny");
+  EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(ChromeExport, RoundTripsSpansAndCounters) {
+  obs::RunTrace run("unit run", 7, 2, /*with_args=*/true);
+  run.tracer.begin(0, obs::Category::Transform, "fft3d", 0.0,
+                   {{"n", std::string("8x8x8")}, {"batch", 1.0}});
+  run.tracer.complete(0, obs::Category::Pack, "pack \"q\"", 0.0, 1e-6);
+  run.tracer.end(0, 2e-6);
+  run.tracer.complete(1, obs::Category::Fft, "fft", 0.0, 3e-6);
+  run.counter_sample("link/core GB/s", 0.0, 12.5);
+  run.counter_sample("link/core GB/s", 1e-6, 0.0);
+  run.metrics.counter("rank/0/bytes_sent").add(4096);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, {&run});
+  JValue doc = JsonParser(os.str()).parse();
+
+  const JValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JValue::Kind::Arr);
+
+  int meta = 0, spans = 0, counters = 0;
+  bool saw_pack = false, saw_args = false;
+  for (const JValue& e : events->arr) {
+    const std::string ph = e.string("ph");
+    EXPECT_EQ(e.number("pid"), 7);
+    if (ph == "M") {
+      ++meta;
+    } else if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.number("dur"), 0.0);
+      if (e.string("name") == "pack \"q\"") {
+        saw_pack = true;
+        EXPECT_DOUBLE_EQ(e.number("ts"), 0.0);
+        EXPECT_DOUBLE_EQ(e.number("dur"), 1.0);  // 1e-6 s == 1 us
+        EXPECT_EQ(e.string("cat"), "pack");
+        EXPECT_DOUBLE_EQ(e.number("tid"), 0);
+      }
+      if (e.string("name") == "fft3d") {
+        const JValue* args = e.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_EQ(args->string("n"), "8x8x8");
+        EXPECT_DOUBLE_EQ(args->number("batch"), 1.0);
+        saw_args = true;
+      }
+    } else if (ph == "C") {
+      ++counters;
+      EXPECT_EQ(e.string("name"), "link/core GB/s");
+    } else {
+      ADD_FAILURE() << "unexpected phase " << ph;
+    }
+  }
+  // 1 process_name + 2 ranks * (thread_name + thread_sort_index).
+  EXPECT_EQ(meta, 5);
+  EXPECT_EQ(spans, 3);
+  EXPECT_EQ(counters, 2);
+  EXPECT_TRUE(saw_pack);
+  EXPECT_TRUE(saw_args);
+}
+
+TEST(SummaryExport, MentionsCategoriesAndMetrics) {
+  obs::RunTrace run("summary run", 1, 1, true);
+  run.tracer.complete(0, obs::Category::Exchange, "alltoallv", 0.0, 1e-3);
+  run.metrics.counter("rank/0/bytes_sent").add(1 << 20);
+  run.metrics.histogram("exchange/message_bytes", {1024.0, 4096.0})
+      .observe(2048.0);
+  std::ostringstream os;
+  obs::write_run_summary(os, run);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("summary run"), std::string::npos);
+  EXPECT_NE(s.find("exchange"), std::string::npos);
+  EXPECT_NE(s.find("rank/0/bytes_sent"), std::string::npos);
+  EXPECT_NE(s.find("message_bytes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CSV hardening
+
+TEST(CallCsv, EscapesSpecialFields) {
+  EXPECT_EQ(core::csv_escape("plain"), "plain");
+  EXPECT_EQ(core::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(core::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(core::csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CallCsv, HeaderAndRows) {
+  core::SimConfig cfg;
+  cfg.n = {32, 32, 32};
+  cfg.nranks = 4;
+  const core::SimReport rep = core::simulate(cfg);
+  std::ostringstream os;
+  core::write_call_csv(rep, os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("kind,index,name,seconds", 0), 0u);  // header first
+  EXPECT_NE(s.find("comm,1,"), std::string::npos);
+  EXPECT_NE(s.find("fft,1,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: threaded runtime. Span aggregates must reproduce the legacy
+// per-plan KernelTimes breakdown, category by category.
+
+TEST(RuntimeTrace, PlanTraceMatchesSpans) {
+  const std::array<int, 3> n = {32, 32, 32};
+  constexpr int kRanks = 4;
+
+  smpi::RuntimeOptions ro;
+  ro.nranks = kRanks;
+  ro.machine = net::summit();
+  ro.trace.enabled = true;
+
+  std::mutex mu;
+  std::vector<core::KernelTimes> kernels(kRanks);
+  const std::size_t before = obs::Session::global().runs().size();
+
+  smpi::Runtime rt(ro);
+  rt.run([&](smpi::Comm& comm) {
+    const auto boxes = core::brick_layout(n, comm.size());
+    const core::Box3& box = boxes[static_cast<std::size_t>(comm.rank())];
+    core::PlanOptions opt;
+    opt.backend = core::Backend::Alltoallv;
+    opt.scaling = core::Scaling::Full;
+    core::Plan3D plan(comm, n, box, box, opt);
+
+    Rng rng(7 + static_cast<std::uint64_t>(comm.rank()));
+    auto in = rng.complex_vector(static_cast<std::size_t>(box.count()));
+    std::vector<cplx> freq(in.size()), back(in.size());
+    plan.execute(in.data(), freq.data(), dft::Direction::Forward);
+    plan.execute(freq.data(), back.data(), dft::Direction::Backward);
+
+    std::lock_guard lk(mu);
+    kernels[static_cast<std::size_t>(comm.rank())] = plan.trace().kernels();
+  });
+
+  const auto runs = obs::Session::global().runs();
+  ASSERT_EQ(runs.size(), before + 1);
+  const obs::RunTrace* tr = runs.back();
+  EXPECT_EQ(tr->nranks(), kRanks);
+
+  for (int r = 0; r < kRanks; ++r) {
+    SCOPED_TRACE("rank " + std::to_string(r));
+    const auto& k = kernels[static_cast<std::size_t>(r)];
+    EXPECT_GT(k.total(), 0.0);
+    expect_close(tr->tracer.total(r, obs::Category::Fft), k.fft);
+    expect_close(tr->tracer.total(r, obs::Category::Pack), k.pack);
+    expect_close(tr->tracer.total(r, obs::Category::Unpack), k.unpack);
+    expect_close(tr->tracer.total(r, obs::Category::Exchange), k.comm);
+    expect_close(tr->tracer.total(r, obs::Category::Scale), k.scale);
+    EXPECT_EQ(tr->tracer.open_spans(r), 0);
+
+    // Exactly one Transform parent per execute() call.
+    int transforms = 0;
+    for (const auto& s : tr->tracer.spans(r))
+      if (s.cat == obs::Category::Transform) ++transforms;
+    EXPECT_EQ(transforms, 2);
+  }
+
+  // Byte accounting fed the metrics registry.
+  double bytes0 = 0;
+  for (const auto& [name, v] : tr->metrics.counters())
+    if (name == "rank/0/bytes_sent") bytes0 = v;
+  EXPECT_GT(bytes0, 0.0);
+  const auto hists = tr->metrics.histograms();
+  bool msg_hist = false;
+  for (const auto& [name, h] : hists)
+    if (name == "exchange/message_bytes" && h->count() > 0) msg_hist = true;
+  EXPECT_TRUE(msg_hist);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: virtual-time simulator. Checks structural nesting, counter
+// tracks from the flow model, and per-link gauges.
+
+TEST(SimulateTrace, NestedSpansAndLinkCounters) {
+  core::SimConfig cfg;
+  cfg.n = {64, 64, 64};
+  cfg.nranks = 6;
+  cfg.repeats = 2;
+  cfg.options.backend = core::Backend::Alltoallv;
+  cfg.options.trace.enabled = true;
+
+  const std::size_t before = obs::Session::global().runs().size();
+  const core::SimReport rep = core::simulate(cfg);
+  const auto runs = obs::Session::global().runs();
+  ASSERT_EQ(runs.size(), before + 1);
+  const obs::RunTrace* tr = runs.back();
+  ASSERT_EQ(tr->nranks(), cfg.nranks);
+
+  for (int r = 0; r < cfg.nranks; ++r) {
+    SCOPED_TRACE("rank " + std::to_string(r));
+    EXPECT_EQ(tr->tracer.open_spans(r), 0);
+    const auto& spans = tr->tracer.spans(r);
+    ASSERT_FALSE(spans.empty());
+
+    const double total = rep.rank_times[static_cast<std::size_t>(r)];
+    const double eps = 1e-9 * (1.0 + total);
+
+    // One Transform parent per repeat; every other span nested inside one.
+    std::vector<const obs::Span*> transforms;
+    for (const auto& s : spans) {
+      EXPECT_GE(s.dur, 0.0);
+      EXPECT_GE(s.begin, -eps);
+      EXPECT_LE(s.end(), total + eps);
+      if (s.cat == obs::Category::Transform) transforms.push_back(&s);
+    }
+    ASSERT_EQ(static_cast<int>(transforms.size()), cfg.repeats);
+    for (const auto& s : spans) {
+      if (s.cat == obs::Category::Transform) continue;
+      bool inside = false;
+      for (const obs::Span* t : transforms)
+        if (s.begin >= t->begin - eps && s.end() <= t->end() + eps)
+          inside = true;
+      EXPECT_TRUE(inside) << s.name << " not nested in any transform";
+    }
+
+    // Transform parents tile the rank's clock back-to-back and in order.
+    std::sort(transforms.begin(), transforms.end(),
+              [](const obs::Span* a, const obs::Span* b) {
+                return a->begin < b->begin;
+              });
+    for (std::size_t i = 1; i < transforms.size(); ++i)
+      EXPECT_GE(transforms[i]->begin, transforms[i - 1]->end() - eps);
+
+    // Per-rank span sums never exceed the simulator's aggregate breakdown
+    // (SimReport::kernels is a per-transform max over ranks, so scale it
+    // back up by the repeat count).
+    const double reps = cfg.repeats;
+    EXPECT_LE(tr->tracer.total(r, obs::Category::Fft),
+              reps * rep.kernels.fft + eps);
+    EXPECT_LE(tr->tracer.total(r, obs::Category::Pack),
+              reps * rep.kernels.pack + eps);
+    EXPECT_LE(tr->tracer.total(r, obs::Category::Unpack),
+              reps * rep.kernels.unpack + eps);
+  }
+
+  // The flow model fed link-utilization counter tracks and gauges.
+  const auto series = tr->counter_series();
+  EXPECT_FALSE(series.empty());
+  for (const auto& cs : series) {
+    EXPECT_EQ(cs.name.rfind("link/", 0), 0u);
+    EXPECT_FALSE(cs.samples.empty());
+  }
+  bool peak_gauge = false;
+  for (const auto& [name, v] : tr->metrics.gauges())
+    if (name.rfind("link/", 0) == 0 &&
+        name.find("/peak_util") != std::string::npos && v > 0)
+      peak_gauge = true;
+  EXPECT_TRUE(peak_gauge);
+
+  // Fan-out histogram saw one observation per (rank, reshape) execution.
+  bool fanout = false;
+  for (const auto& [name, h] : tr->metrics.histograms())
+    if (name == "reshape/fanout" && h->count() > 0) fanout = true;
+  EXPECT_TRUE(fanout);
+}
+
+// A disabled config records nothing (no run is even created).
+TEST(SessionTest, DisabledConfigRecordsNothing) {
+  obs::Session s;
+  obs::TraceConfig off;
+  EXPECT_EQ(s.begin_run("off", 2, off), nullptr);
+  EXPECT_TRUE(s.runs().empty());
+
+  obs::TraceConfig on;
+  on.enabled = true;
+  obs::RunTrace* run = s.begin_run("on", 2, on);
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(s.runs().size(), 1u);
+  std::ostringstream os;
+  s.write_chrome(os);
+  EXPECT_NO_THROW(JsonParser(os.str()).parse());
+}
