@@ -1,0 +1,138 @@
+/// \file serve_throughput.cpp
+/// Serving-layer throughput/latency sweep on a Summit-like machine.
+///
+/// Not a paper figure: this bench exercises the src/serve subsystem built
+/// on top of the paper's cost models. Two sweeps, all in virtual time and
+/// fully deterministic from the workload seed:
+///   1. batch policy (off, max_batch 4/8/16) at equal offered load --
+///      shape batching turns Fig. 13's per-transform overlap speedup into
+///      service throughput, at a bounded latency cost (max_delay);
+///   2. plan-cache capacity against a catalog larger than the cache --
+///      misses re-pay gpusim's cuFFT plan-setup spike (Fig. 10), which
+///      shows up directly in tail latency.
+///
+/// `--smoke` runs a reduced request count (CI).
+
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "serve/server.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260806;
+
+serve::ClusterConfig cluster() {
+  serve::ClusterConfig c;
+  c.machine = net::summit();
+  c.device = gpu::v100();
+  c.nranks = 12;  // two Summit nodes
+  return c;
+}
+
+serve::JobShape cube(int n) {
+  serve::JobShape s;
+  s.n = {n, n, n};
+  s.options.decomp = core::Decomposition::Pencil;
+  s.options.overlap_batches = true;
+  return s;
+}
+
+/// Warm single-transform time of `shape`: the unit the offered load and
+/// the batcher's max_delay are expressed in.
+double unit_time(const serve::ClusterConfig& c, const serve::JobShape& s) {
+  core::Simulator sim(serve::to_sim_config(c, s));
+  return sim.transform_time(1);
+}
+
+void sweep_batch_policy(std::uint64_t requests) {
+  const serve::ClusterConfig c = cluster();
+  const std::vector<serve::ShapeMix> mix = {
+      {cube(64), 4.0}, {cube(128), 2.0}, {cube(32), 1.0}};
+  const double t1 = unit_time(c, mix[0].shape);
+  const double rate = 4.0 / t1;  // 4x one executor's unbatched capacity
+
+  std::printf("batch-policy sweep: %llu requests, offered rate %.0f/s "
+              "(4x unbatched capacity of the dominant shape)\n",
+              static_cast<unsigned long long>(requests), rate);
+  Table t({"policy", "completed", "batches", "mean batch", "throughput/s",
+           "p50", "p95", "p99", "util"});
+  for (int max_batch : {0, 4, 8, 16}) {
+    serve::ServerConfig cfg;
+    cfg.cluster = c;
+    for (const auto& m : mix) cfg.shapes.push_back(m.shape);
+    cfg.batching.enabled = max_batch > 0;
+    cfg.batching.max_batch = max_batch > 0 ? max_batch : 1;
+    cfg.batching.max_delay = 4 * t1;
+    cfg.label = max_batch > 0
+                    ? "serve/batch" + std::to_string(max_batch)
+                    : "serve/nobatch";
+    serve::Server server(cfg);
+    serve::OpenLoopWorkload load(mix, rate, requests, /*tenants=*/4, kSeed);
+    const serve::ServeReport rep = server.run(load);
+    t.add_row({max_batch > 0 ? "batch<=" + std::to_string(max_batch) : "off",
+               std::to_string(rep.completed), std::to_string(rep.batches),
+               format_fixed(rep.mean_batch, 2), format_fixed(rep.throughput, 1),
+               format_time(rep.latency.p50), format_time(rep.latency.p95),
+               format_time(rep.latency.p99),
+               format_fixed(100 * rep.utilization, 1) + "%"});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+}
+
+void sweep_cache_capacity(std::uint64_t requests) {
+  const serve::ClusterConfig c = cluster();
+  // 12 distinct shapes: more than the small cache capacities below.
+  std::vector<serve::ShapeMix> mix;
+  for (int n : {32, 48, 64, 96, 128}) mix.push_back({cube(n), 4.0});
+  for (int n : {40, 56, 80, 112, 144, 160, 192}) {
+    serve::JobShape s = cube(n);
+    mix.push_back({s, 1.0});  // long tail of rarer shapes
+  }
+  const double t1 = unit_time(c, mix[2].shape);
+  const double rate = 1.0 / t1;
+
+  std::printf("plan-cache sweep: %llu requests over %zu shapes\n",
+              static_cast<unsigned long long>(requests), mix.size());
+  Table t({"capacity", "hits", "misses", "evictions", "setup paid", "p99"});
+  for (std::size_t cap : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                          std::size_t{0}}) {
+    serve::ServerConfig cfg;
+    cfg.cluster = c;
+    for (const auto& m : mix) cfg.shapes.push_back(m.shape);
+    cfg.cache_capacity = cap;
+    cfg.batching.max_delay = 2 * t1;
+    cfg.label = "serve/cache" + std::to_string(cap);
+    serve::Server server(cfg);
+    serve::OpenLoopWorkload load(mix, rate, requests, /*tenants=*/4, kSeed);
+    const serve::ServeReport rep = server.run(load);
+    t.add_row({cap == 0 ? "unbounded" : std::to_string(cap),
+               std::to_string(rep.cache_hits), std::to_string(rep.cache_misses),
+               std::to_string(rep.cache_evictions),
+               format_time(rep.setup_charged), format_time(rep.latency.p99)});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  banner("serve_throughput",
+         "multi-tenant FFT service on 2 Summit nodes (12 V100)",
+         "shape batching raises completed transforms per virtual second "
+         "(Fig. 13 overlap); plan-cache misses re-pay the cuFFT setup "
+         "spike (Fig. 10) in tail latency");
+
+  sweep_batch_policy(smoke ? 400 : 4000);
+  sweep_cache_capacity(smoke ? 400 : 4000);
+  return 0;
+}

@@ -15,7 +15,30 @@ namespace parfft {
 /// global random_device is never used.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), gen_(seed) {}
+
+  /// The seed this generator was constructed with (drawn values do not
+  /// change it); lets reports echo the seed that reproduces a run.
+  std::uint64_t seed() const { return seed_; }
+
+  /// An independent deterministic sub-stream: stream `k` of two
+  /// generators with equal seeds is identical, streams with different `k`
+  /// (or different parent seeds) are decorrelated. Used to give every
+  /// simulated client / tenant its own reproducible randomness with no
+  /// hidden global state.
+  Rng split(std::uint64_t stream) const {
+    // SplitMix64 finalizer over (seed, stream); avalanches both words.
+    std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Exponentially distributed sample with the given rate (mean 1/rate);
+  /// the inter-arrival law of the open-loop workload generators.
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {
@@ -52,6 +75,7 @@ class Rng {
   std::mt19937_64& engine() { return gen_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 gen_;
 };
 

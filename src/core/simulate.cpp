@@ -260,17 +260,22 @@ class StageRunner {
   bool first_transform_ = true;
 };
 
-/// Pipelined batched execution (Fig. 13): the batch is processed in up to
-/// four sub-chunks; each chunk's communication overlaps the next chunk's
-/// computation on separate streams. Returns the total time of one batched
-/// transform.
-double simulate_overlapped(const SimConfig& cfg, const StagePlan& plan,
-                           const net::CommCost& cost) {
-  const int batch = plan.options.batch;
-  std::vector<int> group(static_cast<std::size_t>(plan.nranks));
-  for (int r = 0; r < plan.nranks; ++r) group[static_cast<std::size_t>(r)] = r;
-  const net::TransferMode mode = cfg.gpu_aware ? net::TransferMode::GpuAware
-                                               : net::TransferMode::Staged;
+}  // namespace
+
+double overlapped_batch_time(const StagePlan& plan,
+                             const gpu::DeviceSpec& device,
+                             const net::CommCost& cost,
+                             net::TransferMode mode, net::MpiFlavor flavor,
+                             int batch, const std::vector<int>& group_in) {
+  PARFFT_CHECK(batch >= 1, "batch must be positive");
+  std::vector<int> group = group_in;
+  if (group.empty()) {
+    group.resize(static_cast<std::size_t>(plan.nranks));
+    for (int r = 0; r < plan.nranks; ++r)
+      group[static_cast<std::size_t>(r)] = r;
+  }
+  PARFFT_CHECK(static_cast<int>(group.size()) == plan.nranks,
+               "group size must match the plan's rank count");
 
   // Per-stage costs for a chunk of b batch elements (max over ranks).
   // Reshape stages split into pack (GPU compute stream), exchange (network
@@ -286,24 +291,24 @@ double simulate_overlapped(const SimConfig& cfg, const StagePlan& plan,
     if (s.kind == Stage::Kind::Reshape) {
       const net::PhaseTimes phase = cost.exchange(
           group, s.reshape.send_matrix(b), to_alg(plan.options.backend),
-          mode, cfg.flavor);
+          mode, flavor);
       c.comm = phase.total;
       for (int r = 0; r < plan.nranks; ++r) {
         double p = 0, u = 0;
         for (const Transfer& tr : s.reshape.sends(r))
           p += gpu::pack_region_cost(
-              cfg.device,
+              device,
               static_cast<double>(tr.region.count() * b) * sizeof(cplx),
               pack_contiguous_run(s.reshape.from()[static_cast<std::size_t>(r)],
                                   tr.region));
-        if (!s.reshape.sends(r).empty()) p += cfg.device.kernel_launch;
+        if (!s.reshape.sends(r).empty()) p += device.kernel_launch;
         for (const Transfer& tr : s.reshape.recvs(r))
           u += gpu::pack_region_cost(
-              cfg.device,
+              device,
               static_cast<double>(tr.region.count() * b) * sizeof(cplx),
               pack_contiguous_run(s.reshape.to()[static_cast<std::size_t>(r)],
                                   tr.region));
-        if (!s.reshape.recvs(r).empty()) u += cfg.device.kernel_launch;
+        if (!s.reshape.recvs(r).empty()) u += device.kernel_launch;
         c.pre = std::max(c.pre, p);
         c.post = std::max(c.post, u);
       }
@@ -317,7 +322,7 @@ double simulate_overlapped(const SimConfig& cfg, const StagePlan& plan,
           const int lines = static_cast<int>(box.count() / len) * b;
           const bool contiguous = axis == 2 || plan.options.contiguous_fft;
           mx = std::max(mx,
-                        gpu::fft_cost(cfg.device, len, lines, !contiguous));
+                        gpu::fft_cost(device, len, lines, !contiguous));
         }
         c.pre += mx;
       }
@@ -356,8 +361,6 @@ double simulate_overlapped(const SimConfig& cfg, const StagePlan& plan,
   return best;
 }
 
-}  // namespace
-
 SimReport simulate(const SimConfig& cfg) {
   PARFFT_CHECK(cfg.repeats >= 1, "repeats must be positive");
   SimConfig c = cfg;
@@ -377,7 +380,10 @@ SimReport simulate(const SimConfig& cfg) {
   report.reshapes_per_transform = plan.reshape_count();
 
   if (plan.options.batch > 1 && plan.options.overlap_batches) {
-    const double t = simulate_overlapped(c, plan, cost);
+    const double t = overlapped_batch_time(
+        plan, c.device, cost,
+        c.gpu_aware ? net::TransferMode::GpuAware : net::TransferMode::Staged,
+        c.flavor, plan.options.batch);
     report.total = t * c.repeats;
     report.per_transform = t / plan.options.batch;
     report.rank_times.assign(static_cast<std::size_t>(c.nranks),
@@ -411,6 +417,63 @@ SimReport simulate(const SimConfig& cfg) {
   report.kernels.comm *= inv;
   report.kernels.scale *= inv;
   return report;
+}
+
+namespace {
+
+SimConfig normalized(SimConfig cfg) {
+  if (cfg.in_boxes.empty()) cfg.in_boxes = brick_layout(cfg.n, cfg.nranks);
+  if (cfg.out_boxes.empty()) cfg.out_boxes = cfg.in_boxes;
+  PARFFT_CHECK(static_cast<int>(cfg.in_boxes.size()) == cfg.nranks &&
+                   static_cast<int>(cfg.out_boxes.size()) == cfg.nranks,
+               "box layouts must have one entry per rank");
+  return cfg;
+}
+
+}  // namespace
+
+Simulator::Simulator(SimConfig cfg)
+    : cfg_(normalized(std::move(cfg))),
+      plan_(build_stages(cfg_.n, cfg_.nranks, cfg_.in_boxes, cfg_.out_boxes,
+                         cfg_.options, cfg_.machine)),
+      map_{cfg_.machine.gpus_per_node},
+      cost_(cfg_.machine, map_, cfg_.nranks) {}
+
+double Simulator::run_once(int batch, bool cold) {
+  SimConfig c = cfg_;
+  c.options.batch = batch;
+  c.warmed = !cold;
+  StagePlan p = plan_;
+  p.options.batch = batch;
+  SimReport scratch;
+  std::vector<double> clocks(static_cast<std::size_t>(cfg_.nranks), 0.0);
+  std::vector<gpu::PlanCache> caches(
+      cold ? static_cast<std::size_t>(cfg_.nranks) : 0);
+  StageRunner runner(c, p, cost_, scratch, caches, clocks, nullptr);
+  runner.run_transform();
+  return *std::max_element(clocks.begin(), clocks.end());
+}
+
+double Simulator::transform_time(int batch, bool cold) {
+  PARFFT_CHECK(batch >= 1, "batch must be positive");
+  const std::pair<int, bool> key{batch, cold};
+  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  double t;
+  if (batch > 1 && cfg_.options.overlap_batches) {
+    t = overlapped_batch_time(
+        plan_, cfg_.device, cost_,
+        cfg_.gpu_aware ? net::TransferMode::GpuAware
+                       : net::TransferMode::Staged,
+        cfg_.flavor, batch);
+  } else {
+    t = run_once(batch, cold);
+  }
+  memo_.emplace(key, t);
+  return t;
+}
+
+double Simulator::plan_setup_time() {
+  return transform_time(1, /*cold=*/true) - transform_time(1, /*cold=*/false);
 }
 
 std::string csv_escape(const std::string& field) {

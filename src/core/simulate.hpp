@@ -11,12 +11,15 @@
 /// test asserts that simulate() and Plan3D::execute() agree on small
 /// configurations.
 
+#include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 
 #include "core/stages.hpp"
 #include "core/trace.hpp"
 #include "gpusim/device.hpp"
+#include "netsim/collectives.hpp"
 
 namespace parfft::core {
 
@@ -52,6 +55,59 @@ struct SimReport {
 
 /// Builds the stage plan for `cfg` and runs the virtual-time simulation.
 SimReport simulate(const SimConfig& cfg);
+
+/// Virtual time of one batched transform executed with the two-stream
+/// overlap pipeline of Fig. 13: the batch is processed in up to eight
+/// sub-chunks, each chunk's exchange overlapping the next chunk's
+/// compute; the best chunk granularity is selected, as the paper tunes
+/// before reporting. Shared by simulate(), Simulator and the threaded
+/// Plan3D, so all execution modes charge the identical schedule. `group`
+/// maps plan positions to global ranks (empty = identity); `batch`
+/// overrides `plan.options.batch`. Models pre-created (warm) FFT plans.
+double overlapped_batch_time(const StagePlan& plan,
+                             const gpu::DeviceSpec& device,
+                             const net::CommCost& cost,
+                             net::TransferMode mode, net::MpiFlavor flavor,
+                             int batch, const std::vector<int>& group = {});
+
+/// Reusable simulation handle: builds the stage pipeline and the
+/// congestion-aware cost model once, then prices batched executions of
+/// the same geometry at any batch size without re-planning. This is the
+/// plan-handle contract a serving layer needs -- plan creation is the
+/// expensive, cacheable step; re-execution is cheap -- mirroring how
+/// heFFTe applications hold one plan across many transforms.
+///
+/// Not traced: callers (src/serve) record their own request-scoped spans.
+class Simulator {
+ public:
+  /// Normalizes `cfg` (default brick layouts) and builds the plan.
+  /// `cfg.repeats` and `cfg.options.batch` are ignored; batch is chosen
+  /// per call.
+  explicit Simulator(SimConfig cfg);
+
+  const SimConfig& config() const { return cfg_; }
+  const StagePlan& plan() const { return plan_; }
+
+  /// Virtual time of one batched transform of `batch` 3-D FFTs. Honours
+  /// `cfg.options.overlap_batches` for batch > 1. `cold` additionally
+  /// charges the first-call FFT plan-setup spikes (gpusim::PlanCache);
+  /// the overlapped path models warm plans only, like simulate().
+  /// Memoized per (batch, cold).
+  double transform_time(int batch, bool cold = false);
+
+  /// One-time extra virtual time a cold first transform pays for device
+  /// FFT plan creation (= cold - warm cost of an unbatched transform).
+  double plan_setup_time();
+
+ private:
+  double run_once(int batch, bool cold);
+
+  SimConfig cfg_;
+  StagePlan plan_;
+  net::RankMap map_;
+  net::CommCost cost_;
+  std::map<std::pair<int, bool>, double> memo_;
+};
 
 /// RFC 4180 CSV field quoting: fields containing commas, quotes or line
 /// breaks are wrapped in double quotes with embedded quotes doubled;

@@ -68,9 +68,21 @@ double pointwise_cost(const DeviceSpec& d, double bytes) {
 double PlanCache::fft_call(const DeviceSpec& d, int len, int batch,
                            bool strided) {
   double t = fft_cost(d, len, batch, strided);
-  auto [it, fresh] = created_.try_emplace({len, batch, strided}, true);
-  (void)it;
-  if (fresh) t += d.fft_plan_setup;
+  const Key key{len, batch, strided};
+  if (auto it = resident_.find(key); it != resident_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return t;
+  }
+  ++misses_;
+  t += d.fft_plan_setup;
+  if (capacity_ > 0 && resident_.size() >= capacity_) {
+    resident_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  resident_.emplace(key, lru_.begin());
   return t;
 }
 

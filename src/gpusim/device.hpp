@@ -11,6 +11,8 @@
 /// of Fig. 10), all of which are modeled explicitly.
 
 #include <cstddef>
+#include <cstdint>
+#include <list>
 #include <map>
 #include <string>
 #include <tuple>
@@ -84,15 +86,41 @@ double pointwise_cost(const DeviceSpec& d, double bytes);
 /// Tracks which FFT plans a device has already created so the first call
 /// with a new (len, batch, strided) layout pays the plan-setup spike, as
 /// observed with cuFFT in Fig. 10.
+///
+/// Residency is capacity-bounded with LRU eviction: vendor FFT handles
+/// pin device memory (cuFFT work areas), so a process juggling many
+/// layouts -- a multi-tenant serving mix above all -- cannot keep every
+/// plan alive. A layout that was evicted pays the setup spike again on
+/// its next call, exactly like a real handle destroyed and re-created.
 class PlanCache {
  public:
-  /// Returns the cost of this call and records the layout.
+  /// Default residency bound; roughly what a cuFFT work-area budget of a
+  /// few GB supports for the transform sizes the paper uses.
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  /// `capacity` == 0 means unbounded (the pre-serving behaviour).
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Returns the cost of this call and records the layout: a resident
+  /// layout is a hit (refreshes recency), anything else pays
+  /// `d.fft_plan_setup` and may evict the least-recently-used plan.
   double fft_call(const DeviceSpec& d, int len, int batch, bool strided);
 
-  std::size_t plans_created() const { return created_.size(); }
+  /// Total plan creations, including re-creations after eviction.
+  std::size_t plans_created() const { return misses_; }
+  std::size_t resident() const { return resident_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
-  std::map<std::tuple<int, int, bool>, bool> created_;
+  using Key = std::tuple<int, int, bool>;
+  std::size_t capacity_;
+  std::list<Key> lru_;  ///< front = most recently used
+  std::map<Key, std::list<Key>::iterator> resident_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
 };
 
 /// Ordered virtual-time queue modelling one CUDA/HIP stream: operations

@@ -16,6 +16,7 @@ const char* category_name(Category c) {
     case Category::Scale: return "scale";
     case Category::Send: return "send";
     case Category::Collective: return "collective";
+    case Category::Request: return "request";
   }
   return "unknown";
 }

@@ -44,6 +44,7 @@ enum class Category {
   Scale,       ///< backward-transform normalization
   Send,        ///< point-to-point send posting
   Collective,  ///< non-exchange collective (barrier, bcast, allgather, ...)
+  Request,     ///< one client job in the serving layer (arrival to completion)
 };
 
 /// Stable lowercase name ("pack", "exchange", ...) used in exports.

@@ -1,0 +1,63 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace parfft::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::size_t Batcher::pending() const {
+  std::size_t n = 0;
+  for (const auto& [shape, q] : groups_) n += q.size();
+  return n;
+}
+
+double Batcher::next_deadline() const {
+  if (!policy_.enabled) return groups_.empty() ? kInf : 0.0;
+  double d = kInf;
+  for (const auto& [shape, q] : groups_)
+    d = std::min(d, q.front().arrival + policy_.max_delay);
+  return d;
+}
+
+Batch Batcher::pop(double now, bool drain) {
+  Batch out;
+  if (groups_.empty()) return out;
+
+  if (!policy_.enabled) {
+    // Baseline mode: release the single oldest request across all shapes.
+    auto best = groups_.begin();
+    for (auto it = std::next(best); it != groups_.end(); ++it)
+      if (it->second.front().arrival < best->second.front().arrival) best = it;
+    out.shape_id = best->first;
+    out.requests.push_back(best->second.front());
+    best->second.pop_front();
+    if (best->second.empty()) groups_.erase(best);
+    return out;
+  }
+
+  const int cap = std::max(1, policy_.max_batch);
+  auto best = groups_.end();
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    const bool full = static_cast<int>(it->second.size()) >= cap;
+    const bool aged = it->second.front().arrival + policy_.max_delay <= now;
+    if (!(full || aged || drain)) continue;
+    if (best == groups_.end() ||
+        it->second.front().arrival < best->second.front().arrival)
+      best = it;
+  }
+  if (best == groups_.end()) return out;
+
+  out.shape_id = best->first;
+  auto& q = best->second;
+  const int take = std::min<int>(cap, static_cast<int>(q.size()));
+  out.requests.assign(q.begin(), q.begin() + take);
+  q.erase(q.begin(), q.begin() + take);
+  if (q.empty()) groups_.erase(best);
+  return out;
+}
+
+}  // namespace parfft::serve

@@ -1,0 +1,67 @@
+#pragma once
+/// \file batcher.hpp
+/// Shape batcher: coalesces same-shape requests into batched transforms.
+///
+/// The paper's Fig. 13 shows batched transforms with compute/comm overlap
+/// amortize per-stage latency across the batch -- the serving layer turns
+/// that into throughput by holding same-shape requests briefly and
+/// dispatching them as one batched execution. The policy trades latency
+/// (requests wait up to `max_delay` for company) against throughput
+/// (bigger batches pipeline better).
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace parfft::serve {
+
+/// Coalescing policy. With `enabled == false` every request dispatches
+/// alone (batch size 1), which is the baseline the tests compare against.
+struct BatchPolicy {
+  bool enabled = true;
+  int max_batch = 8;        ///< dispatch as soon as a group reaches this
+  double max_delay = 1e-3;  ///< virtual seconds a head request may wait
+};
+
+/// One dispatchable group of same-shape requests.
+struct Batch {
+  int shape_id = 0;
+  std::vector<Request> requests;
+  int size() const { return static_cast<int>(requests.size()); }
+};
+
+/// Groups admitted requests by shape and releases them under the policy:
+/// a group is eligible when it is full (`max_batch`) or its oldest
+/// request has waited `max_delay`. Deterministic: ties break on oldest
+/// head arrival, then smallest shape_id.
+class Batcher {
+ public:
+  explicit Batcher(BatchPolicy policy) : policy_(policy) {}
+
+  const BatchPolicy& policy() const { return policy_; }
+
+  void push(const Request& r) { groups_[r.shape_id].push_back(r); }
+
+  bool empty() const { return groups_.empty(); }
+  std::size_t pending() const;
+
+  /// Virtual time at which the oldest queued request hits `max_delay`
+  /// (infinity when nothing is queued or batching is disabled -- disabled
+  /// groups are always eligible immediately).
+  double next_deadline() const;
+
+  /// Removes and returns the next eligible batch at virtual time `now`,
+  /// or an empty batch if none is eligible. With `drain` set, eligibility
+  /// is waived (used when the workload is exhausted and no more company
+  /// can arrive).
+  Batch pop(double now, bool drain = false);
+
+ private:
+  BatchPolicy policy_;
+  std::map<int, std::deque<Request>> groups_;
+};
+
+}  // namespace parfft::serve

@@ -1,0 +1,55 @@
+#include "serve/plan_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace parfft::serve {
+
+PlanCache::PlanCache(ClusterConfig cluster, std::size_t capacity,
+                     std::size_t eviction_window)
+    : cluster_(std::move(cluster)), capacity_(capacity),
+      window_(std::max<std::size_t>(1, eviction_window)) {}
+
+PlanCache::Lookup PlanCache::acquire(const JobShape& shape) {
+  const std::string key = shape_key(cluster_, shape);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return {it->second.plan.get(), /*hit=*/true, 0.0};
+  }
+  ++misses_;
+  if (capacity_ > 0 && entries_.size() >= capacity_) evict_one();
+  auto plan = std::make_unique<ServedPlan>(shape, cluster_);
+  const double setup = plan->setup_time();
+  setup_charged_ += setup;
+  lru_.push_front(key);
+  auto [it, inserted] =
+      entries_.emplace(key, Entry{std::move(plan), lru_.begin()});
+  PARFFT_ASSERT(inserted);
+  return {it->second.plan.get(), /*hit=*/false, setup};
+}
+
+void PlanCache::evict_one() {
+  PARFFT_ASSERT(!entries_.empty());
+  // Cost-aware LRU: walk the `window_` least-recently-used keys and evict
+  // the cheapest-to-recreate one, so a plan whose setup spike is large
+  // outlives a run of cheap one-off shapes of equal staleness.
+  auto victim = std::prev(lru_.end());
+  double victim_setup =
+      entries_.find(*victim)->second.plan->setup_time();
+  auto it = victim;
+  for (std::size_t i = 1; i < window_ && it != lru_.begin(); ++i) {
+    --it;
+    const double setup = entries_.find(*it)->second.plan->setup_time();
+    if (setup < victim_setup) {
+      victim = it;
+      victim_setup = setup;
+    }
+  }
+  entries_.erase(*victim);
+  lru_.erase(victim);
+  ++evictions_;
+}
+
+}  // namespace parfft::serve

@@ -1,0 +1,94 @@
+#pragma once
+/// \file plan_cache.hpp
+/// Service-level FFT plan cache.
+///
+/// Plan creation is the expensive, amortizable step of every FFT library
+/// the paper touches: gpusim models cuFFT's first-call plan-setup spike
+/// (Fig. 10), and a serving workload re-uses a handful of shapes across
+/// millions of requests. This cache keeps resident core::Simulator
+/// handles keyed on (geometry, PlanOptions, machine); a miss charges the
+/// full first-transform spike, a hit costs nothing. Residency is bounded
+/// -- real plans pin device work areas -- with LRU + cost-aware eviction:
+/// among the least-recently-used tail, the cheapest-to-recreate plan goes
+/// first, so an expensive big-transform plan survives a burst of cheap
+/// one-off shapes.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace parfft::serve {
+
+/// A resident plan: the reusable simulation handle of one shape plus
+/// memoized batched execution costs.
+class ServedPlan {
+ public:
+  ServedPlan(JobShape shape, const ClusterConfig& cluster)
+      : shape_(shape), sim_(to_sim_config(cluster, shape)) {}
+
+  const JobShape& shape() const { return shape_; }
+
+  /// Virtual time of executing `batch` coalesced requests as one batched
+  /// transform with warm device plans (core's batch + overlap pipeline).
+  double exec_time(int batch) { return sim_.transform_time(batch); }
+
+  /// One-time spike charged when the plan is created (cache miss): the
+  /// device FFT plan setup of every stage layout, priced by gpusim.
+  double setup_time() { return sim_.plan_setup_time(); }
+
+  core::Simulator& simulator() { return sim_; }
+
+ private:
+  JobShape shape_;
+  core::Simulator sim_;
+};
+
+/// Capacity-bounded plan cache with LRU + cost-aware eviction.
+class PlanCache {
+ public:
+  /// `capacity` bounds resident plans (0 = unbounded). Eviction examines
+  /// the `eviction_window` least-recently-used entries and removes the
+  /// one with the smallest setup (re-creation) cost.
+  explicit PlanCache(ClusterConfig cluster, std::size_t capacity = 16,
+                     std::size_t eviction_window = 4);
+
+  struct Lookup {
+    ServedPlan* plan = nullptr;  ///< valid until the next acquire()
+    bool hit = false;
+    double setup_charge = 0;  ///< 0 on hit; plan-creation spike on miss
+  };
+
+  /// Finds or creates the resident plan for `shape`. A miss builds the
+  /// stage pipeline and reports the setup spike the caller must charge to
+  /// virtual time; either way the entry becomes most recently used.
+  Lookup acquire(const JobShape& shape);
+
+  std::size_t resident() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  /// Total virtual seconds of plan setup charged by misses so far.
+  double setup_charged() const { return setup_charged_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<ServedPlan> plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+  void evict_one();
+
+  ClusterConfig cluster_;
+  std::size_t capacity_;
+  std::size_t window_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  double setup_charged_ = 0;
+};
+
+}  // namespace parfft::serve

@@ -1,0 +1,60 @@
+#pragma once
+/// \file request.hpp
+/// Client-facing job types of the FFT service layer.
+///
+/// The serving engine (src/serve) multiplexes many concurrent client jobs
+/// over one simulated machine in virtual time. A job asks for one 3-D
+/// transform of a given JobShape; the server coalesces same-shape jobs
+/// into batched Plan3D-style executions (core's batch + overlap pipeline)
+/// and amortizes plan creation through a capacity-bounded plan cache.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/simulate.hpp"
+#include "core/stages.hpp"
+
+namespace parfft::serve {
+
+/// Geometry + plan options a class of jobs shares: the unit of plan
+/// caching and shape batching. `options.batch` is a service-side decision
+/// (the batcher sets it per dispatch) and is ignored on submission.
+struct JobShape {
+  std::array<int, 3> n{64, 64, 64};
+  core::PlanOptions options;
+};
+
+/// The one simulated machine the service multiplexes jobs onto.
+struct ClusterConfig {
+  net::MachineSpec machine = net::summit();
+  gpu::DeviceSpec device = gpu::v100();
+  int nranks = 12;  ///< GPUs (1 MPI rank per GPU, the paper's placement)
+  bool gpu_aware = true;
+  net::MpiFlavor flavor = net::MpiFlavor::SpectrumMPI;
+};
+
+/// The core::Simulator configuration of `shape` on `cluster` (brick
+/// input/output layouts; batch chosen per dispatch).
+core::SimConfig to_sim_config(const ClusterConfig& cluster,
+                              const JobShape& shape);
+
+/// Canonical plan-cache key: geometry, the plan options that change the
+/// stage pipeline, and the machine identity. Same key <=> one resident
+/// plan serves both jobs.
+std::string shape_key(const ClusterConfig& cluster, const JobShape& shape);
+
+/// One client job flowing through the server. Times are virtual seconds.
+struct Request {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  int shape_id = 0;        ///< index into the server's shape catalog
+  double arrival = 0;
+  double dispatch = -1;    ///< when its batch started executing
+  double completion = -1;  ///< when its batch finished
+
+  double latency() const { return completion - arrival; }
+  double queue_wait() const { return dispatch - arrival; }
+};
+
+}  // namespace parfft::serve

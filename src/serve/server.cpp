@@ -1,0 +1,186 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+
+namespace parfft::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto n = static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n));
+  if (idx > 0) --idx;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+}  // namespace
+
+LatencySummary summarize_latencies(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.p50 = nearest_rank(samples, 0.50);
+  s.p95 = nearest_rank(samples, 0.95);
+  s.p99 = nearest_rank(samples, 0.99);
+  s.max = samples.back();
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  return s;
+}
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cluster, cfg_.cache_capacity, cfg_.cache_eviction_window) {
+  PARFFT_CHECK(!cfg_.shapes.empty(), "server needs a non-empty shape catalog");
+}
+
+ServeReport Server::run(Workload& workload) {
+  obs::RunTrace* run =
+      obs::Session::global().begin_run(cfg_.label, /*nranks=*/1, cfg_.trace);
+
+  Batcher batcher(cfg_.batching);
+  ServeReport rep;
+  rep.offered = workload.offered();
+
+  std::vector<double> waits;
+  InFlight flight;
+  bool busy = false;
+  double now = 0;
+
+  auto finish_flight = [&] {
+    now = std::max(now, flight.done);
+    for (Request& r : flight.batch.requests) {
+      r.completion = flight.done;
+      rep.latencies.push_back(r.latency());
+      waits.push_back(r.queue_wait());
+      ++rep.completed;
+      if (run) {
+        if (r.dispatch > r.arrival)
+          run->tracer.complete(0, obs::Category::Wait, "queued", r.arrival,
+                               r.dispatch - r.arrival);
+        run->tracer.complete(
+            0, obs::Category::Request, "req", r.arrival, r.latency(),
+            {{"tenant", static_cast<double>(r.tenant)},
+             {"shape", static_cast<double>(r.shape_id)}});
+        run->metrics.histogram("serve/latency_seconds",
+                               obs::geometric_edges(1e-6, 64.0, 2.0))
+            .observe(r.latency());
+      }
+      workload.on_complete(r, flight.done);
+    }
+    if (run)
+      run->metrics
+          .histogram("serve/batch_size", obs::geometric_edges(1, 64, 2))
+          .observe(flight.batch.size());
+    busy = false;
+  };
+
+  auto admit = [&](Request r) {
+    const bool full =
+        cfg_.queue_limit > 0 && batcher.pending() >= cfg_.queue_limit;
+    if (full) {
+      ++rep.rejected;
+      if (run) run->metrics.counter("serve/rejected").add(1);
+      // Tell the workload anyway: a closed-loop client's rejected request
+      // is over (fail fast) and the client moves on to its next round.
+      workload.on_complete(r, r.arrival);
+      return;
+    }
+    ++rep.admitted;
+    batcher.push(r);
+    if (run)
+      run->counter_sample("serve/queue_depth", r.arrival,
+                          static_cast<double>(batcher.pending()));
+  };
+
+  auto dispatch = [&](Batch&& b) {
+    PlanCache::Lookup look = cache_.acquire(cfg_.shapes[static_cast<std::size_t>(
+        b.shape_id)]);
+    const double exec = look.plan->exec_time(b.size());
+    const double total = look.setup_charge + exec;
+    for (Request& r : b.requests) r.dispatch = now;
+    flight.batch = std::move(b);
+    flight.start = now;
+    flight.setup = look.setup_charge;
+    flight.done = now + total;
+    busy = true;
+    ++rep.batches;
+    rep.busy_time += total;
+    if (run) {
+      run->tracer.complete(
+          0, obs::Category::Transform,
+          shape_key(cfg_.cluster,
+                    cfg_.shapes[static_cast<std::size_t>(flight.batch.shape_id)]),
+          now, total,
+          {{"batch", static_cast<double>(flight.batch.size())},
+           {"plan_setup", look.setup_charge},
+           {"cache_hit", look.hit ? 1.0 : 0.0}});
+      run->metrics.counter("serve/batches").add(1);
+      if (!look.hit)
+        run->metrics.counter("serve/plan_setup_seconds").add(look.setup_charge);
+    }
+  };
+
+  while (true) {
+    if (busy && flight.done <= now) finish_flight();
+    while (auto t = workload.peek()) {
+      if (*t > now) break;
+      admit(workload.pop());
+    }
+    if (!busy && !batcher.empty()) {
+      // No more arrivals can ever come once peek() is empty and nothing
+      // is in flight (closed-loop clients only re-submit on completion),
+      // so waiting out max_delay would be pure idle time: drain.
+      const bool drain = !workload.peek().has_value();
+      Batch b = batcher.pop(now, drain);
+      if (b.size() > 0) {
+        dispatch(std::move(b));
+        continue;
+      }
+    }
+    double next = kInf;
+    if (busy) next = flight.done;
+    if (auto t = workload.peek()) next = std::min(next, *t);
+    if (!busy && !batcher.empty())
+      next = std::min(next, std::max(now, batcher.next_deadline()));
+    if (next == kInf) break;
+    now = next;
+  }
+
+  PARFFT_ASSERT(batcher.empty() && !busy);
+  rep.makespan = now;
+  rep.throughput = rep.makespan > 0
+                       ? static_cast<double>(rep.completed) / rep.makespan
+                       : 0.0;
+  rep.utilization = rep.makespan > 0 ? rep.busy_time / rep.makespan : 0.0;
+  rep.mean_batch = rep.batches > 0 ? static_cast<double>(rep.completed) /
+                                         static_cast<double>(rep.batches)
+                                   : 0.0;
+  rep.latency = summarize_latencies(rep.latencies);
+  rep.queue_wait = summarize_latencies(std::move(waits));
+  rep.cache_hits = cache_.hits();
+  rep.cache_misses = cache_.misses();
+  rep.cache_evictions = cache_.evictions();
+  rep.setup_charged = cache_.setup_charged();
+  if (run) {
+    run->metrics.counter("serve/completed").add(
+        static_cast<double>(rep.completed));
+    run->metrics.gauge("serve/throughput").set(rep.throughput);
+    run->metrics.gauge("serve/utilization").set(rep.utilization);
+    run->metrics.gauge("serve/cache_hits").set(
+        static_cast<double>(rep.cache_hits));
+    run->metrics.gauge("serve/cache_misses").set(
+        static_cast<double>(rep.cache_misses));
+  }
+  return rep;
+}
+
+}  // namespace parfft::serve

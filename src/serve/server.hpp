@@ -1,0 +1,105 @@
+#pragma once
+/// \file server.hpp
+/// Virtual-time FFT service engine.
+///
+/// The server multiplexes many client jobs over ONE simulated machine:
+/// a single executor runs one (possibly batched) transform at a time,
+/// because every transform already spans all GPUs of the machine (the
+/// paper's one-rank-per-GPU placement). The event loop advances virtual
+/// time between three event sources -- workload arrivals, the batcher's
+/// max-delay deadline and the executor finishing -- and is fully
+/// deterministic for a given workload seed.
+///
+/// Per-request costs come from the same models the rest of the repo
+/// validates against the paper: batched execution reuses core's batch +
+/// overlap pipeline (Fig. 13) through core::Simulator, and a plan-cache
+/// miss charges gpusim's first-call plan-setup spike (Fig. 10).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+#include "serve/batcher.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/workload.hpp"
+
+namespace parfft::obs {
+class RunTrace;
+}  // namespace parfft::obs
+
+namespace parfft::serve {
+
+struct ServerConfig {
+  ClusterConfig cluster;
+  /// Shape catalog; Request::shape_id indexes into this. Workloads must
+  /// be built from the same catalog order.
+  std::vector<JobShape> shapes;
+  BatchPolicy batching;
+  std::size_t cache_capacity = 16;
+  std::size_t cache_eviction_window = 4;
+  /// Admission control: reject arrivals when this many requests are
+  /// already queued (0 = unbounded, never reject).
+  std::size_t queue_limit = 0;
+  obs::TraceConfig trace;
+  std::string label = "serve";
+};
+
+/// Order statistics of one latency population (virtual seconds).
+struct LatencySummary {
+  double p50 = 0, p95 = 0, p99 = 0;
+  double mean = 0, max = 0;
+};
+
+/// Nearest-rank percentiles over `samples` (need not be sorted).
+LatencySummary summarize_latencies(std::vector<double> samples);
+
+/// What one Server::run() produced.
+struct ServeReport {
+  std::uint64_t offered = 0;    ///< requests the workload generated
+  std::uint64_t admitted = 0;   ///< accepted past admission control
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;    ///< batched executions dispatched
+
+  double makespan = 0;     ///< virtual time of the last completion
+  double busy_time = 0;    ///< virtual time the executor was executing
+  double throughput = 0;   ///< completed transforms per virtual second
+  double utilization = 0;  ///< busy_time / makespan
+  double mean_batch = 0;   ///< completed / batches
+
+  LatencySummary latency;     ///< arrival -> completion
+  LatencySummary queue_wait;  ///< arrival -> dispatch
+  std::vector<double> latencies;  ///< per-request, completion order
+
+  /// Plan-cache totals at the end of the run (the cache persists across
+  /// runs of one Server, so warm runs show hits against earlier misses).
+  std::uint64_t cache_hits = 0, cache_misses = 0, cache_evictions = 0;
+  double setup_charged = 0;  ///< virtual seconds of plan setup paid
+};
+
+/// The service engine. One instance owns one plan cache; run() may be
+/// called repeatedly and later runs reuse plans cached by earlier ones.
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+
+  /// Drives `workload` to completion in virtual time.
+  ServeReport run(Workload& workload);
+
+  const ServerConfig& config() const { return cfg_; }
+  const PlanCache& plan_cache() const { return cache_; }
+
+ private:
+  struct InFlight {
+    Batch batch;
+    double done = 0;    ///< completion time of every request in it
+    double setup = 0;   ///< plan-setup spike charged to this dispatch
+    double start = 0;
+  };
+
+  ServerConfig cfg_;
+  PlanCache cache_;
+};
+
+}  // namespace parfft::serve

@@ -1,0 +1,121 @@
+#include "serve/workload.hpp"
+
+#include "common/error.hpp"
+
+namespace parfft::serve {
+
+namespace {
+double catalog_weight(const std::vector<ShapeMix>& catalog) {
+  PARFFT_CHECK(!catalog.empty(), "workload needs a non-empty shape catalog");
+  double w = 0;
+  for (const ShapeMix& m : catalog) {
+    PARFFT_CHECK(m.weight > 0, "shape weights must be positive");
+    w += m.weight;
+  }
+  return w;
+}
+
+int weighted_draw(const std::vector<ShapeMix>& catalog, double total,
+                  Rng& rng) {
+  double u = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    u -= catalog[i].weight;
+    if (u < 0) return static_cast<int>(i);
+  }
+  return static_cast<int>(catalog.size()) - 1;
+}
+}  // namespace
+
+OpenLoopWorkload::OpenLoopWorkload(std::vector<ShapeMix> catalog, double rate,
+                                   std::uint64_t count, int tenants,
+                                   std::uint64_t seed)
+    : catalog_(std::move(catalog)), rate_(rate), count_(count),
+      tenants_(tenants > 0 ? tenants : 1), arrivals_(Rng(seed).split(0)),
+      shapes_(Rng(seed).split(1)) {
+  PARFFT_CHECK(rate_ > 0, "open-loop arrival rate must be positive");
+  total_weight_ = catalog_weight(catalog_);
+  next_arrival_ = arrivals_.exponential(rate_);
+}
+
+std::optional<double> OpenLoopWorkload::peek() const {
+  if (issued_ == count_) return std::nullopt;
+  return next_arrival_;
+}
+
+int OpenLoopWorkload::draw_shape() {
+  return weighted_draw(catalog_, total_weight_, shapes_);
+}
+
+Request OpenLoopWorkload::pop() {
+  PARFFT_ASSERT(issued_ < count_);
+  Request r;
+  r.id = issued_;
+  r.tenant = static_cast<int>(issued_ % static_cast<std::uint64_t>(tenants_));
+  r.shape_id = draw_shape();
+  r.arrival = next_arrival_;
+  ++issued_;
+  next_arrival_ += arrivals_.exponential(rate_);
+  return r;
+}
+
+ClosedLoopWorkload::ClosedLoopWorkload(std::vector<ShapeMix> catalog,
+                                       int clients, int rounds,
+                                       double think_time, std::uint64_t seed)
+    : catalog_(std::move(catalog)), clients_(clients), rounds_(rounds),
+      think_time_(think_time) {
+  PARFFT_CHECK(clients_ > 0 && rounds_ > 0,
+               "closed-loop workload needs clients > 0 and rounds > 0");
+  PARFFT_CHECK(think_time_ >= 0, "think time must be non-negative");
+  total_weight_ = catalog_weight(catalog_);
+  const Rng root(seed);
+  state_.reserve(static_cast<std::size_t>(clients_));
+  for (int c = 0; c < clients_; ++c) {
+    state_.push_back({root.split(static_cast<std::uint64_t>(c)), 0});
+    // Stagger the first submissions by one think time each so clients do
+    // not all arrive at t = 0 in lockstep.
+    schedule(c, state_.back().rng.exponential(1.0 / std::max(
+                    think_time_, 1e-12)));
+  }
+}
+
+void ClosedLoopWorkload::schedule(int client, double when) {
+  arrivals_.insert({when, client});
+}
+
+int ClosedLoopWorkload::draw_shape(Rng& rng) {
+  return weighted_draw(catalog_, total_weight_, rng);
+}
+
+std::optional<double> ClosedLoopWorkload::peek() const {
+  if (arrivals_.empty()) return std::nullopt;
+  return arrivals_.begin()->first;
+}
+
+Request ClosedLoopWorkload::pop() {
+  PARFFT_ASSERT(!arrivals_.empty());
+  const auto [when, client] = *arrivals_.begin();
+  arrivals_.erase(arrivals_.begin());
+  Client& c = state_[static_cast<std::size_t>(client)];
+  Request r;
+  r.id = next_id_++;
+  r.tenant = client;
+  r.shape_id = draw_shape(c.rng);
+  r.arrival = when;
+  ++c.issued;
+  ++issued_;
+  return r;
+}
+
+void ClosedLoopWorkload::on_complete(const Request& r, double now) {
+  Client& c = state_[static_cast<std::size_t>(r.tenant)];
+  if (c.issued >= rounds_) return;  // this client is finished
+  const double think =
+      think_time_ > 0 ? c.rng.exponential(1.0 / think_time_) : 0.0;
+  schedule(r.tenant, now + think);
+}
+
+bool ClosedLoopWorkload::done() const {
+  return arrivals_.empty() && issued_ == offered();
+}
+
+}  // namespace parfft::serve

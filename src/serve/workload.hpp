@@ -1,0 +1,124 @@
+#pragma once
+/// \file workload.hpp
+/// Deterministic workload generators for the FFT service.
+///
+/// Two classic load models, both reproducible from a single seed via
+/// Rng::split (no hidden global state):
+///  - open loop: requests arrive by a Poisson process at a fixed offered
+///    rate regardless of how the server keeps up -- the standard way to
+///    expose queueing delay and admission control;
+///  - closed loop: a fixed population of clients each submit, wait for
+///    completion, think, and submit again -- load self-throttles to the
+///    server's capacity.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.hpp"
+#include "serve/request.hpp"
+
+namespace parfft::serve {
+
+/// One entry of the service's shape catalog: a shape plus its relative
+/// popularity in the request mix.
+struct ShapeMix {
+  JobShape shape;
+  double weight = 1.0;
+};
+
+/// Pull-based request source driven by the server's virtual clock.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Arrival time of the next request, if one is currently scheduled.
+  /// Closed-loop sources may return nullopt while all clients are
+  /// thinking or in flight, then schedule more after on_complete().
+  virtual std::optional<double> peek() const = 0;
+
+  /// Removes and returns the next request (peek() must have a value).
+  virtual Request pop() = 0;
+
+  /// Completion (or rejection) callback so closed-loop clients can start
+  /// their think time. Open-loop sources ignore it.
+  virtual void on_complete(const Request& r, double now) = 0;
+
+  /// Total requests this workload will ever offer.
+  virtual std::uint64_t offered() const = 0;
+
+  /// True when every request has been popped (nothing scheduled and
+  /// nothing will be scheduled later).
+  virtual bool done() const = 0;
+};
+
+/// Poisson arrivals at `rate` requests per virtual second, shapes drawn
+/// from a weighted catalog, tenants round-robin.
+class OpenLoopWorkload : public Workload {
+ public:
+  OpenLoopWorkload(std::vector<ShapeMix> catalog, double rate,
+                   std::uint64_t count, int tenants, std::uint64_t seed);
+
+  std::optional<double> peek() const override;
+  Request pop() override;
+  void on_complete(const Request&, double) override {}
+  std::uint64_t offered() const override { return count_; }
+  bool done() const override { return issued_ == count_; }
+
+  const std::vector<ShapeMix>& catalog() const { return catalog_; }
+
+ private:
+  int draw_shape();
+
+  std::vector<ShapeMix> catalog_;
+  double rate_;
+  std::uint64_t count_;
+  int tenants_;
+  Rng arrivals_;  ///< inter-arrival stream
+  Rng shapes_;    ///< shape-choice stream (split so draws are independent)
+  double total_weight_ = 0;
+  std::uint64_t issued_ = 0;
+  double next_arrival_ = 0;
+};
+
+/// `clients` concurrent clients, each issuing `rounds` requests with an
+/// exponential think time between completion and the next submission.
+/// Every client gets its own split RNG stream.
+class ClosedLoopWorkload : public Workload {
+ public:
+  ClosedLoopWorkload(std::vector<ShapeMix> catalog, int clients, int rounds,
+                     double think_time, std::uint64_t seed);
+
+  std::optional<double> peek() const override;
+  Request pop() override;
+  void on_complete(const Request& r, double now) override;
+  std::uint64_t offered() const override {
+    return static_cast<std::uint64_t>(clients_) *
+           static_cast<std::uint64_t>(rounds_);
+  }
+  bool done() const override;
+
+ private:
+  struct Client {
+    Rng rng;
+    int issued = 0;  ///< requests this client has submitted so far
+  };
+  void schedule(int client, double when);
+  int draw_shape(Rng& rng);
+
+  std::vector<ShapeMix> catalog_;
+  int clients_;
+  int rounds_;
+  double think_time_;
+  double total_weight_ = 0;
+  std::vector<Client> state_;
+  /// Pending submissions ordered by (time, client): deterministic even
+  /// when think times collide.
+  std::set<std::pair<double, int>> arrivals_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace parfft::serve

@@ -113,5 +113,37 @@ TEST(Rng, UniformIntBounds) {
   }
 }
 
+TEST(Rng, SeedIsStableAcrossDraws) {
+  Rng r(123);
+  r.uniform();
+  r.normal();
+  EXPECT_EQ(r.seed(), 123u);
+}
+
+TEST(Rng, SplitIsDeterministicAndDecorrelated) {
+  Rng a = Rng(9).split(0), b = Rng(9).split(0), c = Rng(9).split(1);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const double x = a.uniform();
+    EXPECT_EQ(x, b.uniform()) << "same parent seed + stream => same draws";
+    differs |= x != c.uniform();
+  }
+  EXPECT_TRUE(differs) << "sibling streams must be decorrelated";
+  EXPECT_NE(Rng(9).split(0).seed(), Rng(10).split(0).seed())
+      << "different parent seeds give different sub-streams";
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(77);
+  double sum = 0;
+  const int N = 20000;
+  for (int i = 0; i < N; ++i) {
+    const double x = r.exponential(4.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / N, 0.25, 0.01);
+}
+
 }  // namespace
 }  // namespace parfft

@@ -126,5 +126,35 @@ TEST(Buffer, TracksSpaceTag) {
   EXPECT_TRUE(dev.on_device());
 }
 
+TEST(PlanCache, BoundedCapacityEvictsLeastRecentlyUsed) {
+  const DeviceSpec d = v100();
+  PlanCache cache(/*capacity=*/2);
+  cache.fft_call(d, 128, 8, false);  // plan A
+  cache.fft_call(d, 256, 8, false);  // plan B
+  cache.fft_call(d, 128, 8, false);  // hit A -> recency [A, B]
+  cache.fft_call(d, 512, 8, false);  // plan C evicts B (the LRU)
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.resident(), 2u);
+  const double a = cache.fft_call(d, 128, 8, false);
+  EXPECT_NEAR(a, fft_cost(d, 128, 8, false), 1e-15) << "A stayed resident";
+  const double b = cache.fft_call(d, 256, 8, false);
+  EXPECT_NEAR(b - fft_cost(d, 256, 8, false), d.fft_plan_setup, 1e-12)
+      << "evicted layout re-pays the plan-setup spike on re-entry";
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.plans_created(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(PlanCache, ZeroCapacityIsUnbounded) {
+  const DeviceSpec d = v100();
+  PlanCache cache(/*capacity=*/0);
+  for (int len : {2, 4, 8, 16, 32, 64, 128, 256})
+    cache.fft_call(d, len, 1, false);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.resident(), 8u);
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
 }  // namespace
 }  // namespace parfft::gpu

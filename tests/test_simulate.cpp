@@ -195,5 +195,61 @@ TEST(Simulate, RejectsBadConfig) {
   EXPECT_THROW(simulate(cfg), Error);
 }
 
+TEST(Simulate, SimulatorAgreesWithThreadedBatchedExecution) {
+  // Reusable plan handles (core::Simulator) and the threaded runtime must
+  // charge identical virtual time for batched transforms, with the
+  // overlap pipeline both on and off. Alltoallw is excluded: the threaded
+  // datatype path issues `batch` separate exchanges by design, which the
+  // at-scale model prices as one scaled exchange.
+  const std::array<int, 3> n = {16, 16, 16};
+  const int R = 12;
+  const int B = 3;
+  for (bool overlap : {false, true}) {
+    for (Backend backend : {Backend::Alltoallv, Backend::P2PNonBlocking}) {
+      SimConfig cfg = base_config(R, n);
+      cfg.options.backend = backend;
+      cfg.options.batch = B;
+      cfg.options.overlap_batches = overlap;
+      cfg.warmed = false;
+      Simulator sim(cfg);
+      // Sequential batches pay first-call plan spikes like the threaded
+      // plan below; the overlap pipeline prices warm plans either way.
+      const double model = sim.transform_time(B, /*cold=*/!overlap);
+
+      smpi::RuntimeOptions ro;
+      ro.nranks = R;
+      smpi::Runtime rt(ro);
+      std::vector<double> threaded(static_cast<std::size_t>(R));
+      rt.run([&](smpi::Comm& c) {
+        const auto boxes = brick_layout(n, c.size());
+        const Box3& box = boxes[static_cast<std::size_t>(c.rank())];
+        Plan3D plan(c, n, box, box, cfg.options);
+        std::vector<cplx> data(static_cast<std::size_t>(box.count() * B),
+                               cplx{1, 1});
+        const double t0 = c.vtime();
+        plan.execute(data.data(), data.data(), dft::Direction::Forward);
+        threaded[static_cast<std::size_t>(c.rank())] = c.vtime() - t0;
+      });
+      const double threaded_max =
+          *std::max_element(threaded.begin(), threaded.end());
+      EXPECT_NEAR(model, threaded_max, 1e-9 + 1e-9 * threaded_max)
+          << backend_name(backend) << (overlap ? " overlap" : " sequential");
+    }
+  }
+}
+
+TEST(Simulate, SimulatorMatchesSimulateAndMemoizes) {
+  SimConfig cfg = base_config(12, {32, 32, 32});
+  cfg.warmed = true;
+  cfg.repeats = 1;
+  Simulator sim(cfg);
+  const SimReport rep = simulate(cfg);
+  EXPECT_NEAR(sim.transform_time(1), rep.per_transform,
+              1e-12 + 1e-12 * rep.per_transform);
+  EXPECT_DOUBLE_EQ(sim.transform_time(1), sim.transform_time(1));
+  EXPECT_GT(sim.plan_setup_time(), 0)
+      << "cold first transform must pay Fig. 10's plan-setup spike";
+}
+
 }  // namespace
 }  // namespace parfft::core
