@@ -262,11 +262,20 @@ class StageRunner {
 
 }  // namespace
 
+int BatchProfile::delivered(double work) const {
+  int done = 0;
+  for (std::size_t i = 0; i < frac.size(); ++i) {
+    if (frac[i] <= work + 1e-12) done = elems[i];
+  }
+  return done;
+}
+
 double overlapped_batch_time(const StagePlan& plan,
                              const gpu::DeviceSpec& device,
                              const net::CommCost& cost,
                              net::TransferMode mode, net::MpiFlavor flavor,
-                             int batch, const std::vector<int>& group_in) {
+                             int batch, const std::vector<int>& group_in,
+                             BatchProfile* profile) {
   PARFFT_CHECK(batch >= 1, "batch must be positive");
   std::vector<int> group = group_in;
   if (group.empty()) {
@@ -333,32 +342,52 @@ double overlapped_batch_time(const StagePlan& plan,
   // heFFTe tunes the sub-batch granularity: few large chunks amortize
   // per-message latency, many small chunks overlap better. Evaluate the
   // pipeline schedule for each candidate and keep the fastest -- this is
-  // the tuning the paper applies before reporting Fig. 13.
+  // the tuning the paper applies before reporting Fig. 13. Each chunk's
+  // completion time is also its delivery point (its results have left the
+  // device), recorded for the abort/partial-batch profile.
+  struct Schedule {
+    double total = 0;
+    std::vector<int> chunk_batch;
+    std::vector<double> chunk_done;
+  };
   auto schedule = [&](int chunks) {
-    std::vector<int> chunk_batch(static_cast<std::size_t>(chunks),
-                                 batch / chunks);
+    Schedule out;
+    out.chunk_batch.assign(static_cast<std::size_t>(chunks), batch / chunks);
     for (int c = 0; c < batch % chunks; ++c)
-      ++chunk_batch[static_cast<std::size_t>(c)];
+      ++out.chunk_batch[static_cast<std::size_t>(c)];
     gpu::StreamTimeline compute, comm;
-    double done_all = 0;
     for (int c = 0; c < chunks; ++c) {
       double ready = 0;  // completion of this chunk's previous stage
       for (const Stage& s : plan.stages) {
         const StageCost sc =
-            stage_cost(s, chunk_batch[static_cast<std::size_t>(c)]);
+            stage_cost(s, out.chunk_batch[static_cast<std::size_t>(c)]);
         if (sc.pre > 0) ready = compute.submit(ready, sc.pre);
         if (sc.comm > 0) ready = comm.submit(ready, sc.comm);
         if (sc.post > 0) ready = compute.submit(ready, sc.post);
       }
-      done_all = std::max(done_all, ready);
+      out.chunk_done.push_back(ready);
+      out.total = std::max(out.total, ready);
     }
-    return done_all;
+    return out;
   };
 
-  double best = schedule(1);
-  for (int chunks = 2; chunks <= std::min(batch, 8); ++chunks)
-    best = std::min(best, schedule(chunks));
-  return best;
+  Schedule best = schedule(1);
+  for (int chunks = 2; chunks <= std::min(batch, 8); ++chunks) {
+    Schedule cand = schedule(chunks);
+    if (cand.total < best.total) best = std::move(cand);
+  }
+  if (profile != nullptr) {
+    *profile = BatchProfile{};
+    int cum = 0;
+    for (std::size_t c = 0; c < best.chunk_done.size(); ++c) {
+      cum += best.chunk_batch[c];
+      profile->elems.push_back(cum);
+      profile->frac.push_back(best.total > 0
+                                  ? best.chunk_done[c] / best.total
+                                  : 1.0);
+    }
+  }
+  return best.total;
 }
 
 SimReport simulate(const SimConfig& cfg) {
@@ -474,6 +503,32 @@ double Simulator::transform_time(int batch, bool cold) {
 
 double Simulator::plan_setup_time() {
   return transform_time(1, /*cold=*/true) - transform_time(1, /*cold=*/false);
+}
+
+BatchProfile Simulator::batch_profile(int batch) {
+  PARFFT_CHECK(batch >= 1, "batch must be positive");
+  if (auto it = profile_memo_.find(batch); it != profile_memo_.end())
+    return it->second;
+  BatchProfile profile;
+  if (batch > 1 && cfg_.options.overlap_batches) {
+    overlapped_batch_time(plan_, cfg_.device, cost_,
+                          cfg_.gpu_aware ? net::TransferMode::GpuAware
+                                         : net::TransferMode::Staged,
+                          cfg_.flavor, batch, {}, &profile);
+  } else {
+    // Single-chunk execution: nothing leaves the device until the end.
+    profile.elems = {batch};
+    profile.frac = {1.0};
+  }
+  profile_memo_.emplace(batch, profile);
+  return profile;
+}
+
+void Simulator::set_nic_scale(double scale) {
+  if (scale == cost_.flowsim().nic_scale()) return;
+  cost_.flowsim().set_nic_scale(scale);
+  memo_.clear();
+  profile_memo_.clear();
 }
 
 std::string csv_escape(const std::string& field) {

@@ -56,6 +56,20 @@ struct SimReport {
 /// Builds the stage plan for `cfg` and runs the virtual-time simulation.
 SimReport simulate(const SimConfig& cfg);
 
+/// Cumulative delivery profile of one batched transform under the Fig. 13
+/// sub-chunk pipeline: after `frac[i]` of the transform's execution time,
+/// the first `elems[i]` batch elements are finished and their results have
+/// left the device. Lets a serving layer that aborts a transform mid-way
+/// (executor crash) credit the chunks that already completed instead of
+/// losing the whole batch. A transform executed as one chunk (batch 1, or
+/// overlap disabled) delivers everything at fraction 1.
+struct BatchProfile {
+  std::vector<int> elems;    ///< cumulative elements delivered per chunk
+  std::vector<double> frac;  ///< cumulative execution-time fraction
+  /// Elements delivered once `work` (in [0,1]) of the execution is done.
+  int delivered(double work) const;
+};
+
 /// Virtual time of one batched transform executed with the two-stream
 /// overlap pipeline of Fig. 13: the batch is processed in up to eight
 /// sub-chunks, each chunk's exchange overlapping the next chunk's
@@ -64,11 +78,14 @@ SimReport simulate(const SimConfig& cfg);
 /// Plan3D, so all execution modes charge the identical schedule. `group`
 /// maps plan positions to global ranks (empty = identity); `batch`
 /// overrides `plan.options.batch`. Models pre-created (warm) FFT plans.
+/// When `profile` is non-null it receives the winning schedule's
+/// per-chunk delivery profile.
 double overlapped_batch_time(const StagePlan& plan,
                              const gpu::DeviceSpec& device,
                              const net::CommCost& cost,
                              net::TransferMode mode, net::MpiFlavor flavor,
-                             int batch, const std::vector<int>& group = {});
+                             int batch, const std::vector<int>& group = {},
+                             BatchProfile* profile = nullptr);
 
 /// Reusable simulation handle: builds the stage pipeline and the
 /// congestion-aware cost model once, then prices batched executions of
@@ -99,6 +116,19 @@ class Simulator {
   /// FFT plan creation (= cold - warm cost of an unbatched transform).
   double plan_setup_time();
 
+  /// Delivery profile of a batched transform at the current link scale
+  /// (memoized). Batch 1 and the non-overlapped path deliver everything
+  /// at execution fraction 1; the overlapped path delivers per sub-chunk.
+  BatchProfile batch_profile(int batch);
+
+  /// Degrades (or restores) the inter-node fabric this plan prices
+  /// against: NIC and core link capacities scale by `scale` (rail-down on
+  /// a dual-rail machine = 0.5, healthy = 1). Clears the execution-time
+  /// memo when the scale actually changes, so subsequent transform_time()
+  /// calls reprice every exchange through the mutated FlowSim.
+  void set_nic_scale(double scale);
+  double nic_scale() const { return cost_.flowsim().nic_scale(); }
+
  private:
   double run_once(int batch, bool cold);
 
@@ -107,6 +137,7 @@ class Simulator {
   net::RankMap map_;
   net::CommCost cost_;
   std::map<std::pair<int, bool>, double> memo_;
+  std::map<int, BatchProfile> profile_memo_;
 };
 
 /// RFC 4180 CSV field quoting: fields containing commas, quotes or line

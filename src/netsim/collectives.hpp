@@ -62,6 +62,10 @@ class CommCost {
                         TransferMode mode) const;
 
   const FlowSim& flowsim() const { return sim_; }
+  /// Mutable access for fault injection: degrading links through
+  /// FlowSim::set_nic_scale() makes every later exchange() reprice
+  /// against the degraded fabric.
+  FlowSim& flowsim() { return sim_; }
 
  private:
   PhaseTimes pairwise_rounds(const std::vector<int>& group,

@@ -32,6 +32,13 @@ FlowSim::FlowSim(const MachineSpec& spec, const RankMap& map, int nranks)
   PARFFT_CHECK(map.ranks_per_node >= 1, "ranks_per_node must be positive");
 }
 
+void FlowSim::set_nic_scale(double scale) {
+  PARFFT_CHECK(scale > 0 && scale <= 1.0,
+               "nic scale must be in (0, 1]: a degraded link still carries "
+               "traffic, a healthy one is 1");
+  nic_scale_ = scale;
+}
+
 namespace {
 
 /// Human-readable link name for the layout documented in FlowSim::run.
@@ -119,7 +126,8 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode,
   // copies on the injection path), so in Staged mode the effective NIC
   // and core capacities shrink.
   const double nic_eff =
-      mode == TransferMode::Staged ? spec_.staged_nic_efficiency : 1.0;
+      (mode == TransferMode::Staged ? spec_.staged_nic_efficiency : 1.0) *
+      nic_scale_;
   for (int n = 0; n < N; ++n) {
     base_cap[static_cast<std::size_t>(kNicOut + n)] = spec_.nic_bw * nic_eff;
     base_cap[static_cast<std::size_t>(kNicIn + n)] = spec_.nic_bw * nic_eff;
@@ -156,7 +164,8 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode,
         rt.link[rt.nlinks++] = kNicOut + map_.node_of(fl.src);
         rt.link[rt.nlinks++] = kCore;
         rt.link[rt.nlinks++] = kNicIn + map_.node_of(fl.dst);
-        double nic_cap = spec_.single_flow_nic_fraction * spec_.nic_bw;
+        double nic_cap =
+            spec_.single_flow_nic_fraction * spec_.nic_bw * nic_scale_;
         if (mode == TransferMode::Staged)
           nic_cap *= spec_.staged_nic_efficiency;
         cap = std::min(cap, nic_cap);

@@ -83,6 +83,16 @@ class FlowSim {
   double single_flow_time(int src, int dst, double bytes,
                           TransferMode mode) const;
 
+  /// Mutable link health: scales every NIC injection link and the
+  /// fat-tree core by `scale` (0 < scale <= 1). Models inter-node fabric
+  /// degradation -- one rail of Summit's dual-rail EDR down is 0.5, a
+  /// flapping Slingshot link some smaller fraction. Subsequent run() /
+  /// single_flow_time() calls price flows against the degraded fabric;
+  /// callers holding in-flight phase times must re-run them to reprice.
+  /// Intra-node NVLink and host-staging paths are unaffected.
+  void set_nic_scale(double scale);
+  double nic_scale() const { return nic_scale_; }
+
   const MachineSpec& spec() const { return spec_; }
   const RankMap& map() const { return map_; }
   int nranks() const { return nranks_; }
@@ -93,6 +103,7 @@ class FlowSim {
   RankMap map_;
   int nranks_;
   int nodes_;
+  double nic_scale_ = 1.0;
 };
 
 }  // namespace parfft::net

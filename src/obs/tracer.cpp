@@ -17,6 +17,8 @@ const char* category_name(Category c) {
     case Category::Send: return "send";
     case Category::Collective: return "collective";
     case Category::Request: return "request";
+    case Category::Fault: return "fault";
+    case Category::Retry: return "retry";
   }
   return "unknown";
 }

@@ -45,6 +45,8 @@ enum class Category {
   Send,        ///< point-to-point send posting
   Collective,  ///< non-exchange collective (barrier, bcast, allgather, ...)
   Request,     ///< one client job in the serving layer (arrival to completion)
+  Fault,       ///< injected fault window (crash/restart, degraded link, blackout)
+  Retry,       ///< client-side backoff interval between request attempts
 };
 
 /// Stable lowercase name ("pack", "exchange", ...) used in exports.

@@ -23,6 +23,18 @@ double Batcher::next_deadline() const {
   return d;
 }
 
+std::vector<Batch> Batcher::flush() {
+  std::vector<Batch> out;
+  for (auto& [shape, q] : groups_) {
+    Batch b;
+    b.shape_id = shape;
+    b.requests.assign(q.begin(), q.end());
+    out.push_back(std::move(b));
+  }
+  groups_.clear();
+  return out;
+}
+
 Batch Batcher::pop(double now, bool drain) {
   Batch out;
   if (groups_.empty()) return out;

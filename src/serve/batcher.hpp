@@ -59,6 +59,13 @@ class Batcher {
   /// can arrive).
   Batch pop(double now, bool drain = false);
 
+  /// Removes and returns every queued request, grouped by shape in
+  /// ascending shape_id order (deterministic). Crash/shutdown path: the
+  /// queue lived in the dead executor's memory, so the server returns
+  /// these to clients with a retryable status instead of silently
+  /// dropping them. The batcher is empty afterwards.
+  std::vector<Batch> flush();
+
  private:
   BatchPolicy policy_;
   std::map<int, std::deque<Request>> groups_;

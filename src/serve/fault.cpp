@@ -1,0 +1,127 @@
+#include "serve/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace parfft::serve {
+
+namespace {
+
+/// Appends non-overlapping [begin, begin+dur) windows drawn from a
+/// renewal process (exponential gap, exponential duration) to `out` via
+/// `emit`, until the next window would start at or beyond `horizon`.
+template <typename Emit>
+void renewal_windows(Rng rng, double mtbf, double mttr, double horizon,
+                     Emit emit) {
+  if (mtbf <= 0 || horizon <= 0) return;
+  double t = 0;
+  while (true) {
+    const double begin = t + rng.exponential(1.0 / mtbf);
+    if (begin >= horizon) return;
+    const double dur = std::max(mttr > 0 ? rng.exponential(1.0 / mttr) : 0.0,
+                                1e-9);
+    emit(begin, begin + dur);
+    t = begin + dur;
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::generate(const FaultSpec& spec) {
+  PARFFT_CHECK(spec.horizon >= 0, "fault horizon must be non-negative");
+  FaultPlan plan;
+  const Rng root(spec.seed);
+  renewal_windows(root.split(0), spec.crash_mtbf, spec.crash_mttr,
+                  spec.horizon, [&](double begin, double end) {
+                    plan.add_crash(begin, end - begin);
+                  });
+  renewal_windows(root.split(1), spec.degrade_mtbf, spec.degrade_mttr,
+                  spec.horizon, [&](double begin, double end) {
+                    plan.add_degrade(begin, end, spec.degrade_scale);
+                  });
+  renewal_windows(root.split(2), spec.blackout_mtbf, spec.blackout_mttr,
+                  spec.horizon, [&](double begin, double end) {
+                    plan.add_blackout(begin, end);
+                  });
+  return plan;
+}
+
+void FaultPlan::add_crash(double at, double restart_delay) {
+  PARFFT_CHECK(at >= 0 && restart_delay > 0,
+               "crash needs at >= 0 and a positive restart delay");
+  PARFFT_CHECK(crashes_.empty() ||
+                   at >= crashes_.back().at + crashes_.back().restart_delay,
+               "crashes must be time-ordered and not overlap a recovery");
+  crashes_.push_back({at, restart_delay});
+}
+
+void FaultPlan::add_degrade(double begin, double end, double nic_scale) {
+  PARFFT_CHECK(begin >= 0 && end > begin, "degrade window must be non-empty");
+  PARFFT_CHECK(nic_scale > 0 && nic_scale < 1.0,
+               "degraded nic_scale must be in (0, 1)");
+  PARFFT_CHECK(degrades_.empty() || begin >= degrades_.back().end,
+               "degrade windows must be time-ordered and disjoint");
+  degrades_.push_back({begin, end, nic_scale});
+}
+
+void FaultPlan::add_blackout(double begin, double end) {
+  PARFFT_CHECK(begin >= 0 && end > begin, "blackout window must be non-empty");
+  PARFFT_CHECK(blackouts_.empty() || begin >= blackouts_.back().end,
+               "blackout windows must be time-ordered and disjoint");
+  blackouts_.push_back({begin, end});
+}
+
+std::optional<double> FaultPlan::next_crash_after(double t) const {
+  for (const CrashEvent& c : crashes_)
+    if (c.at > t) return c.at;
+  return std::nullopt;
+}
+
+const CrashEvent* FaultPlan::crash_at(double at) const {
+  for (const CrashEvent& c : crashes_)
+    if (c.at == at) return &c;
+  return nullptr;
+}
+
+double FaultPlan::nic_scale_at(double t) const {
+  for (const DegradeWindow& w : degrades_)
+    if (t >= w.begin && t < w.end) return w.nic_scale;
+  return 1.0;
+}
+
+std::optional<double> FaultPlan::next_degrade_boundary_after(double t) const {
+  for (const DegradeWindow& w : degrades_) {
+    if (w.begin > t) return w.begin;
+    if (w.end > t) return w.end;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::in_blackout(double t) const {
+  for (const BlackoutWindow& w : blackouts_)
+    if (t >= w.begin && t < w.end) return true;
+  return false;
+}
+
+double retry_backoff(const RetryPolicy& policy, std::uint64_t id,
+                     int next_attempt) {
+  PARFFT_CHECK(next_attempt >= 2, "backoff precedes a retry, not attempt 1");
+  const double base = std::max(policy.backoff_base, 1e-12);
+  const double cap = std::max(policy.backoff_cap, base);
+  if (!policy.jitter) {
+    const double exp2 =
+        base * std::ldexp(1.0, std::min(next_attempt - 2, 40));
+    return std::min(cap, exp2);
+  }
+  // Decorrelated jitter, replayed from the request's own split stream so
+  // the k-th backoff of request `id` is a pure function of (seed, id, k).
+  Rng rng = Rng(policy.jitter_seed).split(id);
+  double sleep = base;
+  for (int k = 2; k <= next_attempt; ++k)
+    sleep = std::min(cap, rng.uniform(base, std::max(3.0 * sleep, base)));
+  return sleep;
+}
+
+}  // namespace parfft::serve

@@ -6,6 +6,22 @@
 
 namespace parfft::serve {
 
+double ServedPlan::exec_time(int batch, double nic_scale) {
+  const std::pair<int, double> key{batch, nic_scale};
+  if (auto it = exec_memo_.find(key); it != exec_memo_.end())
+    return it->second;
+  if (nic_scale != 1.0) sim_.set_nic_scale(nic_scale);
+  const double t = sim_.transform_time(batch);
+  if (nic_scale != 1.0) sim_.set_nic_scale(1.0);
+  exec_memo_.emplace(key, t);
+  return t;
+}
+
+double ServedPlan::setup_time() {
+  if (setup_ < 0) setup_ = sim_.plan_setup_time();
+  return setup_;
+}
+
 PlanCache::PlanCache(ClusterConfig cluster, std::size_t capacity,
                      std::size_t eviction_window)
     : cluster_(std::move(cluster)), capacity_(capacity),
@@ -28,6 +44,14 @@ PlanCache::Lookup PlanCache::acquire(const JobShape& shape) {
       entries_.emplace(key, Entry{std::move(plan), lru_.begin()});
   PARFFT_ASSERT(inserted);
   return {it->second.plan.get(), /*hit=*/false, setup};
+}
+
+std::size_t PlanCache::invalidate_all() {
+  const std::size_t n = entries_.size();
+  entries_.clear();
+  lru_.clear();
+  invalidations_ += n;
+  return n;
 }
 
 void PlanCache::evict_one() {

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "serve/request.hpp"
 
@@ -34,17 +35,29 @@ class ServedPlan {
 
   /// Virtual time of executing `batch` coalesced requests as one batched
   /// transform with warm device plans (core's batch + overlap pipeline).
-  double exec_time(int batch) { return sim_.transform_time(batch); }
+  /// `nic_scale` < 1 reprices every exchange against a degraded fabric
+  /// (FlowSim link state scaled; see FaultPlan::DegradeWindow); memoized
+  /// per (batch, scale), and the simulator is always restored to healthy
+  /// links afterwards.
+  double exec_time(int batch, double nic_scale = 1.0);
 
   /// One-time spike charged when the plan is created (cache miss): the
   /// device FFT plan setup of every stage layout, priced by gpusim.
-  double setup_time() { return sim_.plan_setup_time(); }
+  /// Memoized (eviction scans re-query it).
+  double setup_time();
+
+  /// Per-chunk delivery profile of a batched execution (healthy-fabric
+  /// schedule; crash crediting uses its work *fractions*, which barely
+  /// move under degradation).
+  core::BatchProfile profile(int batch) { return sim_.batch_profile(batch); }
 
   core::Simulator& simulator() { return sim_; }
 
  private:
   JobShape shape_;
   core::Simulator sim_;
+  std::map<std::pair<int, double>, double> exec_memo_;
+  double setup_ = -1;
 };
 
 /// Capacity-bounded plan cache with LRU + cost-aware eviction.
@@ -67,11 +80,22 @@ class PlanCache {
   /// virtual time; either way the entry becomes most recently used.
   Lookup acquire(const JobShape& shape);
 
+  /// Drops every resident plan: an executor crash loses all device state,
+  /// so each re-entry after recovery re-pays its setup spike. Returns the
+  /// number of entries removed. Counted in invalidations(), never in
+  /// evictions() -- capacity pressure and crash loss are different
+  /// signals (a hot cache with many invalidations wants better fault
+  /// isolation, not more capacity).
+  std::size_t invalidate_all();
+
   std::size_t resident() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Capacity-pressure removals only (see invalidations()).
   std::uint64_t evictions() const { return evictions_; }
+  /// Crash-forced removals via invalidate_all().
+  std::uint64_t invalidations() const { return invalidations_; }
   /// Total virtual seconds of plan setup charged by misses so far.
   double setup_charged() const { return setup_charged_; }
 
@@ -87,7 +111,7 @@ class PlanCache {
   std::size_t window_;
   std::list<std::string> lru_;  ///< front = most recently used
   std::map<std::string, Entry> entries_;
-  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
   double setup_charged_ = 0;
 };
 

@@ -45,6 +45,13 @@ core::SimConfig to_sim_config(const ClusterConfig& cluster,
 std::string shape_key(const ClusterConfig& cluster, const JobShape& shape);
 
 /// One client job flowing through the server. Times are virtual seconds.
+///
+/// Under the fault layer a job may be submitted several times: `arrival`
+/// is the current attempt's submission, `submitted` the first one (set by
+/// the server on first admission; latency is measured from it, so retried
+/// requests carry their full backoff history in the tail). `deadline` is
+/// absolute (0 = none): completions after it count against goodput, and
+/// a deadline-aware server may shed the request once it expires.
 struct Request {
   std::uint64_t id = 0;
   int tenant = 0;
@@ -52,9 +59,16 @@ struct Request {
   double arrival = 0;
   double dispatch = -1;    ///< when its batch started executing
   double completion = -1;  ///< when its batch finished
+  double submitted = -1;   ///< first-attempt arrival (-1 until admitted)
+  double deadline = 0;     ///< absolute completion deadline (0 = none)
+  int attempt = 1;         ///< submission attempt, 1-based
+  bool hedge = false;      ///< a hedged duplicate of a still-queued request
 
-  double latency() const { return completion - arrival; }
+  double latency() const {
+    return completion - (submitted >= 0 ? submitted : arrival);
+  }
   double queue_wait() const { return dispatch - arrival; }
+  bool met_deadline() const { return deadline <= 0 || completion <= deadline; }
 };
 
 }  // namespace parfft::serve

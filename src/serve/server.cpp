@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -29,6 +32,7 @@ LatencySummary summarize_latencies(std::vector<double> samples) {
   s.p50 = nearest_rank(samples, 0.50);
   s.p95 = nearest_rank(samples, 0.95);
   s.p99 = nearest_rank(samples, 0.99);
+  s.p999 = nearest_rank(samples, 0.999);
   s.max = samples.back();
   double sum = 0;
   for (double v : samples) sum += v;
@@ -40,6 +44,8 @@ Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)),
       cache_(cfg_.cluster, cfg_.cache_capacity, cfg_.cache_eviction_window) {
   PARFFT_CHECK(!cfg_.shapes.empty(), "server needs a non-empty shape catalog");
+  PARFFT_CHECK(cfg_.retry.max_attempts >= 1,
+               "retry.max_attempts counts the first attempt; must be >= 1");
 }
 
 ServeReport Server::run(Workload& workload) {
@@ -47,82 +53,265 @@ ServeReport Server::run(Workload& workload) {
       obs::Session::global().begin_run(cfg_.label, /*nranks=*/1, cfg_.trace);
 
   Batcher batcher(cfg_.batching);
+  const FaultPlan& faults = cfg_.faults;
+  const RetryPolicy& retry = cfg_.retry;
   ServeReport rep;
   rep.offered = workload.offered();
 
   std::vector<double> waits;
   InFlight flight;
   bool busy = false;
+  bool up = true;           // executor alive
+  double restart_at = kInf;
+  double last_crash = 0;
+  bool awaiting_recovery = false;
+  std::size_t crash_idx = 0;
   double now = 0;
+
+  // Live submissions: an id is present while one of its copies is queued
+  // or executing, gone once terminal (completed or failed). At most one
+  // primary copy of an id exists at a time; hedged duplicates share the
+  // id and are collapsed at dispatch/completion. `attempt` detects stale
+  // hedge timers left over from an earlier attempt.
+  enum class State { Queued, Running };
+  struct Live {
+    State st;
+    int attempt;
+  };
+  std::map<std::uint64_t, Live> live;
+
+  // Pending resubmissions, ordered by fire time.
+  std::set<std::pair<double, std::uint64_t>> retry_q;
+  std::map<std::uint64_t, Request> retry_req;
+  // Pending hedge timers carry the request they would duplicate.
+  std::map<std::pair<double, std::uint64_t>, Request> hedge_q;
+
+  auto cancel_retry = [&](std::uint64_t id) {
+    auto it = retry_req.find(id);
+    if (it == retry_req.end()) return;
+    retry_q.erase({it->second.arrival, id});
+    retry_req.erase(it);
+  };
+
+  // Terminal failure or resubmission after a failed attempt at `t`.
+  auto fail_or_retry = [&](const Request& r, double t) {
+    if (r.hedge) return;  // best-effort duplicate; the primary owns the outcome
+    bool terminal = r.attempt >= retry.max_attempts;
+    double when = 0;
+    if (!terminal) {
+      when = t + retry_backoff(retry, r.id, r.attempt + 1);
+      // Retrying past the deadline cannot produce an in-deadline
+      // completion: give up now instead of burning attempts.
+      if (r.deadline > 0 && when >= r.deadline) terminal = true;
+    }
+    if (terminal) {
+      ++rep.failed;
+      if (run) run->metrics.counter("serve/failed").add(1);
+      workload.on_complete(r, t);
+      return;
+    }
+    Request nr = r;
+    nr.attempt += 1;
+    nr.arrival = when;
+    nr.dispatch = -1;
+    nr.completion = -1;
+    ++rep.retries;
+    retry_q.insert({when, nr.id});
+    retry_req[nr.id] = nr;
+    if (run) {
+      run->metrics.counter("serve/retries").add(1);
+      run->tracer.complete(0, obs::Category::Retry, "backoff", t, when - t,
+                           {{"attempt", static_cast<double>(nr.attempt)}});
+    }
+  };
+
+  auto complete = [&](Request& r, double t) {
+    r.completion = t;
+    live.erase(r.id);
+    cancel_retry(r.id);  // a hedged duplicate may outrun its primary's retry
+    rep.latencies.push_back(r.latency());
+    waits.push_back(r.queue_wait());
+    ++rep.completed;
+    if (r.met_deadline()) ++rep.deadline_met;
+    if (run) {
+      if (r.dispatch > r.arrival)
+        run->tracer.complete(0, obs::Category::Wait, "queued", r.arrival,
+                             r.dispatch - r.arrival);
+      run->tracer.complete(
+          0, obs::Category::Request, "req", r.arrival, r.latency(),
+          {{"tenant", static_cast<double>(r.tenant)},
+           {"shape", static_cast<double>(r.shape_id)}});
+      run->metrics.histogram("serve/latency_seconds",
+                             obs::geometric_edges(1e-6, 64.0, 2.0))
+          .observe(r.latency());
+    }
+    workload.on_complete(r, t);
+  };
 
   auto finish_flight = [&] {
     now = std::max(now, flight.done);
-    for (Request& r : flight.batch.requests) {
-      r.completion = flight.done;
-      rep.latencies.push_back(r.latency());
-      waits.push_back(r.queue_wait());
-      ++rep.completed;
-      if (run) {
-        if (r.dispatch > r.arrival)
-          run->tracer.complete(0, obs::Category::Wait, "queued", r.arrival,
-                               r.dispatch - r.arrival);
-        run->tracer.complete(
-            0, obs::Category::Request, "req", r.arrival, r.latency(),
-            {{"tenant", static_cast<double>(r.tenant)},
-             {"shape", static_cast<double>(r.shape_id)}});
-        run->metrics.histogram("serve/latency_seconds",
-                               obs::geometric_edges(1e-6, 64.0, 2.0))
-            .observe(r.latency());
-      }
-      workload.on_complete(r, flight.done);
-    }
+    for (Request& r : flight.batch.requests) complete(r, flight.done);
     if (run)
       run->metrics
           .histogram("serve/batch_size", obs::geometric_edges(1, 64, 2))
           .observe(flight.batch.size());
+    rep.busy_time += flight.done - flight.start;
+    if (awaiting_recovery) {
+      const double rec = flight.done - last_crash;
+      rep.recovery_times.push_back(rec);
+      awaiting_recovery = false;
+      if (run)
+        run->metrics.histogram("serve/recovery_seconds",
+                               obs::geometric_edges(1e-3, 4096.0, 2.0))
+            .observe(rec);
+    }
     busy = false;
   };
 
   auto admit = [&](Request r) {
+    if (r.submitted < 0) {
+      r.submitted = r.arrival;
+      if (retry.deadline > 0) r.deadline = r.submitted + retry.deadline;
+    }
+    if (faults.in_blackout(r.arrival)) {
+      if (!r.hedge) {
+        ++rep.dropped;
+        if (run) run->metrics.counter("serve/dropped").add(1);
+      }
+      fail_or_retry(r, r.arrival);
+      return;
+    }
     const bool full =
         cfg_.queue_limit > 0 && batcher.pending() >= cfg_.queue_limit;
     if (full) {
-      ++rep.rejected;
-      if (run) run->metrics.counter("serve/rejected").add(1);
-      // Tell the workload anyway: a closed-loop client's rejected request
-      // is over (fail fast) and the client moves on to its next round.
-      workload.on_complete(r, r.arrival);
+      if (!r.hedge) {
+        ++rep.rejected;
+        if (run) run->metrics.counter("serve/rejected").add(1);
+      }
+      // Fail fast (and let the retry policy, if any, resubmit): a
+      // closed-loop client's rejected request is over and the client
+      // moves on to its next round.
+      fail_or_retry(r, r.arrival);
       return;
     }
-    ++rep.admitted;
+    if (r.hedge) {
+      ++rep.hedges;
+      if (run) run->metrics.counter("serve/hedges").add(1);
+    } else {
+      ++rep.admitted;
+      live[r.id] = Live{State::Queued, r.attempt};
+      if (retry.hedge)
+        hedge_q.emplace(std::make_pair(r.arrival + retry.hedge_delay, r.id), r);
+    }
     batcher.push(r);
     if (run)
       run->counter_sample("serve/queue_depth", r.arrival,
                           static_cast<double>(batcher.pending()));
   };
 
+  // Advance the in-flight work fraction to `t` at the current pricing.
+  auto advance_work = [&](double t) {
+    const double cut = std::max(t, flight.setup_end);
+    if (cut > flight.mark && flight.exec > 0)
+      flight.work += (cut - flight.mark) / flight.exec;
+    flight.mark = cut;
+  };
+
+  // A degradation boundary crossed mid-flight: bank progress at the old
+  // pricing, reprice the remainder against the new fabric state.
+  auto reprice = [&](double t, double scale) {
+    advance_work(t);
+    flight.work = std::min(flight.work, 1.0);
+    flight.exec = flight.plan->exec_time(flight.batch.size(), scale);
+    flight.scale = scale;
+    flight.done = flight.mark + (1.0 - flight.work) * flight.exec;
+  };
+
+  auto crash = [&](const CrashEvent& c) {
+    ++rep.crashes;
+    if (run) {
+      run->tracer.complete(0, obs::Category::Fault, "crash", c.at,
+                           c.restart_delay);
+      run->metrics.counter("serve/crashes").add(1);
+    }
+    if (busy) {
+      advance_work(c.at);
+      // Sub-chunks whose results streamed off the device before the crash
+      // (the Fig. 13 pipeline delivers per chunk) still complete; the
+      // rest of the batch aborts mid-transform.
+      int delivered = 0;
+      if (c.at >= flight.setup_end)
+        delivered = flight.plan->profile(flight.batch.size())
+                        .delivered(flight.work);
+      for (int i = 0; i < flight.batch.size(); ++i) {
+        Request& r = flight.batch.requests[static_cast<std::size_t>(i)];
+        if (i < delivered) {
+          complete(r, c.at);
+        } else {
+          live.erase(r.id);
+          if (!r.hedge) {
+            ++rep.aborted;
+            if (run) run->metrics.counter("serve/aborted").add(1);
+          }
+          fail_or_retry(r, c.at);
+        }
+      }
+      rep.busy_time += c.at - flight.start;
+      busy = false;
+    }
+    // The queue dies with the executor: hand every queued request back to
+    // its client with a retryable status instead of dropping it silently.
+    for (Batch& b : batcher.flush()) {
+      for (Request& r : b.requests) {
+        live.erase(r.id);
+        if (!r.hedge) {
+          ++rep.aborted;
+          if (run) run->metrics.counter("serve/aborted").add(1);
+        }
+        fail_or_retry(r, c.at);
+      }
+    }
+    // Device state is gone; every resident plan re-pays its setup spike
+    // after recovery.
+    cache_.invalidate_all();
+    up = false;
+    restart_at = c.at + c.restart_delay;
+    rep.downtime += c.restart_delay;
+    last_crash = c.at;
+    awaiting_recovery = true;
+  };
+
   auto dispatch = [&](Batch&& b) {
-    PlanCache::Lookup look = cache_.acquire(cfg_.shapes[static_cast<std::size_t>(
-        b.shape_id)]);
-    const double exec = look.plan->exec_time(b.size());
-    const double total = look.setup_charge + exec;
-    for (Request& r : b.requests) r.dispatch = now;
+    PlanCache::Lookup look = cache_.acquire(
+        cfg_.shapes[static_cast<std::size_t>(b.shape_id)]);
+    const double scale = faults.nic_scale_at(now);
+    const double exec = look.plan->exec_time(b.size(), scale);
+    for (Request& r : b.requests) {
+      r.dispatch = now;
+      live[r.id].st = State::Running;
+    }
     flight.batch = std::move(b);
     flight.start = now;
     flight.setup = look.setup_charge;
-    flight.done = now + total;
+    flight.setup_end = now + look.setup_charge;
+    flight.exec = exec;
+    flight.scale = scale;
+    flight.work = 0;
+    flight.mark = flight.setup_end;
+    flight.done = flight.setup_end + exec;
+    flight.plan = look.plan;
     busy = true;
     ++rep.batches;
-    rep.busy_time += total;
     if (run) {
       run->tracer.complete(
           0, obs::Category::Transform,
           shape_key(cfg_.cluster,
                     cfg_.shapes[static_cast<std::size_t>(flight.batch.shape_id)]),
-          now, total,
+          now, flight.done - now,
           {{"batch", static_cast<double>(flight.batch.size())},
            {"plan_setup", look.setup_charge},
-           {"cache_hit", look.hit ? 1.0 : 0.0}});
+           {"cache_hit", look.hit ? 1.0 : 0.0},
+           {"nic_scale", scale}});
       run->metrics.counter("serve/batches").add(1);
       if (!look.hit)
         run->metrics.counter("serve/plan_setup_seconds").add(look.setup_charge);
@@ -130,51 +319,168 @@ ServeReport Server::run(Workload& workload) {
   };
 
   while (true) {
+    if (!up && restart_at <= now) {
+      up = true;
+      restart_at = kInf;
+    }
     if (busy && flight.done <= now) finish_flight();
+    if (busy) {
+      const double scale = faults.nic_scale_at(now);
+      if (scale != flight.scale) reprice(now, scale);
+    }
+    while (crash_idx < faults.crashes().size() &&
+           faults.crashes()[crash_idx].at <= now) {
+      crash(faults.crashes()[crash_idx]);
+      ++crash_idx;
+    }
     while (auto t = workload.peek()) {
       if (*t > now) break;
       admit(workload.pop());
     }
-    if (!busy && !batcher.empty()) {
-      // No more arrivals can ever come once peek() is empty and nothing
-      // is in flight (closed-loop clients only re-submit on completion),
-      // so waiting out max_delay would be pure idle time: drain.
-      const bool drain = !workload.peek().has_value();
-      Batch b = batcher.pop(now, drain);
-      if (b.size() > 0) {
-        dispatch(std::move(b));
-        continue;
-      }
+    while (!retry_q.empty() && retry_q.begin()->first <= now) {
+      const std::uint64_t id = retry_q.begin()->second;
+      retry_q.erase(retry_q.begin());
+      auto it = retry_req.find(id);
+      PARFFT_ASSERT(it != retry_req.end());
+      Request r = it->second;
+      retry_req.erase(it);
+      admit(std::move(r));
     }
+    while (!hedge_q.empty() && hedge_q.begin()->first.first <= now) {
+      auto node = hedge_q.extract(hedge_q.begin());
+      const Request& orig = node.mapped();
+      auto it = live.find(orig.id);
+      // Fire only while the copy this timer was armed for still waits in
+      // the queue; timers for dispatched/terminal/re-attempted requests
+      // are stale and drop out here.
+      if (it == live.end() || it->second.st != State::Queued ||
+          it->second.attempt != orig.attempt)
+        continue;
+      Request h = orig;
+      h.hedge = true;
+      h.arrival = node.key().first;
+      admit(std::move(h));
+    }
+    if (up && !busy && !batcher.empty()) {
+      // No more company can arrive once arrivals, retries and hedges are
+      // exhausted (closed-loop clients only re-submit on completion), so
+      // waiting out max_delay would be pure idle time: drain.
+      const bool drain = !workload.peek().has_value() && retry_q.empty() &&
+                         hedge_q.empty();
+      while (!busy && !batcher.empty()) {
+        Batch b = batcher.pop(now, drain);
+        if (b.size() == 0) break;
+        std::vector<Request> keep;
+        keep.reserve(b.requests.size());
+        for (Request& r : b.requests) {
+          auto it = live.find(r.id);
+          // Another copy of this id already ran (or runs now): collapse.
+          if (it == live.end() || it->second.st != State::Queued) continue;
+          if (cfg_.shed_expired && r.deadline > 0 && now >= r.deadline) {
+            // Deadline-aware shedding: executing an already-late request
+            // wastes capacity the queue behind it needs. Terminal -- no
+            // retry can beat a deadline that has passed.
+            live.erase(it);
+            cancel_retry(r.id);
+            ++rep.shed;
+            ++rep.failed;
+            if (run) {
+              run->metrics.counter("serve/shed").add(1);
+              run->metrics.counter("serve/failed").add(1);
+            }
+            workload.on_complete(r, now);
+            continue;
+          }
+          it->second.st = State::Running;
+          keep.push_back(r);
+        }
+        if (keep.empty()) continue;
+        b.requests = std::move(keep);
+        dispatch(std::move(b));
+      }
+      if (busy) continue;
+    }
+    const bool work_pending = busy || !batcher.empty() ||
+                              workload.peek().has_value() || !retry_q.empty();
     double next = kInf;
-    if (busy) next = flight.done;
+    if (busy) {
+      next = flight.done;
+      if (auto b = faults.next_degrade_boundary_after(now))
+        next = std::min(next, *b);
+    }
     if (auto t = workload.peek()) next = std::min(next, *t);
-    if (!busy && !batcher.empty())
+    if (!retry_q.empty()) next = std::min(next, retry_q.begin()->first);
+    if (!hedge_q.empty() && !batcher.empty())
+      next = std::min(next, hedge_q.begin()->first.first);
+    if (up && !busy && !batcher.empty())
       next = std::min(next, std::max(now, batcher.next_deadline()));
+    if (!up && work_pending) next = std::min(next, restart_at);
+    if (work_pending && crash_idx < faults.crashes().size())
+      next = std::min(next, faults.crashes()[crash_idx].at);
     if (next == kInf) break;
+    PARFFT_ASSERT(next >= now);
     now = next;
   }
 
   PARFFT_ASSERT(batcher.empty() && !busy);
+  PARFFT_ASSERT(retry_q.empty() && retry_req.empty() && live.empty());
+  PARFFT_ASSERT(rep.completed + rep.failed == rep.offered);
+
+  // A crash's scheduled downtime past the end of useful work is not
+  // service time lost.
+  if (!up) rep.downtime -= restart_at - now;
+
   rep.makespan = now;
   rep.throughput = rep.makespan > 0
                        ? static_cast<double>(rep.completed) / rep.makespan
                        : 0.0;
+  rep.goodput = rep.makespan > 0
+                    ? static_cast<double>(rep.deadline_met) / rep.makespan
+                    : 0.0;
   rep.utilization = rep.makespan > 0 ? rep.busy_time / rep.makespan : 0.0;
   rep.mean_batch = rep.batches > 0 ? static_cast<double>(rep.completed) /
                                          static_cast<double>(rep.batches)
                                    : 0.0;
+  rep.retry_amplification =
+      rep.offered > 0
+          ? static_cast<double>(rep.offered + rep.retries + rep.hedges) /
+                static_cast<double>(rep.offered)
+          : 0.0;
   rep.latency = summarize_latencies(rep.latencies);
   rep.queue_wait = summarize_latencies(std::move(waits));
+  if (!rep.recovery_times.empty()) {
+    double sum = 0;
+    for (double v : rep.recovery_times) sum += v;
+    rep.mean_recovery = sum / static_cast<double>(rep.recovery_times.size());
+  }
   rep.cache_hits = cache_.hits();
   rep.cache_misses = cache_.misses();
   rep.cache_evictions = cache_.evictions();
+  rep.cache_invalidations = cache_.invalidations();
   rep.setup_charged = cache_.setup_charged();
   if (run) {
+    // Fault windows as timeline spans (clipped to the run), so the
+    // Perfetto view shows degraded/blackout stretches under the request
+    // and transform tracks.
+    for (const DegradeWindow& w : faults.degrades()) {
+      if (w.begin >= rep.makespan) break;
+      run->tracer.complete(0, obs::Category::Fault, "degraded", w.begin,
+                           std::min(w.end, rep.makespan) - w.begin,
+                           {{"nic_scale", w.nic_scale}});
+    }
+    for (const BlackoutWindow& w : faults.blackouts()) {
+      if (w.begin >= rep.makespan) break;
+      run->tracer.complete(0, obs::Category::Fault, "blackout", w.begin,
+                           std::min(w.end, rep.makespan) - w.begin);
+    }
     run->metrics.counter("serve/completed").add(
         static_cast<double>(rep.completed));
     run->metrics.gauge("serve/throughput").set(rep.throughput);
+    run->metrics.gauge("serve/goodput").set(rep.goodput);
     run->metrics.gauge("serve/utilization").set(rep.utilization);
+    run->metrics.gauge("serve/retry_amplification")
+        .set(rep.retry_amplification);
+    run->metrics.gauge("serve/downtime_seconds").set(rep.downtime);
     run->metrics.gauge("serve/cache_hits").set(
         static_cast<double>(rep.cache_hits));
     run->metrics.gauge("serve/cache_misses").set(

@@ -6,14 +6,28 @@
 /// a single executor runs one (possibly batched) transform at a time,
 /// because every transform already spans all GPUs of the machine (the
 /// paper's one-rank-per-GPU placement). The event loop advances virtual
-/// time between three event sources -- workload arrivals, the batcher's
-/// max-delay deadline and the executor finishing -- and is fully
-/// deterministic for a given workload seed.
+/// time between its event sources -- workload arrivals, the batcher's
+/// max-delay deadline, the executor finishing, retry/hedge timers and
+/// the fault schedule -- and is fully deterministic for a given workload
+/// seed and FaultPlan.
 ///
 /// Per-request costs come from the same models the rest of the repo
 /// validates against the paper: batched execution reuses core's batch +
 /// overlap pipeline (Fig. 13) through core::Simulator, and a plan-cache
 /// miss charges gpusim's first-call plan-setup spike (Fig. 10).
+///
+/// Failure semantics (see fault.hpp and docs/serving.md):
+///  - an executor crash aborts the in-flight batch (sub-chunks already
+///    delivered per the Fig. 13 pipeline profile still complete), loses
+///    the batcher queue, and invalidates every resident plan; recovery
+///    re-pays plan setup on the next dispatches;
+///  - link-degradation windows reprice in-flight and subsequent
+///    exchanges through FlowSim's mutated link state;
+///  - blackouts drop admissions on arrival;
+///  - failed submissions retry per RetryPolicy (capped exponential
+///    backoff with decorrelated jitter) until attempts or the deadline
+///    run out; deadline-aware shedding drops expired requests at
+///    dispatch so retry storms cannot collapse goodput.
 
 #include <cstdint>
 #include <string>
@@ -21,6 +35,7 @@
 
 #include "obs/tracer.hpp"
 #include "serve/batcher.hpp"
+#include "serve/fault.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/workload.hpp"
 
@@ -41,13 +56,22 @@ struct ServerConfig {
   /// Admission control: reject arrivals when this many requests are
   /// already queued (0 = unbounded, never reject).
   std::size_t queue_limit = 0;
+  /// Injected fault schedule; default-constructed = no faults, which
+  /// reproduces the fault-free engine exactly.
+  FaultPlan faults;
+  /// Client-side recovery; default is fail-fast (no retries).
+  RetryPolicy retry;
+  /// Deadline-aware shedding: at dispatch, requests whose deadline has
+  /// already passed are dropped instead of consuming executor time --
+  /// graceful degradation under overload and retry storms.
+  bool shed_expired = false;
   obs::TraceConfig trace;
   std::string label = "serve";
 };
 
 /// Order statistics of one latency population (virtual seconds).
 struct LatencySummary {
-  double p50 = 0, p95 = 0, p99 = 0;
+  double p50 = 0, p95 = 0, p99 = 0, p999 = 0;
   double mean = 0, max = 0;
 };
 
@@ -55,31 +79,58 @@ struct LatencySummary {
 LatencySummary summarize_latencies(std::vector<double> samples);
 
 /// What one Server::run() produced.
+///
+/// Terminal accounting: every offered request ends exactly once, either
+/// `completed` or `failed` (completed + failed == offered). The
+/// attempt-level counters (rejected, dropped, aborted, shed, retries,
+/// hedges) describe the intermediate outcomes that led there.
 struct ServeReport {
   std::uint64_t offered = 0;    ///< requests the workload generated
-  std::uint64_t admitted = 0;   ///< accepted past admission control
+  std::uint64_t admitted = 0;   ///< submissions accepted past admission
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;     ///< permanently failed (attempts/deadline out)
+  std::uint64_t rejected = 0;   ///< submissions bounced by the queue limit
+  std::uint64_t dropped = 0;    ///< submissions lost to arrival blackouts
+  std::uint64_t aborted = 0;    ///< requests lost to crashes (in flight or queued)
+  std::uint64_t shed = 0;       ///< deadline-expired requests shed at dispatch
+  std::uint64_t retries = 0;    ///< resubmissions scheduled by the retry policy
+  std::uint64_t hedges = 0;     ///< hedged duplicates enqueued
+  std::uint64_t crashes = 0;    ///< executor crashes during the run
   std::uint64_t batches = 0;    ///< batched executions dispatched
 
   double makespan = 0;     ///< virtual time of the last completion
   double busy_time = 0;    ///< virtual time the executor was executing
+  double downtime = 0;     ///< virtual time the executor was crashed
   double throughput = 0;   ///< completed transforms per virtual second
+  /// In-deadline completions per virtual second (== throughput when no
+  /// deadline is configured): the service's useful work under faults.
+  double goodput = 0;
+  std::uint64_t deadline_met = 0;  ///< completions within their deadline
   double utilization = 0;  ///< busy_time / makespan
   double mean_batch = 0;   ///< completed / batches
+  /// (first attempts + retries + hedges) / offered: how much extra
+  /// submission traffic the fault/recovery behaviour generated.
+  double retry_amplification = 0;
 
-  LatencySummary latency;     ///< arrival -> completion
-  LatencySummary queue_wait;  ///< arrival -> dispatch
+  LatencySummary latency;     ///< first submission -> completion
+  LatencySummary queue_wait;  ///< last admission -> dispatch
   std::vector<double> latencies;  ///< per-request, completion order
+
+  /// Per crash recovered from: virtual seconds from the crash instant to
+  /// the first completion after the executor restarted.
+  std::vector<double> recovery_times;
+  double mean_recovery = 0;
 
   /// Plan-cache totals at the end of the run (the cache persists across
   /// runs of one Server, so warm runs show hits against earlier misses).
   std::uint64_t cache_hits = 0, cache_misses = 0, cache_evictions = 0;
+  std::uint64_t cache_invalidations = 0;  ///< crash-forced removals
   double setup_charged = 0;  ///< virtual seconds of plan setup paid
 };
 
 /// The service engine. One instance owns one plan cache; run() may be
 /// called repeatedly and later runs reuse plans cached by earlier ones.
+/// FaultPlan times are relative to each run's start.
 class Server {
  public:
   explicit Server(ServerConfig cfg);
@@ -91,11 +142,22 @@ class Server {
   const PlanCache& plan_cache() const { return cache_; }
 
  private:
+  /// One dispatched batch. Execution progress is tracked as a fraction of
+  /// the current pricing's exec time so link-degradation boundaries can
+  /// reprice the remainder mid-flight (fluid model).
   struct InFlight {
     Batch batch;
-    double done = 0;    ///< completion time of every request in it
-    double setup = 0;   ///< plan-setup spike charged to this dispatch
-    double start = 0;
+    double start = 0;      ///< dispatch time
+    double setup = 0;      ///< plan-rebuild spike charged to this dispatch
+    double setup_end = 0;  ///< start + setup (setup does not scale with links)
+    double exec = 0;       ///< exec time at the current pricing scale
+    double scale = 1.0;    ///< nic scale the remainder is priced at
+    double work = 0;       ///< fraction of the execution completed
+    double mark = 0;       ///< virtual time `work` was last advanced to
+    double done = 0;       ///< projected completion
+    /// Resident while in flight: no acquire() can evict it before the
+    /// batch finishes or a crash aborts it (single executor).
+    ServedPlan* plan = nullptr;
   };
 
   ServerConfig cfg_;
