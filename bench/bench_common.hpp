@@ -6,6 +6,7 @@
 /// FFTs after 2 warm-ups => 10 transforms and 40 reshape calls), plus
 /// uniform output formatting.
 
+#include <array>
 #include <cstdio>
 #include <iostream>
 #include <string>

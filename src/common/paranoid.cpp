@@ -1,0 +1,44 @@
+#include "common/paranoid.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace parfft {
+
+namespace {
+
+/// Initial state: on in paranoid builds unless PARFFT_PARANOID=0 in the
+/// environment; always off otherwise (the macros compile to nothing, but
+/// paranoid_enabled() stays queryable so tests can branch on it).
+bool initial_state() {
+#if defined(PARFFT_PARANOID)
+  const char* env = std::getenv("PARFFT_PARANOID");
+  if (env && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0))
+    return false;
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> f{initial_state()};
+  return f;
+}
+
+}  // namespace
+
+bool paranoid_enabled() {
+#if defined(PARFFT_PARANOID)
+  return flag().load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+bool set_paranoid(bool on) {
+  return flag().exchange(on, std::memory_order_relaxed);
+}
+
+}  // namespace parfft

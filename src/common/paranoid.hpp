@@ -1,0 +1,74 @@
+#pragma once
+/// \file paranoid.hpp
+/// Opt-in runtime invariant checking ("paranoid mode").
+///
+/// The whole reproduction rests on deterministic virtual-time pricing:
+/// seeded runs must be byte-identical, virtual clocks must never move
+/// backwards, and the accounting identities the reports publish
+/// (completed + failed == offered, hits + misses == lookups, per-link
+/// rate <= capacity) must hold exactly. Paranoid mode compiles explicit
+/// checks for those invariants into the hot layers -- the serve::Server
+/// event loop, the simmpi virtual clocks, FlowSim's progressive filling,
+/// the PlanCache accounting and the obs span tracer.
+///
+/// Build with -DPARFFT_PARANOID=ON (CMake option) to compile the checks
+/// in; they are then on by default and can be toggled at runtime with
+/// set_paranoid() (tests use this to prove checking does not perturb
+/// results) or the PARFFT_PARANOID environment variable ("0" disables).
+/// Without the option every macro below compiles to nothing, so release
+/// builds pay zero cost.
+///
+/// A failed check throws parfft::Error via the same reporting path as
+/// PARFFT_ASSERT, so tests can observe violations.
+
+#include "common/error.hpp"
+
+namespace parfft {
+
+/// True when paranoid checks should run. Always false in builds without
+/// PARFFT_PARANOID; otherwise defaults to on, overridable by
+/// set_paranoid() and the PARFFT_PARANOID environment variable.
+bool paranoid_enabled();
+
+/// Runtime toggle (effective only in PARFFT_PARANOID builds). Returns the
+/// previous value so tests can restore it.
+bool set_paranoid(bool on);
+
+/// True when the binary was compiled with PARFFT_PARANOID.
+constexpr bool paranoid_compiled() {
+#if defined(PARFFT_PARANOID)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace parfft
+
+#if defined(PARFFT_PARANOID)
+
+/// Invariant check active in paranoid builds; throws parfft::Error with
+/// the failing expression on violation.
+#define PARFFT_PARANOID_ASSERT(expr)                                     \
+  do {                                                                   \
+    if (::parfft::paranoid_enabled() && !(expr)) {                       \
+      ::parfft::detail::throw_error(__FILE__, __LINE__, #expr,           \
+                                    "paranoid invariant violated");      \
+    }                                                                    \
+  } while (0)
+
+/// Runs `stmt` (typically a verify() call or check scaffolding) only when
+/// paranoid checking is compiled in and enabled.
+#define PARFFT_IF_PARANOID(stmt)                                         \
+  do {                                                                   \
+    if (::parfft::paranoid_enabled()) {                                  \
+      stmt;                                                              \
+    }                                                                    \
+  } while (0)
+
+#else
+
+#define PARFFT_PARANOID_ASSERT(expr) static_cast<void>(0)
+#define PARFFT_IF_PARANOID(stmt) static_cast<void>(0)
+
+#endif

@@ -4,6 +4,8 @@
 /// generators. All randomness in the repository flows through these helpers
 /// so every experiment is reproducible from its seed.
 
+#include <cstddef>
+#include <cstdint>
 #include <random>
 #include <vector>
 

@@ -4,6 +4,7 @@
 /// the rows/series each paper table or figure reports, in a form that is
 /// easy to diff and to paste into EXPERIMENTS.md.
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>

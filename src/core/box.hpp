@@ -8,6 +8,7 @@
 /// (brick shaped) input grids.
 
 #include <array>
+#include <cstddef>
 #include <vector>
 
 #include "common/types.hpp"

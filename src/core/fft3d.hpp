@@ -12,7 +12,9 @@
 /// (heFFTe: heffte::fft3d<backend::cufft> fft(inbox, outbox, comm);
 ///  fft.forward(input.data(), output.data(), heffte::scale::full);)
 
+#include <array>
 #include <memory>
+#include <vector>
 
 #include "core/plan.hpp"
 

@@ -14,6 +14,9 @@
 /// bandwidth advantage of r2c); the rest reuses the complex machinery via
 /// build_partial_stages.
 
+#include <array>
+#include <vector>
+
 #include "core/plan.hpp"
 #include "fft/real.hpp"
 

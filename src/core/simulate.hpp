@@ -11,10 +11,12 @@
 /// test asserts that simulate() and Plan3D::execute() agree on small
 /// configurations.
 
+#include <array>
 #include <map>
 #include <ostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/stages.hpp"
 #include "core/trace.hpp"

@@ -7,6 +7,7 @@
 /// codes that only need the data-movement layer.
 
 #include <functional>
+#include <vector>
 
 #include "core/fft3d.hpp"
 

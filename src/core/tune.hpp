@@ -7,6 +7,7 @@
 /// setting regions" and the Fig. 12 application speedup.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/simulate.hpp"

@@ -13,6 +13,7 @@
 /// exp(-2*pi*i*k*n/N) kernel, transforms are unnormalized in both
 /// directions, so backward(forward(x)) == N * x.
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 

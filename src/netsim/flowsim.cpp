@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/paranoid.hpp"
 
 namespace parfft::net {
 
@@ -95,14 +96,37 @@ struct StatsAcc {
       link.busy_time = busy[l];
       link.saturated_time = saturated[l];
       link.samples = std::move(samples[l]);
+      // Sample rates are assigned (never computed) values; comparing the
+      // final sample against an exact stored 0 is intentional.
       if (!link.samples.empty() &&
-          (link.samples.back().second != 0.0 ||
+          (link.samples.back().second != 0.0 ||  // parfft-lint: allow(float-eq)
            link.samples.back().first < duration))
         link.samples.push_back({duration, 0.0});
       out.links.push_back(std::move(link));
     }
   }
 };
+
+/// Paranoid invariants of one progressive-filling step: every flow holds
+/// an assigned rate, no link carries more than its capacity (residual
+/// stays non-negative up to rounding), and no flow exceeds its per-flow
+/// cap. [[maybe_unused]] because non-paranoid builds compile out the
+/// call site.
+[[maybe_unused]] void check_filling_step(const std::vector<Route>& route,
+                                         const std::vector<double>& rate,
+                                         const std::vector<char>& assigned,
+                                         const std::vector<double>& resid,
+                                         const std::vector<double>& cap) {
+  for (std::size_t l = 0; l < cap.size(); ++l)
+    PARFFT_CHECK(resid[l] >= -1e-9 * std::max(cap[l], 1.0),
+                 "flowsim: link oversubscribed after water filling");
+  for (std::size_t f = 0; f < rate.size(); ++f) {
+    PARFFT_CHECK(assigned[f], "flowsim: flow left without a rate");
+    PARFFT_CHECK(rate[f] >= 0, "flowsim: negative flow rate");
+    PARFFT_CHECK(rate[f] <= route[f].cap * (1.0 + 1e-9) + 1e-12,
+                 "flowsim: flow rate exceeds its per-flow cap");
+  }
+}
 
 }  // namespace
 
@@ -220,6 +244,7 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode,
         const auto li = static_cast<std::size_t>(route[f].link[l]);
         tmin = std::max(tmin, load[li] / base_cap[li]);
       }
+      PARFFT_PARANOID_ASSERT(tmin >= 0);
       flows[f].finish = flows[f].start + tmin;
     }
     if (stats) {
@@ -349,6 +374,8 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode,
       }
       nflows[static_cast<std::size_t>(bottleneck)] = 0;  // fully allocated
     }
+    PARFFT_IF_PARANOID(check_filling_step(route, rate, assigned, resid,
+                                          base_cap));
 
     // Advance to the earliest completion or the next flow start.
     double dt = next_start < kInf ? next_start - t : kInf;
@@ -368,6 +395,13 @@ void FlowSim::run(std::vector<Flow>& flows, TransferMode mode,
         --remaining;
       }
     }
+  }
+
+  // Flow conservation: every byte was served and no flow finished before
+  // it started.
+  for (std::size_t f = 0; f < F; ++f) {
+    PARFFT_PARANOID_ASSERT(rem[f] <= eps);
+    PARFFT_PARANOID_ASSERT(flows[f].finish >= flows[f].start - eps);
   }
 
   if (acc) {

@@ -12,6 +12,7 @@
 /// span totals, counters, gauges and histogram buckets of one run.
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "obs/session.hpp"

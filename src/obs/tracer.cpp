@@ -1,6 +1,7 @@
 #include "obs/tracer.hpp"
 
 #include "common/error.hpp"
+#include "common/paranoid.hpp"
 
 namespace parfft::obs {
 
@@ -41,6 +42,8 @@ const Tracer::RankState& Tracer::state(int rank) const {
 void Tracer::begin(int rank, Category cat, std::string name, double t,
                    std::vector<SpanArg> args) {
   RankState& rs = state(rank);
+  // Well-nested spans: a child opens no earlier than its parent.
+  PARFFT_PARANOID_ASSERT(rs.open.empty() || t >= rs.open.back().begin);
   Span s;
   s.cat = cat;
   s.name = std::move(name);
@@ -64,6 +67,9 @@ void Tracer::complete(int rank, Category cat, std::string name, double begin,
                       double dur, std::vector<SpanArg> args) {
   PARFFT_CHECK(dur >= 0, "span duration must be non-negative");
   RankState& rs = state(rank);
+  // A completed span nested under an open one must start within it.
+  PARFFT_PARANOID_ASSERT(rs.open.empty() ||
+                         begin >= rs.open.back().begin - 1e-9);
   Span s;
   s.cat = cat;
   s.name = std::move(name);

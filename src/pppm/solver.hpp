@@ -10,9 +10,9 @@
 /// MPI exchange family, GPU awareness, reordering) applies directly to the
 /// application.
 
-#include <vector>
-
+#include <array>
 #include <memory>
+#include <vector>
 
 #include "core/plan.hpp"
 #include "core/real_plan.hpp"

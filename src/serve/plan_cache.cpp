@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/paranoid.hpp"
 
 namespace parfft::serve {
 
@@ -10,9 +11,11 @@ double ServedPlan::exec_time(int batch, double nic_scale) {
   const std::pair<int, double> key{batch, nic_scale};
   if (auto it = exec_memo_.find(key); it != exec_memo_.end())
     return it->second;
-  if (nic_scale != 1.0) sim_.set_nic_scale(nic_scale);
+  // `nic_scale` is a stored FaultPlan sentinel compared untouched, so
+  // equality against healthy (1.0) is exact by construction.
+  if (nic_scale != 1.0) sim_.set_nic_scale(nic_scale);  // parfft-lint: allow(float-eq)
   const double t = sim_.transform_time(batch);
-  if (nic_scale != 1.0) sim_.set_nic_scale(1.0);
+  if (nic_scale != 1.0) sim_.set_nic_scale(1.0);  // parfft-lint: allow(float-eq)
   exec_memo_.emplace(key, t);
   return t;
 }
@@ -28,10 +31,12 @@ PlanCache::PlanCache(ClusterConfig cluster, std::size_t capacity,
       window_(std::max<std::size_t>(1, eviction_window)) {}
 
 PlanCache::Lookup PlanCache::acquire(const JobShape& shape) {
+  ++lookups_;
   const std::string key = shape_key(cluster_, shape);
   if (auto it = entries_.find(key); it != entries_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    PARFFT_IF_PARANOID(check_invariants());
     return {it->second.plan.get(), /*hit=*/true, 0.0};
   }
   ++misses_;
@@ -43,6 +48,7 @@ PlanCache::Lookup PlanCache::acquire(const JobShape& shape) {
   auto [it, inserted] =
       entries_.emplace(key, Entry{std::move(plan), lru_.begin()});
   PARFFT_ASSERT(inserted);
+  PARFFT_IF_PARANOID(check_invariants());
   return {it->second.plan.get(), /*hit=*/false, setup};
 }
 
@@ -51,7 +57,25 @@ std::size_t PlanCache::invalidate_all() {
   entries_.clear();
   lru_.clear();
   invalidations_ += n;
+  PARFFT_IF_PARANOID(check_invariants());
   return n;
+}
+
+void PlanCache::check_invariants() const {
+  PARFFT_CHECK(entries_.size() == lru_.size(),
+               "plan cache: LRU list and entry map diverged");
+  PARFFT_CHECK(capacity_ == 0 || entries_.size() <= capacity_,
+               "plan cache: resident plans exceed capacity");
+  PARFFT_CHECK(hits_ + misses_ == lookups_,
+               "plan cache: hits + misses != lookups");
+  // Every miss inserted exactly one plan; every removal was either a
+  // capacity eviction or a crash invalidation (disjoint classes). If a
+  // removal were ever double-counted, this conservation identity breaks.
+  PARFFT_CHECK(misses_ == entries_.size() + evictions_ + invalidations_,
+               "plan cache: misses != resident + evictions + invalidations");
+  for (const std::string& key : lru_)
+    PARFFT_CHECK(entries_.count(key) == 1,
+                 "plan cache: LRU key without a resident entry");
 }
 
 void PlanCache::evict_one() {

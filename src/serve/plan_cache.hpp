@@ -92,12 +92,23 @@ class PlanCache {
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Total acquire() calls; hits() + misses() == lookups() always.
+  std::uint64_t lookups() const { return lookups_; }
   /// Capacity-pressure removals only (see invalidations()).
   std::uint64_t evictions() const { return evictions_; }
   /// Crash-forced removals via invalidate_all().
   std::uint64_t invalidations() const { return invalidations_; }
   /// Total virtual seconds of plan setup charged by misses so far.
   double setup_charged() const { return setup_charged_; }
+
+  /// Throws parfft::Error if the cache accounting identities are broken:
+  /// size <= capacity, hits + misses == lookups, the LRU list and entry
+  /// map agree, and every miss is accounted for as resident, evicted
+  /// (capacity pressure) or invalidated (crash loss) -- eviction and
+  /// invalidation are disjoint by construction and this identity proves
+  /// no removal was double-counted. Run after every mutation under
+  /// PARFFT_PARANOID; callable directly from tests in any build.
+  void check_invariants() const;
 
  private:
   struct Entry {
@@ -111,6 +122,7 @@ class PlanCache {
   std::size_t window_;
   std::list<std::string> lru_;  ///< front = most recently used
   std::map<std::string, Entry> entries_;
+  std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
   double setup_charged_ = 0;
 };

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/paranoid.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 
@@ -38,6 +39,31 @@ LatencySummary summarize_latencies(std::vector<double> samples) {
   for (double v : samples) sum += v;
   s.mean = sum / static_cast<double>(samples.size());
   return s;
+}
+
+void ServeReport::verify() const {
+  PARFFT_CHECK(completed + failed == offered,
+               "serve report: completed + failed != offered");
+  // Every terminal outcome was reached by some submission attempt; the
+  // attempt traffic (first submissions + retries + hedges) can only
+  // exceed the terminal count, never undershoot it.
+  PARFFT_CHECK(offered + retries + hedges >= completed + failed,
+               "serve report: fewer attempts than terminal outcomes");
+  PARFFT_CHECK(admitted <= offered + retries,
+               "serve report: more primaries admitted than submitted");
+  PARFFT_CHECK(deadline_met <= completed,
+               "serve report: deadline_met exceeds completions");
+  PARFFT_CHECK(shed <= failed, "serve report: shed requests not all failed");
+  PARFFT_CHECK(latencies.size() == completed,
+               "serve report: latency samples != completions");
+  PARFFT_CHECK(recovery_times.size() <= crashes,
+               "serve report: more recoveries than crashes");
+  PARFFT_CHECK(makespan >= 0 && busy_time >= 0 && downtime >= 0,
+               "serve report: negative time aggregate");
+  // The single executor cannot be busy longer than the run lasted; allow
+  // rounding slack from the fluid repricing arithmetic.
+  PARFFT_CHECK(busy_time <= makespan * (1.0 + 1e-9) + 1e-9,
+               "serve report: busy_time exceeds makespan");
 }
 
 Server::Server(ServerConfig cfg)
@@ -127,6 +153,8 @@ ServeReport Server::run(Workload& workload) {
 
   auto complete = [&](Request& r, double t) {
     r.completion = t;
+    PARFFT_PARANOID_ASSERT(r.completion >= r.submitted);
+    PARFFT_PARANOID_ASSERT(r.dispatch < 0 || r.completion >= r.dispatch);
     live.erase(r.id);
     cancel_retry(r.id);  // a hedged duplicate may outrun its primary's retry
     rep.latencies.push_back(r.latency());
@@ -149,6 +177,8 @@ ServeReport Server::run(Workload& workload) {
   };
 
   auto finish_flight = [&] {
+    PARFFT_PARANOID_ASSERT(flight.done >= flight.start);
+    PARFFT_PARANOID_ASSERT(flight.done >= flight.setup_end);
     now = std::max(now, flight.done);
     for (Request& r : flight.batch.requests) complete(r, flight.done);
     if (run)
@@ -300,6 +330,7 @@ ServeReport Server::run(Workload& workload) {
     flight.mark = flight.setup_end;
     flight.done = flight.setup_end + exec;
     flight.plan = look.plan;
+    PARFFT_PARANOID_ASSERT(flight.setup_end >= now && flight.done >= flight.setup_end);
     busy = true;
     ++rep.batches;
     if (run) {
@@ -486,6 +517,7 @@ ServeReport Server::run(Workload& workload) {
     run->metrics.gauge("serve/cache_misses").set(
         static_cast<double>(rep.cache_misses));
   }
+  PARFFT_IF_PARANOID(rep.verify());
   return rep;
 }
 

@@ -126,6 +126,15 @@ struct ServeReport {
   std::uint64_t cache_hits = 0, cache_misses = 0, cache_evictions = 0;
   std::uint64_t cache_invalidations = 0;  ///< crash-forced removals
   double setup_charged = 0;  ///< virtual seconds of plan setup paid
+
+  /// Throws parfft::Error if the report's conservation identities are
+  /// broken: completed + failed == offered (every request terminal
+  /// exactly once), attempt traffic >= terminals, deadline_met <=
+  /// completed, latency samples match completions, and the time
+  /// aggregates are sane (0 <= busy_time <= makespan). Server::run()
+  /// calls this before returning under PARFFT_PARANOID; callable
+  /// directly from tests in any build.
+  void verify() const;
 };
 
 /// The service engine. One instance owns one plan cache; run() may be

@@ -7,6 +7,8 @@
 #include <map>
 #include <thread>
 
+#include "common/paranoid.hpp"
+
 namespace parfft::smpi {
 
 namespace {
@@ -181,6 +183,7 @@ Request Comm::isend(const void* buf, std::size_t bytes, int dst, int tag,
                                          static_cast<double>(bytes),
                                          mode_for(space))
             : 0.0;
+  PARFFT_PARANOID_ASSERT(transport >= 0);
   Runtime::Message m;
   m.src_wrank = wrank_;
   m.group_id = group_id_;
@@ -293,7 +296,9 @@ int Comm::waitany(std::vector<Request>& reqs) {
         r.status.bytes = it->payload.size();
         r.done = true;
         r.consumed = true;
+        PARFFT_PARANOID_ASSERT(it->arrival >= 0);
         me.vclock = std::max(me.vclock, it->arrival);
+        PARFFT_PARANOID_ASSERT(me.vclock >= wait_t0);
         me.inbox.erase(it);
         if (obs::RunTrace* run = trace_run(); run && me.vclock > wait_t0)
           run->tracer.complete(wrank_, obs::Category::Wait, "MPI_Waitany",
@@ -350,8 +355,13 @@ void Comm::collective(const void* contribution,
   }
   // Consume phase (still under the communicator lock; ranks run in turn).
   if (reader) reader(g.contrib);
-  me.vclock = g.base_time +
-              (exit_cost ? exit_cost(grank_, G) : 0.0);
+  // The collective synchronizes to the latest entry clock. exit_cost may
+  // be negative by contract (overlap_settle rebases a sequential charge
+  // to the pipelined schedule), but no rank can land before time zero.
+  PARFFT_PARANOID_ASSERT(g.base_time >=
+                         g.entry[static_cast<std::size_t>(grank_)]);
+  me.vclock = g.base_time + (exit_cost ? exit_cost(grank_, G) : 0.0);
+  PARFFT_PARANOID_ASSERT(me.vclock >= 0);
   --g.departed;
   if (g.departed == 0) {
     g.cv.notify_all();

@@ -1,0 +1,33 @@
+/// \file allowed_clean.cpp
+/// Lint fixture (never compiled): the same hazard classes as the bad_*
+/// fixtures, each annotated with the allowlist directive -- the tool must
+/// scan this file clean. Exercises same-line and line-above placement.
+
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+double bench_wall_seconds() {
+  // Wall time is fine here: this models a host-side profiling harness,
+  // not virtual-time pricing.
+  const auto t = std::chrono::steady_clock::now();  // parfft-lint: allow(wall-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double order_insensitive_sum(const std::unordered_map<int, double>& m,
+                             std::vector<double>& results) {
+  double sum = 0;
+  // Summation commutes, and only the (order-free) total is reported.
+  // parfft-lint: allow(unordered-iter)
+  for (const auto& [k, v] : m) {
+    (void)k;
+    sum += v;
+  }
+  results.push_back(sum);
+  return sum;
+}
+
+bool exact_sentinel(double scale) {
+  // `scale` is stored and compared untouched; equality is exact by design.
+  return scale != 1.0;  // parfft-lint: allow(float-eq)
+}

@@ -1,0 +1,14 @@
+/// \file bad_float_eq.cpp
+/// Lint fixture (never compiled): raw floating-point equality against
+/// literals -- rounding-sensitive comparisons the determinism lint flags.
+
+bool converged(double residual) {
+  return residual == 0.0;  // violation: exact compare against computed value
+}
+
+bool at_unit_scale(double scale) {
+  if (scale != 1.0) return false;  // violation
+  return true;
+}
+
+bool half(double x) { return 0.5 == x; }  // violation: literal on the left

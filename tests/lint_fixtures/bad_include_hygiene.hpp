@@ -1,0 +1,14 @@
+#pragma once
+/// \file bad_include_hygiene.hpp
+/// Lint fixture (never compiled): a header that uses std components
+/// without including their headers -- it would only compile by transitive
+/// luck, breaking the standalone-header build check.
+
+#include <string>
+
+struct Manifest {
+  std::string name;
+  std::vector<std::string> entries;   // violation: <vector> not included
+  std::uint64_t revision = 0;         // violation: <cstdint> not included
+  std::optional<double> budget;       // violation: <optional> not included
+};

@@ -1,0 +1,24 @@
+/// \file bad_unordered_iter.cpp
+/// Lint fixture (never compiled): iteration over unordered containers
+/// whose body leaks the (nondeterministic) iteration order into results.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> dump(const std::unordered_map<int, std::string>& m) {
+  std::vector<std::string> results;
+  for (const auto& [k, v] : m) {      // violation: order leaks into results
+    results.push_back(v + std::to_string(k));
+  }
+  return results;
+}
+
+double tally(const std::unordered_map<std::string, double>& scores,
+             std::vector<double>& report) {
+  double sum = 0;
+  for (auto it = scores.begin(); it != scores.end(); ++it) {  // violation
+    report.push_back(it->second);
+  }
+  return sum;
+}

@@ -1,0 +1,27 @@
+/// \file bad_wall_clock.cpp
+/// Lint fixture (never compiled): seeded wall-clock / entropy hazards the
+/// determinism lint must catch. One instance of every forbidden source.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double wall_seconds() {
+  const auto t = std::chrono::steady_clock::now();  // violation: steady_clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long stamp() { return std::time(nullptr); }  // violation: time()
+
+int entropy() {
+  std::random_device rd;  // violation: random_device
+  return static_cast<int>(rd());
+}
+
+int libc_random() { return rand() % 7; }  // violation: rand()
+
+double default_engine() {
+  std::mt19937_64 gen;  // violation: default-seeded mt19937
+  return std::uniform_real_distribution<double>(0, 1)(gen);
+}

@@ -1,0 +1,236 @@
+/// \file test_invariants.cpp
+/// Paranoid mode and the runtime invariant checkers: a full pipeline run
+/// (workload + faults + retries through the serving stack) produces
+/// byte-identical results with checking on and off, the report and
+/// plan-cache verifiers accept real runs and reject corrupted state, the
+/// flow simulator never over-allocates a link, and -- in PARFFT_PARANOID
+/// builds -- violations actually throw.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/paranoid.hpp"
+#include "netsim/flowsim.hpp"
+#include "obs/tracer.hpp"
+#include "serve/server.hpp"
+
+namespace parfft::serve {
+namespace {
+
+ClusterConfig test_cluster() {
+  ClusterConfig c;
+  c.machine = net::summit();
+  c.device = gpu::v100();
+  c.nranks = 12;
+  return c;
+}
+
+JobShape cube(int n) {
+  JobShape s;
+  s.n = {n, n, n};
+  s.options.decomp = core::Decomposition::Pencil;
+  s.options.overlap_batches = true;
+  return s;
+}
+
+/// The full pipeline: faults, retries, hedging, batching, shedding and a
+/// capacity-bounded plan cache all active at once.
+ServerConfig pipeline_config() {
+  ServerConfig cfg;
+  cfg.cluster = test_cluster();
+  cfg.shapes = {cube(32), cube(48), cube(64)};
+  cfg.batching.max_batch = 4;
+  cfg.batching.max_delay = 0.05;
+  cfg.cache_capacity = 2;
+  cfg.queue_limit = 64;
+  cfg.shed_expired = true;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.deadline = 60.0;
+  cfg.retry.hedge = true;
+  cfg.retry.hedge_delay = 5.0;
+
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.horizon = 200.0;
+  spec.crash_mtbf = 40.0;
+  spec.crash_mttr = 2.0;
+  spec.degrade_mtbf = 25.0;
+  spec.degrade_mttr = 5.0;
+  spec.degrade_scale = 0.5;
+  spec.blackout_mtbf = 80.0;
+  spec.blackout_mttr = 1.0;
+  cfg.faults = FaultPlan::generate(spec);
+  return cfg;
+}
+
+std::vector<ShapeMix> pipeline_mix() {
+  return {{cube(32), 3.0}, {cube(48), 2.0}, {cube(64), 1.0}};
+}
+
+ServeReport run_pipeline(bool paranoid) {
+  const bool prev = set_paranoid(paranoid);
+  Server server(pipeline_config());
+  OpenLoopWorkload load(pipeline_mix(), /*rate=*/2.0, /*count=*/120,
+                        /*tenants=*/3, /*seed=*/99);
+  ServeReport rep = server.run(load);
+  set_paranoid(prev);
+  return rep;
+}
+
+// -------------------------------------------------- checking is inert
+
+TEST(Paranoid, CompileStateIsReported) {
+  // paranoid_enabled() can never be true in a build without the checks.
+  if (!paranoid_compiled()) {
+    EXPECT_FALSE(paranoid_enabled());
+  }
+}
+
+TEST(Paranoid, CheckedRunIsByteIdenticalToUncheckedRun) {
+  const ServeReport on = run_pipeline(true);
+  const ServeReport off = run_pipeline(false);
+
+  EXPECT_EQ(on.offered, off.offered);
+  EXPECT_EQ(on.completed, off.completed);
+  EXPECT_EQ(on.failed, off.failed);
+  EXPECT_EQ(on.rejected, off.rejected);
+  EXPECT_EQ(on.dropped, off.dropped);
+  EXPECT_EQ(on.aborted, off.aborted);
+  EXPECT_EQ(on.shed, off.shed);
+  EXPECT_EQ(on.retries, off.retries);
+  EXPECT_EQ(on.hedges, off.hedges);
+  EXPECT_EQ(on.crashes, off.crashes);
+  EXPECT_EQ(on.batches, off.batches);
+  EXPECT_EQ(on.makespan, off.makespan);
+  EXPECT_EQ(on.busy_time, off.busy_time);
+  EXPECT_EQ(on.downtime, off.downtime);
+  EXPECT_EQ(on.cache_hits, off.cache_hits);
+  EXPECT_EQ(on.cache_misses, off.cache_misses);
+  EXPECT_EQ(on.cache_evictions, off.cache_evictions);
+  EXPECT_EQ(on.cache_invalidations, off.cache_invalidations);
+  EXPECT_EQ(on.setup_charged, off.setup_charged);
+  // Bitwise equality of the whole latency population, completion order
+  // included: checking must not perturb a single event.
+  ASSERT_EQ(on.latencies.size(), off.latencies.size());
+  for (std::size_t i = 0; i < on.latencies.size(); ++i)
+    EXPECT_EQ(on.latencies[i], off.latencies[i]) << "sample " << i;
+  ASSERT_EQ(on.recovery_times.size(), off.recovery_times.size());
+  for (std::size_t i = 0; i < on.recovery_times.size(); ++i)
+    EXPECT_EQ(on.recovery_times[i], off.recovery_times[i]);
+}
+
+// -------------------------------------------------- report verification
+
+TEST(ServeReportVerify, AcceptsRealRuns) {
+  const ServeReport rep = run_pipeline(true);
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_NO_THROW(rep.verify());
+}
+
+TEST(ServeReportVerify, RejectsBrokenConservation) {
+  ServeReport rep = run_pipeline(false);
+  ++rep.completed;  // one request now terminates twice
+  EXPECT_THROW(rep.verify(), Error);
+}
+
+TEST(ServeReportVerify, RejectsImpossibleAggregates) {
+  ServeReport rep = run_pipeline(false);
+  rep.deadline_met = rep.completed + 1;
+  EXPECT_THROW(rep.verify(), Error);
+
+  ServeReport rep2 = run_pipeline(false);
+  rep2.busy_time = rep2.makespan + 1.0;
+  EXPECT_THROW(rep2.verify(), Error);
+
+  ServeReport rep3 = run_pipeline(false);
+  rep3.latencies.pop_back();
+  EXPECT_THROW(rep3.verify(), Error);
+}
+
+// -------------------------------------------------- plan cache identities
+
+TEST(PlanCacheInvariants, HoldAcrossEvictionAndInvalidation) {
+  PlanCache cache(test_cluster(), /*capacity=*/2, /*eviction_window=*/2);
+  const std::vector<JobShape> shapes = {cube(32), cube(48), cube(64)};
+  // Drive past capacity (evictions), then re-touch (hits), then crash
+  // (invalidation) and rebuild.
+  for (int round = 0; round < 2; ++round)
+    for (const JobShape& s : shapes) {
+      cache.acquire(s);
+      cache.check_invariants();
+    }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+  EXPECT_EQ(cache.hits() + cache.misses(), cache.lookups());
+  EXPECT_EQ(cache.misses(),
+            cache.resident() + cache.evictions() + cache.invalidations());
+
+  const std::size_t dropped = cache.invalidate_all();
+  EXPECT_EQ(dropped, 2u);
+  cache.check_invariants();
+  EXPECT_EQ(cache.resident(), 0u);
+
+  cache.acquire(shapes[0]);
+  cache.check_invariants();
+  EXPECT_EQ(cache.hits() + cache.misses(), cache.lookups());
+  EXPECT_EQ(cache.misses(),
+            cache.resident() + cache.evictions() + cache.invalidations());
+}
+
+// -------------------------------------------------- flowsim capacity
+
+TEST(FlowSimInvariants, NoLinkExceedsItsCapacity) {
+  const bool prev = set_paranoid(true);
+  net::FlowSim sim(net::summit(), net::RankMap{6}, /*nranks=*/12);
+  // Congested all-to-all style phase with staggered starts.
+  std::vector<net::Flow> flows;
+  for (int s = 0; s < 12; ++s)
+    for (int d = 0; d < 12; ++d) {
+      if (s == d) continue;
+      net::Flow f;
+      f.src = s;
+      f.dst = d;
+      f.bytes = 1 << 20;
+      f.start = 1e-6 * static_cast<double>(s);
+      flows.push_back(f);
+    }
+  net::LinkStats stats;
+  sim.run(flows, net::TransferMode::GpuAware, &stats);
+  set_paranoid(prev);
+
+  ASSERT_FALSE(stats.links.empty());
+  for (const auto& link : stats.links) {
+    EXPECT_LE(link.peak_rate, link.capacity * (1.0 + 1e-9)) << link.name;
+    EXPECT_GT(link.bytes, 0.0) << link.name;
+  }
+  for (const net::Flow& f : flows) EXPECT_GE(f.finish, f.start);
+}
+
+// -------------------------------------------------- negative paranoid tests
+
+#if defined(PARFFT_PARANOID)
+
+TEST(ParanoidViolations, TracerMisnestedSpanThrows) {
+  const bool prev = set_paranoid(true);
+  obs::Tracer tracer(1);
+  tracer.begin(0, obs::Category::Transform, "outer", 10.0);
+  // A child claiming to start before its open parent is mis-nested.
+  EXPECT_THROW(
+      tracer.complete(0, obs::Category::Fft, "child", 1.0, 0.5), Error);
+  set_paranoid(prev);
+}
+
+TEST(ParanoidViolations, DisabledAtRuntimeDoesNotThrow) {
+  const bool prev = set_paranoid(false);
+  obs::Tracer tracer(1);
+  tracer.begin(0, obs::Category::Transform, "outer", 10.0);
+  EXPECT_NO_THROW(
+      tracer.complete(0, obs::Category::Fft, "child", 1.0, 0.5));
+  set_paranoid(prev);
+}
+
+#endif  // PARFFT_PARANOID
+
+}  // namespace
+}  // namespace parfft::serve

@@ -1,0 +1,621 @@
+/// \file parfft_lint.cpp
+/// Determinism lint for the ParFFT tree.
+///
+/// Every performance number in this repository is a deterministic
+/// virtual-time estimate: seeded runs must be byte-identical (the fault
+/// layer's tests assert exactly that). The hazards that silently break
+/// such determinism are always the same few, so this checker scans the
+/// sources for them and fails the build when one appears:
+///
+///   wall-clock      wall-clock or entropy reads (system_clock::now,
+///                   time(), rand(), std::random_device, a
+///                   default-seeded mt19937): results would depend on the
+///                   host instead of the seed. All randomness must flow
+///                   through parfft::Rng (src/common/random.hpp), which
+///                   is why src/common is allowlisted.
+///   unordered-iter  iteration over std::unordered_map/set whose body
+///                   looks effectful (writes results, traces, reports):
+///                   unordered iteration order varies across libstdc++
+///                   versions and hash seeds, so anything emitted from
+///                   such a loop is nondeterministic. Order-insensitive
+///                   loops can be annotated (see below).
+///   float-eq        == / != against a floating-point literal in src/:
+///                   exact comparison against a computed double is almost
+///                   always a rounding-sensitive bug. Exact *sentinel*
+///                   comparisons (a value stored and compared untouched)
+///                   are fine and must say so with an allow annotation.
+///   include-hygiene a header that uses a common std:: component without
+///                   directly including its header: such headers compile
+///                   only by transitive luck and break standalone TUs
+///                   (the CMake header-self-sufficiency check compiles
+///                   each public header alone; this is the textual
+///                   counterpart with precise line numbers).
+///
+/// Allowlist mechanism: a line (or the line above it) containing
+///   // parfft-lint: allow(<rule>)
+/// suppresses findings of <rule> on that line. Files under src/common/
+/// are exempt from wall-clock (the blessed Rng lives there). The
+/// float-eq rule only applies under src/ -- tests legitimately compare
+/// doubles exactly when asserting byte-identical seeded runs.
+///
+/// Usage: parfft_lint [--expect=rule[,rule...]] <file-or-dir>...
+/// Directories are scanned recursively for .cpp/.hpp, skipping build/
+/// and lint_fixtures/ (explicit file arguments are always scanned, which
+/// is how the fixture tests drive the tool). With --expect, the exit
+/// status is inverted per rule: success means every listed rule fired at
+/// least once -- the negative-fixture mode ctest uses to prove each rule
+/// class actually catches its hazard.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct FileText {
+  std::string path;
+  std::vector<std::string> raw;      ///< original lines (for allow scan)
+  std::vector<std::string> code;     ///< comments/strings blanked out
+  std::set<std::pair<std::size_t, std::string>> allows;  ///< (line, rule)
+};
+
+/// True when `path` (generic form) contains the directory component
+/// `dir` (e.g. "src/common").
+bool path_contains(const std::string& path, const std::string& dir) {
+  return path.find(dir) != std::string::npos;
+}
+
+/// Blanks comments and string/char literal contents, preserving line
+/// structure so findings keep their line numbers. The allow directives
+/// are collected from comment text before it is erased.
+void strip(FileText& f) {
+  enum class St { Code, Line, Block, Str, Chr };
+  St st = St::Code;
+  f.code.reserve(f.raw.size());
+  for (std::size_t ln = 0; ln < f.raw.size(); ++ln) {
+    const std::string& in = f.raw[ln];
+    // Allow directives live in comments; scan the raw line.
+    const std::string tag = "parfft-lint: allow(";
+    for (std::size_t at = in.find(tag); at != std::string::npos;
+         at = in.find(tag, at + 1)) {
+      std::size_t b = at + tag.size();
+      const std::size_t e = in.find(')', b);
+      if (e == std::string::npos) break;
+      std::stringstream rules(in.substr(b, e - b));
+      std::string r;
+      while (std::getline(rules, r, ',')) {
+        r.erase(std::remove_if(r.begin(), r.end(), ::isspace), r.end());
+        // The directive suppresses its own line and the next one, so it
+        // can sit above the offending statement.
+        f.allows.insert({ln + 1, r});
+        f.allows.insert({ln + 2, r});
+      }
+    }
+    std::string out;
+    out.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (st) {
+        case St::Code:
+          if (c == '/' && n == '/') {
+            st = St::Line;
+            i = in.size();  // rest of line is comment
+          } else if (c == '/' && n == '*') {
+            st = St::Block;
+            out += "  ";
+            ++i;
+          } else if (c == '"') {
+            st = St::Str;
+            out += '"';
+          } else if (c == '\'') {
+            st = St::Chr;
+            out += '\'';
+          } else {
+            out += c;
+          }
+          break;
+        case St::Block:
+          if (c == '*' && n == '/') {
+            st = St::Code;
+            out += "  ";
+            ++i;
+          } else {
+            out += ' ';
+          }
+          break;
+        case St::Str:
+          if (c == '\\') {
+            out += "  ";
+            ++i;
+          } else if (c == '"') {
+            st = St::Code;
+            out += '"';
+          } else {
+            out += ' ';
+          }
+          break;
+        case St::Chr:
+          if (c == '\\') {
+            out += "  ";
+            ++i;
+          } else if (c == '\'') {
+            st = St::Code;
+            out += '\'';
+          } else {
+            out += ' ';
+          }
+          break;
+        case St::Line:
+          break;
+      }
+    }
+    if (st == St::Line) st = St::Code;  // // comments end with the line
+    f.code.push_back(std::move(out));
+  }
+}
+
+bool allowed(const FileText& f, std::size_t line1, const std::string& rule) {
+  return f.allows.count({line1, rule}) > 0 || f.allows.count({line1, "all"}) > 0;
+}
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Position of `token` in `s` at a word boundary, from `from`.
+std::size_t find_word(const std::string& s, const std::string& token,
+                      std::size_t from = 0) {
+  for (std::size_t p = s.find(token, from); p != std::string::npos;
+       p = s.find(token, p + 1)) {
+    const bool lb = p == 0 || !ident_char(s[p - 1]);
+    const std::size_t e = p + token.size();
+    const bool rb = e >= s.size() || !ident_char(s[e]);
+    if (lb && rb) return p;
+  }
+  return std::string::npos;
+}
+
+// ------------------------------------------------------------ wall-clock
+
+void check_wall_clock(const FileText& f, std::vector<Finding>& out) {
+  if (path_contains(f.path, "src/common/")) return;  // Rng + units live here
+  static const std::vector<std::pair<std::string, std::string>> kTokens = {
+      {"system_clock", "wall-clock read (std::chrono::system_clock)"},
+      {"steady_clock", "wall-clock read (std::chrono::steady_clock)"},
+      {"high_resolution_clock", "wall-clock read"},
+      {"gettimeofday", "wall-clock read (gettimeofday)"},
+      {"clock_gettime", "wall-clock read (clock_gettime)"},
+      {"random_device", "nondeterministic entropy (std::random_device)"},
+      {"rand", "C PRNG with hidden global state (rand)"},
+      {"srand", "C PRNG with hidden global state (srand)"},
+      {"getrandom", "nondeterministic entropy (getrandom)"},
+  };
+  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    if (allowed(f, ln + 1, "wall-clock")) continue;
+    for (const auto& [tok, why] : kTokens) {
+      std::size_t p = find_word(s, tok);
+      if (p == std::string::npos) continue;
+      // rand/srand only count as calls.
+      if ((tok == "rand" || tok == "srand")) {
+        std::size_t q = p + tok.size();
+        while (q < s.size() && s[q] == ' ') ++q;
+        if (q >= s.size() || s[q] != '(') continue;
+      }
+      out.push_back({f.path, ln + 1, "wall-clock",
+                     why + "; derive all timing/randomness from the seeded "
+                           "virtual clock or parfft::Rng"});
+      break;
+    }
+    // `time(` as a C-library call: the argument must look like time()'s
+    // time_t* parameter (nullptr/0/NULL/&x), which distinguishes it from
+    // a variable or constructor named `time`.
+    for (std::size_t p = find_word(s, "time"); p != std::string::npos;
+         p = find_word(s, "time", p + 1)) {
+      std::size_t q = p + 4;
+      while (q < s.size() && s[q] == ' ') ++q;
+      if (q >= s.size() || s[q] != '(') continue;
+      const bool member = p >= 1 && (s[p - 1] == '.' ||
+                                     (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>'));
+      if (member) continue;
+      std::size_t a = q + 1;
+      while (a < s.size() && s[a] == ' ') ++a;
+      const bool timey =
+          s.compare(a, 7, "nullptr") == 0 || s.compare(a, 4, "NULL") == 0 ||
+          (a < s.size() && s[a] == '&') ||
+          (a < s.size() && s[a] == '0' && a + 1 < s.size() && s[a + 1] == ')');
+      if (!timey) continue;
+      out.push_back({f.path, ln + 1, "wall-clock",
+                     "wall-clock read (time()); use virtual time"});
+      break;
+    }
+    // Default-constructed mt19937 seeds from a fixed default but is a
+    // smell: every engine must be seeded through parfft::Rng.
+    for (std::size_t p = find_word(s, "mt19937"); p != std::string::npos;
+         p = find_word(s, "mt19937", p + 1)) {
+      std::size_t q = p + 7;
+      if (q + 3 <= s.size() && s.compare(q, 3, "_64") == 0) q += 3;
+      while (q < s.size() && s[q] == ' ') ++q;
+      // Skip an optional variable name.
+      while (q < s.size() && ident_char(s[q])) ++q;
+      while (q < s.size() && s[q] == ' ') ++q;
+      const bool argless =
+          q >= s.size() || s[q] == ';' ||
+          (s[q] == '(' && q + 1 < s.size() && s[q + 1] == ')') ||
+          (s[q] == '{' && q + 1 < s.size() && s[q + 1] == '}');
+      if (argless) {
+        out.push_back({f.path, ln + 1, "wall-clock",
+                       "default-seeded mt19937; seed explicitly via "
+                       "parfft::Rng"});
+        break;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- unordered-iter
+
+/// Identifiers declared in this file as std::unordered_map/set.
+std::set<std::string> unordered_vars(const FileText& f) {
+  std::set<std::string> vars;
+  for (const std::string& s : f.code) {
+    for (const char* type : {"unordered_map", "unordered_set",
+                             "unordered_multimap", "unordered_multiset"}) {
+      std::size_t p = find_word(s, type);
+      if (p == std::string::npos) continue;
+      // Skip the template argument list to find the declared name.
+      std::size_t q = p + std::strlen(type);
+      if (q < s.size() && s[q] == '<') {
+        int depth = 0;
+        for (; q < s.size(); ++q) {
+          if (s[q] == '<') ++depth;
+          if (s[q] == '>' && --depth == 0) {
+            ++q;
+            break;
+          }
+        }
+      }
+      while (q < s.size() && (s[q] == ' ' || s[q] == '&' || s[q] == '*')) ++q;
+      std::size_t b = q;
+      while (q < s.size() && ident_char(s[q])) ++q;
+      if (q > b) vars.insert(s.substr(b, q - b));
+    }
+  }
+  return vars;
+}
+
+/// Does the statement starting at (line, col) -- the body of a for loop --
+/// look effectful? Scans the balanced braces (or the single statement) for
+/// sinks that leak iteration order into results, traces or reports.
+bool effectful_body(const FileText& f, std::size_t line, std::size_t col,
+                    std::size_t* end_line) {
+  static const std::vector<std::string> kSinks = {
+      "push_back", "emplace_back", "emplace",  "insert", "append", "add",
+      "observe",   "record",       "complete", "sample", "write",  "print",
+      "result",    "results",      "trace",    "tracer", "report", "rep",
+      "out",       "<<",           "+=",
+  };
+  int depth = 0;
+  bool braced = false;
+  std::string body;
+  std::size_t ln = line;
+  std::size_t i = col;
+  for (; ln < f.code.size(); ++ln, i = 0) {
+    const std::string& s = f.code[ln];
+    for (; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '{') {
+        ++depth;
+        braced = true;
+      } else if (c == '}') {
+        --depth;
+        if (braced && depth == 0) {
+          *end_line = ln;
+          goto scan;
+        }
+      } else if (c == ';' && !braced && depth == 0) {
+        *end_line = ln;
+        goto scan;
+      }
+      body += c;
+    }
+    body += '\n';
+  }
+  *end_line = f.code.size();
+scan:
+  for (const std::string& sink : kSinks) {
+    if (sink == "<<" || sink == "+=") {
+      if (body.find(sink) != std::string::npos) return true;
+    } else if (find_word(body, sink) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_unordered_iter(const FileText& f, std::vector<Finding>& out) {
+  const std::set<std::string> vars = unordered_vars(f);
+  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    std::size_t p = find_word(s, "for");
+    if (p == std::string::npos) continue;
+    std::size_t open = s.find('(', p);
+    if (open == std::string::npos) continue;
+    // Find the range expression of a range-for (text after ':' inside the
+    // for parens) or an iterator loop over `x.begin()`.
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < s.size(); ++close) {
+      if (s[close] == '(') ++depth;
+      if (s[close] == ')' && --depth == 0) break;
+    }
+    if (close >= s.size()) close = s.size();
+    const std::string head = s.substr(open + 1, close - open - 1);
+    bool over_unordered = false;
+    const std::size_t colon = head.find(':');
+    std::string range =
+        colon != std::string::npos ? head.substr(colon + 1) : head;
+    if (range.find("unordered_") != std::string::npos) over_unordered = true;
+    for (const std::string& v : vars) {
+      if (find_word(range, v) != std::string::npos) over_unordered = true;
+    }
+    if (!over_unordered) continue;
+    if (colon == std::string::npos &&
+        range.find(".begin") == std::string::npos &&
+        range.find(".cbegin") == std::string::npos)
+      continue;  // plain for over an index; order is the index order
+    std::size_t end_line = ln;
+    if (!effectful_body(f, ln, close + 1, &end_line)) continue;
+    if (allowed(f, ln + 1, "unordered-iter")) continue;
+    out.push_back(
+        {f.path, ln + 1, "unordered-iter",
+         "iteration over an unordered container feeds results/traces/"
+         "reports; unordered order is not deterministic across stdlibs -- "
+         "iterate a sorted view or use std::map"});
+  }
+}
+
+// -------------------------------------------------------------- float-eq
+
+bool float_literal_at(const std::string& s, std::size_t i, bool backwards) {
+  // Forward: digits '.' digits [exp]; also ".5". Backwards: scan left.
+  if (backwards) {
+    // Find the token ending at i (exclusive); it must look like a float.
+    std::size_t e = i;
+    while (e > 0 && s[e - 1] == ' ') --e;
+    std::size_t b = e;
+    while (b > 0 && (std::isdigit(static_cast<unsigned char>(s[b - 1])) ||
+                     s[b - 1] == '.' || s[b - 1] == 'e' || s[b - 1] == 'E' ||
+                     s[b - 1] == 'f' || s[b - 1] == 'F' || s[b - 1] == '+' ||
+                     s[b - 1] == '-'))
+      --b;
+    const std::string tok = s.substr(b, e - b);
+    if (b > 0 && ident_char(s[b - 1])) return false;  // identifier tail
+    return tok.find('.') != std::string::npos &&
+           tok.find_first_of("0123456789") != std::string::npos;
+  }
+  std::size_t b = i;
+  while (b < s.size() && s[b] == ' ') ++b;
+  if (b < s.size() && (s[b] == '+' || s[b] == '-')) ++b;
+  std::size_t d = b;
+  bool dot = false, digit = false;
+  while (d < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[d])) || s[d] == '.')) {
+    dot |= s[d] == '.';
+    digit |= std::isdigit(static_cast<unsigned char>(s[d])) != 0;
+    ++d;
+  }
+  if (d < s.size() && ident_char(s[d]) && s[d] != 'e' && s[d] != 'E' &&
+      s[d] != 'f' && s[d] != 'F')
+    return false;  // e.g. 1.5x -- not a literal (cannot happen in valid C++)
+  return dot && digit;
+}
+
+void check_float_eq(const FileText& f, std::vector<Finding>& out,
+                    bool explicit_file) {
+  if (!explicit_file && !path_contains(f.path, "src/")) return;
+  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      if (!((s[i] == '=' || s[i] == '!') && s[i + 1] == '=')) continue;
+      if (i > 0 && (s[i - 1] == '=' || s[i - 1] == '<' || s[i - 1] == '>'))
+        continue;  // ===, <=, >= fragments
+      if (i + 2 < s.size() && s[i + 2] == '=') continue;
+      const bool lhs = i > 0 && float_literal_at(s, i, /*backwards=*/true);
+      const bool rhs = float_literal_at(s, i + 2, /*backwards=*/false);
+      if (!lhs && !rhs) continue;
+      if (allowed(f, ln + 1, "float-eq")) continue;
+      out.push_back(
+          {f.path, ln + 1, "float-eq",
+           "exact ==/!= against a floating-point literal; computed doubles "
+           "compare unreliably -- use a tolerance, or annotate "
+           "'parfft-lint: allow(float-eq)' if this is an exact sentinel"});
+      ++i;
+    }
+  }
+}
+
+// ------------------------------------------------------- include-hygiene
+
+void check_include_hygiene(const FileText& f, std::vector<Finding>& out) {
+  if (f.path.size() < 4 || f.path.substr(f.path.size() - 4) != ".hpp") return;
+  // token -> acceptable headers (any one suffices).
+  static const std::vector<std::pair<std::string, std::vector<std::string>>>
+      kNeeds = {
+          {"std::vector", {"<vector>"}},
+          {"std::string", {"<string>"}},
+          {"std::map", {"<map>"}},
+          {"std::multimap", {"<map>"}},
+          {"std::unordered_map", {"<unordered_map>"}},
+          {"std::unordered_set", {"<unordered_set>"}},
+          {"std::set", {"<set>"}},
+          {"std::list", {"<list>"}},
+          {"std::deque", {"<deque>"}},
+          {"std::array", {"<array>"}},
+          {"std::optional", {"<optional>"}},
+          {"std::function", {"<functional>"}},
+          {"std::atomic", {"<atomic>"}},
+          {"std::mutex", {"<mutex>"}},
+          {"std::lock_guard", {"<mutex>"}},
+          {"std::unique_lock", {"<mutex>"}},
+          {"std::condition_variable", {"<condition_variable>"}},
+          {"std::thread", {"<thread>"}},
+          {"std::unique_ptr", {"<memory>"}},
+          {"std::shared_ptr", {"<memory>"}},
+          {"std::pair", {"<utility>"}},
+          {"std::uint64_t", {"<cstdint>"}},
+          {"std::int64_t", {"<cstdint>"}},
+          {"std::uint32_t", {"<cstdint>"}},
+          {"std::int32_t", {"<cstdint>"}},
+          {"std::uint8_t", {"<cstdint>"}},
+          {"std::size_t", {"<cstddef>", "<cstdint>", "<cstdio>", "<cstring>"}},
+          {"std::byte", {"<cstddef>"}},
+          {"std::complex", {"<complex>"}},
+          {"std::ostream", {"<iosfwd>", "<ostream>", "<iostream>"}},
+          {"std::istream", {"<iosfwd>", "<istream>", "<iostream>"}},
+      };
+  std::set<std::string> includes;
+  for (const std::string& s : f.raw) {
+    std::size_t p = s.find("#include");
+    if (p == std::string::npos) continue;
+    std::size_t b = s.find_first_of("<\"", p);
+    if (b == std::string::npos) continue;
+    std::size_t e = s.find_first_of(">\"", b + 1);
+    if (e == std::string::npos) continue;
+    includes.insert(s.substr(b, e - b + 1));
+  }
+  for (const auto& [token, headers] : kNeeds) {
+    bool have = false;
+    for (const std::string& h : headers) have |= includes.count(h) > 0;
+    if (have) continue;
+    for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
+      if (f.code[ln].find(token) == std::string::npos) continue;
+      // Word-boundary check on the tail component.
+      const std::size_t p = f.code[ln].find(token);
+      const std::size_t e = p + token.size();
+      if (e < f.code[ln].size() && ident_char(f.code[ln][e])) continue;
+      if (allowed(f, ln + 1, "include-hygiene")) continue;
+      out.push_back({f.path, ln + 1, "include-hygiene",
+                     "uses " + token + " without including " + headers[0] +
+                         "; headers must be self-sufficient"});
+      break;  // one finding per missing header per file
+    }
+  }
+}
+
+// ----------------------------------------------------------------- driver
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+void collect(const fs::path& root, std::vector<std::pair<fs::path, bool>>& out) {
+  if (fs::is_regular_file(root)) {
+    out.push_back({root, /*explicit_file=*/true});
+    return;
+  }
+  if (!fs::is_directory(root)) {
+    std::cerr << "parfft_lint: no such file or directory: " << root << "\n";
+    std::exit(2);
+  }
+  std::vector<fs::path> files;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const std::string name = it->path().filename().string();
+    if (it->is_directory() && (name == "build" || name == "lint_fixtures" ||
+                               name == ".git")) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && scannable(it->path()))
+      files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+  for (const fs::path& p : files) out.push_back({p, false});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> expect;
+  std::vector<std::pair<fs::path, bool>> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--expect=", 0) == 0) {
+      std::stringstream ss(arg.substr(9));
+      std::string r;
+      while (std::getline(ss, r, ',')) expect.push_back(r);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: parfft_lint [--expect=rule,...] <file-or-dir>...\n"
+                   "rules: wall-clock unordered-iter float-eq "
+                   "include-hygiene\n";
+      return 0;
+    } else {
+      collect(arg, files);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "parfft_lint: no inputs\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [path, explicit_file] : files) {
+    FileText f;
+    f.path = fs::path(path).generic_string();
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "parfft_lint: cannot read " << f.path << "\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) f.raw.push_back(line);
+    strip(f);
+    check_wall_clock(f, findings);
+    check_unordered_iter(f, findings);
+    check_float_eq(f, findings, explicit_file);
+    check_include_hygiene(f, findings);
+  }
+
+  for (const Finding& v : findings)
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+
+  if (!expect.empty()) {
+    // Negative-fixture mode: succeed iff every expected rule fired.
+    bool ok = true;
+    for (const std::string& r : expect) {
+      const bool hit = std::any_of(findings.begin(), findings.end(),
+                                   [&](const Finding& v) { return v.rule == r; });
+      if (!hit) {
+        std::cerr << "parfft_lint: expected a '" << r
+                  << "' violation but none was found\n";
+        ok = false;
+      }
+    }
+    return ok ? 0 : 1;
+  }
+  if (!findings.empty()) {
+    std::cerr << "parfft_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
