@@ -1,0 +1,263 @@
+/// \file perf_baseline.cpp
+/// Pinned perf-regression suite. Runs a fixed set of simulations -- the
+/// Fig. 6 breakdown pair, one Fig. 8 scaling point, a serve_throughput
+/// smoke config and a fault_sweep smoke config -- and emits every number
+/// worth guarding as machine-readable JSON (BENCH_parfft.json).
+///
+/// Everything is deterministic virtual time, so the committed baseline
+/// (bench/baselines/BENCH_parfft.json) is comparable across machines;
+/// tools/perfdiff diffs two such files with tolerances and exits nonzero
+/// on regression. ctest runs this under `-L perf`; CI uploads the JSON.
+///
+/// Schema (consumed by tools/perfdiff):
+///   { "schema": "parfft-bench-v1",
+///     "metrics": { "<name>": {"v": <number>, "dir": "lower"|"higher"} },
+///     "serve_report": {...}, "fault_report": {...} }
+/// "dir" says which direction is *better*; perfdiff flags moves the
+/// wrong way beyond tolerance.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "obs/analysis.hpp"
+#include "obs/session.hpp"
+#include "serve/server.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260806;
+
+struct Metric {
+  std::string name;
+  double value = 0;
+  const char* dir = "lower";  ///< which direction is better
+};
+
+std::vector<Metric>& metrics() {
+  static std::vector<Metric> m;
+  return m;
+}
+
+void put(const std::string& name, double value, const char* dir = "lower") {
+  metrics().push_back({name, value, dir});
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// The RunTrace recorded by the immediately preceding traced simulate().
+const obs::RunTrace& last_run() {
+  const auto runs = obs::Session::global().runs();
+  PARFFT_CHECK(!runs.empty(), "traced run expected");
+  return *runs.back();
+}
+
+/// Fig. 6 pair on 24 GPUs, traced; attribution + residuals come from the
+/// Alltoallv variant (the paper's winner).
+void suite_fig06(std::ostream& heatmap_csv) {
+  core::SimConfig a = experiment512(24);
+  a.options.backend = core::Backend::Alltoall;
+  a.options.contiguous_fft = true;
+  const auto ra = core::simulate(a);
+  put("fig06.alltoall.total_per_fft", ra.kernels.total());
+  put("fig06.alltoall.comm", ra.kernels.comm);
+
+  core::SimConfig v = experiment512(24);
+  v.options.backend = core::Backend::Alltoallv;
+  v.options.contiguous_fft = false;
+  v.options.trace.enabled = true;
+  const auto rv = core::simulate(v);
+  put("fig06.alltoallv.total_per_fft", rv.kernels.total());
+  put("fig06.alltoallv.comm", rv.kernels.comm);
+  put("fig06.alltoallv.fft", rv.kernels.fft);
+  put("fig06.alltoallv.pack", rv.kernels.pack);
+
+  const obs::RunTrace& run = last_run();
+  const obs::CriticalPath cp = obs::critical_path(run);
+  const obs::PathAttribution at = cp.attribution();
+  put("fig06.path.makespan", cp.makespan);
+  put("fig06.path.comms_frac", at.comms / cp.makespan);
+  put("fig06.path.wait_frac", at.wait / cp.makespan);
+  put("fig06.path.untracked", cp.untracked);
+  put("fig06.path.hidden_compute", at.hidden_compute, "higher");
+
+  const auto res = obs::bandwidth_residuals(run);
+  double mean_abs = 0;
+  int flagged = 0;
+  for (const auto& r : res) {
+    mean_abs += std::abs(r.residual);
+    flagged += r.flagged ? 1 : 0;
+  }
+  if (!res.empty()) mean_abs /= static_cast<double>(res.size());
+  put("fig06.residual.mean_abs", mean_abs);
+  put("fig06.residual.flagged", flagged);
+
+  write_attribution_report(run, std::cout);
+  const obs::LinkHeatmap hm = obs::link_heatmap(run);
+  obs::write_heatmap_csv(hm, heatmap_csv);
+}
+
+/// One Fig. 8 scaling point (96 GPUs, both transfer modes).
+void suite_fig08() {
+  for (const bool aware : {true, false}) {
+    core::SimConfig cfg = experiment512(96);
+    cfg.options.backend = core::Backend::Alltoallv;
+    cfg.gpu_aware = aware;
+    const auto rep = core::simulate(cfg);
+    const std::string key = aware ? "fig08.gpus96.aware" : "fig08.gpus96.staged";
+    put(key + ".total_per_fft", rep.per_transform);
+    put(key + ".comm", rep.kernels.comm);
+  }
+}
+
+serve::ClusterConfig cluster() {
+  serve::ClusterConfig c;
+  c.machine = net::summit();
+  c.device = gpu::v100();
+  c.nranks = 12;  // two Summit nodes
+  return c;
+}
+
+serve::JobShape cube(int n) {
+  serve::JobShape s;
+  s.n = {n, n, n};
+  s.options.decomp = core::Decomposition::Pencil;
+  s.options.overlap_batches = true;
+  return s;
+}
+
+double unit_time(const serve::ClusterConfig& c, const serve::JobShape& s) {
+  core::Simulator sim(serve::to_sim_config(c, s));
+  return sim.transform_time(1);
+}
+
+/// serve_throughput's batch<=8 smoke cell, pinned.
+serve::ServeReport suite_serve() {
+  const serve::ClusterConfig c = cluster();
+  const std::vector<serve::ShapeMix> mix = {
+      {cube(64), 4.0}, {cube(128), 2.0}, {cube(32), 1.0}};
+  const double t1 = unit_time(c, mix[0].shape);
+  serve::ServerConfig cfg;
+  cfg.cluster = c;
+  for (const auto& m : mix) cfg.shapes.push_back(m.shape);
+  cfg.batching.enabled = true;
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_delay = 4 * t1;
+  cfg.label = "perf/serve";
+  serve::Server server(cfg);
+  serve::OpenLoopWorkload load(mix, 4.0 / t1, /*requests=*/400, /*tenants=*/4,
+                               kSeed);
+  const serve::ServeReport rep = server.run(load);
+  put("serve.throughput", rep.throughput, "higher");
+  put("serve.completed", static_cast<double>(rep.completed), "higher");
+  put("serve.p99", rep.latency.p99);
+  put("serve.utilization", rep.utilization, "higher");
+  put("serve.mean_batch", rep.mean_batch, "higher");
+  const double lookups =
+      static_cast<double>(rep.cache_hits + rep.cache_misses);
+  put("serve.cache_hit_rate",
+      lookups > 0 ? static_cast<double>(rep.cache_hits) / lookups : 0.0,
+      "higher");
+  return rep;
+}
+
+/// fault_sweep's mtbf=50xt1 / retry-x4 smoke cell, pinned.
+serve::ServeReport suite_fault() {
+  const serve::ClusterConfig c = cluster();
+  const std::vector<serve::ShapeMix> mix = {{cube(64), 3.0}, {cube(32), 1.0}};
+  const double t1 = unit_time(c, mix[0].shape);
+  const double rate = 1.5 / t1;
+  const std::uint64_t requests = 300;
+  serve::ServerConfig cfg;
+  cfg.cluster = c;
+  for (const auto& m : mix) cfg.shapes.push_back(m.shape);
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_delay = 2 * t1;
+  serve::FaultSpec spec;
+  spec.seed = kSeed;
+  spec.horizon = 2.5 * static_cast<double>(requests) / rate;
+  spec.crash_mtbf = 50 * t1;
+  spec.crash_mttr = 5 * t1;
+  cfg.faults = serve::FaultPlan::generate(spec);
+  cfg.retry.max_attempts = 4;
+  cfg.retry.backoff_base = 0.5 * t1;
+  cfg.retry.backoff_cap = 8 * t1;
+  cfg.retry.jitter_seed = kSeed;
+  cfg.retry.deadline = 60 * t1;
+  cfg.shed_expired = true;
+  cfg.label = "perf/fault";
+  serve::Server server(cfg);
+  serve::OpenLoopWorkload load(mix, rate, requests, /*tenants=*/4, kSeed);
+  const serve::ServeReport rep = server.run(load);
+  put("fault.goodput", rep.goodput, "higher");
+  put("fault.p99", rep.latency.p99);
+  put("fault.failed", static_cast<double>(rep.failed));
+  put("fault.retry_amplification", rep.retry_amplification);
+  if (!rep.recovery_times.empty())
+    put("fault.mean_recovery", rep.mean_recovery);
+  return rep;
+}
+
+void write_bench_json(std::ostream& os, const serve::ServeReport& serve_rep,
+                      const serve::ServeReport& fault_rep) {
+  os << "{\n  \"schema\": \"parfft-bench-v1\",\n  \"suite\": "
+        "\"perf_baseline\",\n  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics().size(); ++i) {
+    const Metric& m = metrics()[i];
+    os << "    \"" << m.name << "\": {\"v\": " << fmt(m.value)
+       << ", \"dir\": \"" << m.dir << "\"}"
+       << (i + 1 < metrics().size() ? ",\n" : "\n");
+  }
+  os << "  },\n  \"serve_report\": ";
+  serve_rep.write_json(os);
+  os << ",\n  \"fault_report\": ";
+  fault_rep.write_json(os);
+  os << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_parfft.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+
+  banner("perf_baseline",
+         "pinned perf suite: fig06/fig08 breakdowns + serve/fault smoke",
+         "deterministic virtual-time numbers; diff against "
+         "bench/baselines/BENCH_parfft.json with tools/perfdiff");
+
+  std::string heatmap_out = out;
+  if (heatmap_out.size() > 5 &&
+      heatmap_out.rfind(".json") == heatmap_out.size() - 5)
+    heatmap_out.resize(heatmap_out.size() - 5);
+  heatmap_out += "_heatmap.csv";
+
+  std::ofstream heatmap_csv(heatmap_out);
+  PARFFT_CHECK(static_cast<bool>(heatmap_csv),
+               "cannot open heatmap output " + heatmap_out);
+  suite_fig06(heatmap_csv);
+  suite_fig08();
+  const serve::ServeReport serve_rep = suite_serve();
+  const serve::ServeReport fault_rep = suite_fault();
+
+  std::ofstream f(out);
+  PARFFT_CHECK(static_cast<bool>(f), "cannot open output " + out);
+  write_bench_json(f, serve_rep, fault_rep);
+  std::printf("\nwrote %zu metrics to %s (heatmap: %s)\n", metrics().size(),
+              out.c_str(), heatmap_out.c_str());
+  return 0;
+}

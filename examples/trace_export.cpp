@@ -10,7 +10,9 @@
 /// exchange / wait) nested under per-transform and per-reshape parents.
 ///
 /// Build & run:  ./examples/trace_export
-/// Output path:  $PARFFT_TRACE if set, else trace_export.json
+/// Output path:  $PARFFT_TRACE if set, else trace_export.json in the
+/// build's examples directory (PARFFT_TRACE_EXPORT_DEFAULT, injected by
+/// CMake) -- never the source tree.
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,10 +65,15 @@ int main() {
   cfg.options.trace.enabled = true;
   const core::SimReport rep = core::simulate(cfg);
 
-  // Export everything recorded so far.
+  // Export everything recorded so far. The default lands in the build
+  // tree (ctest runs from arbitrary CWDs; the repo root must stay clean).
+#ifndef PARFFT_TRACE_EXPORT_DEFAULT
+#define PARFFT_TRACE_EXPORT_DEFAULT "trace_export.json"
+#endif
   obs::Session& session = obs::Session::global();
   const char* env = std::getenv("PARFFT_TRACE");
-  const std::string path = env != nullptr ? env : "trace_export.json";
+  const std::string path =
+      env != nullptr ? env : PARFFT_TRACE_EXPORT_DEFAULT;
   {
     std::ofstream os(path);
     if (!os) {

@@ -106,4 +106,25 @@ void ascii_bars(std::ostream& os,
   }
 }
 
+void ascii_heatmap(std::ostream& os, const std::vector<std::string>& labels,
+                   const std::vector<std::vector<double>>& values,
+                   const std::string& footer) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+  std::size_t label_w = 0;
+  for (const std::string& l : labels) label_w = std::max(label_w, l.size());
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    const std::string& name = r < labels.size() ? labels[r] : "";
+    os << "  " << name << std::string(label_w - name.size(), ' ') << " |";
+    for (double v : values[r]) {
+      const int level = static_cast<int>(
+          std::lround(std::clamp(v, 0.0, 1.0) * kLevels));
+      os << kRamp[level];
+    }
+    os << "|\n";
+  }
+  if (!footer.empty())
+    os << "  " << std::string(label_w, ' ') << "  " << footer << '\n';
+}
+
 }  // namespace parfft

@@ -38,4 +38,12 @@ void ascii_bars(std::ostream& os,
                 const std::vector<std::pair<std::string, double>>& bars,
                 const std::string& unit, int width = 56);
 
+/// Renders a labelled intensity heatmap: one row per label, one character
+/// per value, mapping [0, 1] onto the ramp " .:-=+*#%@" (values outside
+/// are clamped). `footer` is printed under the grid (axis description).
+/// Used for the per-link contention heatmaps of obs/analysis.hpp.
+void ascii_heatmap(std::ostream& os, const std::vector<std::string>& labels,
+                   const std::vector<std::vector<double>>& values,
+                   const std::string& footer = "");
+
 }  // namespace parfft

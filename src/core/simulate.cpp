@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "core/pack.hpp"
@@ -62,6 +63,16 @@ class StageRunner {
     double max_pack = 0, max_unpack = 0;
     net::PhaseTimes phase;
     net::LinkStats stats;  ///< filled only when tracing is on
+    // Calibration for obs::ExchangeRecord (filled only when tracing is
+    // on): the busiest sender's remote traffic, and the uncontended
+    // bandwidth / fixed per-message cost a representative message of this
+    // exchange measures against the idle fabric (the B and L of
+    // model eqs. (2)-(5)).
+    double bytes_total = 0;
+    double max_rank_bytes = 0;
+    int max_rank_msgs = 0;
+    double model_bw = 0;
+    double per_msg_cost = 0;
   };
 
   const ReshapeCosts& reshape_costs(const Stage& s, std::size_t idx) {
@@ -105,7 +116,42 @@ class StageRunner {
     rc.phase = cost_.exchange(group, rp.send_matrix(batch),
                               to_alg(plan_.options.backend), mode(),
                               cfg_.flavor, run_ ? &rc.stats : nullptr);
+    if (run_ != nullptr) calibrate_exchange(rp, batch, rc);
     return rc;
+  }
+
+  /// Measures the busiest sender's traffic and the uncontended (B, L)
+  /// pair for this exchange. Read-only over the fabric: single_flow_time
+  /// and point_to_point are const, so tracing never perturbs the run.
+  void calibrate_exchange(const ReshapePlan& rp, int batch, ReshapeCosts& rc) {
+    int busiest = -1, busiest_peer = -1;
+    for (int r = 0; r < plan_.nranks; ++r) {
+      double sent = 0;
+      int msgs = 0, peer = -1;
+      for (const Transfer& tr : rp.sends(r)) {
+        if (tr.peer == r) continue;  // local copy, not a message
+        sent +=
+            static_cast<double>(tr.region.count() * batch) * sizeof(cplx);
+        ++msgs;
+        if (peer < 0) peer = tr.peer;
+      }
+      rc.bytes_total += sent;
+      if (msgs > 0 && sent > rc.max_rank_bytes) {
+        rc.max_rank_bytes = sent;
+        rc.max_rank_msgs = msgs;
+        busiest = r;
+        busiest_peer = peer;
+      }
+    }
+    if (busiest < 0) return;  // nothing leaves any rank
+    const double rep_bytes = rc.max_rank_bytes / rc.max_rank_msgs;
+    const double transport = cost_.flowsim().single_flow_time(
+        busiest, busiest_peer, rep_bytes, mode());
+    if (transport > 0) rc.model_bw = rep_bytes / transport;
+    rc.per_msg_cost = std::max(
+        cost_.point_to_point(busiest, busiest_peer, rep_bytes, mode()) -
+            transport,
+        0.0);
   }
 
   void run_reshape(const Stage& s, std::size_t idx) {
@@ -193,6 +239,31 @@ class StageRunner {
         run_->counter_sample("link/" + l.name + " GB/s", base + t,
                              rate / 1e9);
     }
+
+    // Exchange-phase record for obs/analysis.hpp (residuals + heatmaps):
+    // netsim's LinkStats is converted here so obs stays netsim-free.
+    obs::ExchangeRecord rec;
+    rec.name = backend_name(plan_.options.backend);
+    rec.begin = base;
+    rec.duration = rc.phase.total;
+    rec.nranks = plan_.nranks;
+    rec.bytes_total = rc.bytes_total;
+    rec.max_rank_bytes = rc.max_rank_bytes;
+    rec.max_rank_msgs = rc.max_rank_msgs;
+    rec.model_bandwidth = rc.model_bw;
+    rec.per_message_cost = rc.per_msg_cost;
+    rec.links.reserve(rc.stats.links.size());
+    for (const net::LinkStats::Link& l : rc.stats.links) {
+      if (l.capacity <= 0 || l.bytes <= 0) continue;
+      obs::LinkUsage u;
+      u.name = l.name;
+      u.cls = net::link_class_name(l.name);
+      u.capacity = l.capacity;
+      u.bytes = l.bytes;
+      u.samples = l.samples;
+      rec.links.push_back(std::move(u));
+    }
+    run_->add_exchange(std::move(rec));
   }
 
   void run_fft(const Stage& s) {

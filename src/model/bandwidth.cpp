@@ -107,4 +107,23 @@ double comm_lower_bound(double n_elements, int nprocs, double bandwidth) {
          (std::pow(static_cast<double>(nprocs), 5.0 / 6.0) * bandwidth);
 }
 
+double predicted_exchange_time(int msgs, double bytes, double bandwidth,
+                               double per_message_cost) {
+  PARFFT_CHECK(msgs >= 0 && bytes >= 0 && per_message_cost >= 0,
+               "bad exchange parameters");
+  const double fixed = msgs * per_message_cost;
+  if (bytes <= 0) return fixed;
+  PARFFT_CHECK(bandwidth > 0, "bad model bandwidth");
+  return fixed + bytes / bandwidth;
+}
+
+double achieved_exchange_bandwidth(int msgs, double bytes, double t_measured,
+                                   double per_message_cost) {
+  PARFFT_CHECK(msgs >= 0 && bytes >= 0 && per_message_cost >= 0,
+               "bad exchange parameters");
+  const double stream = t_measured - msgs * per_message_cost;
+  if (stream <= 0 || bytes <= 0) return 0;
+  return bytes / stream;
+}
+
 }  // namespace parfft::model

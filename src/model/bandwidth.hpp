@@ -72,4 +72,21 @@ PowerFit fit_power_law(const std::vector<std::pair<double, double>>& samples);
 /// torus-like machine: Omega(16N / (P^(5/6) * B)).
 double comm_lower_bound(double n_elements, int nprocs, double bandwidth);
 
+/// Post-hoc form of eqs. (2)/(3), usable on any recorded exchange: the
+/// busiest rank sends `msgs` messages totalling `bytes`, each paying the
+/// fixed `per_message_cost` (the L + per-message overhead a lone message
+/// of representative size measures on the idle fabric) and streaming at
+/// the uncontended per-flow `bandwidth` B. Returns
+///   msgs * per_message_cost + bytes / bandwidth.
+/// Eq. (2) is the special case msgs = P-1, bytes = 16N(P-1)/P^2.
+double predicted_exchange_time(int msgs, double bytes, double bandwidth,
+                               double per_message_cost);
+
+/// Post-hoc form of eqs. (4)/(5): inverts a measured exchange duration
+/// into the achieved per-flow bandwidth,
+///   bytes / (t_measured - msgs * per_message_cost),
+/// clamped to 0 when the fixed costs already exceed the measurement.
+double achieved_exchange_bandwidth(int msgs, double bytes, double t_measured,
+                                   double per_message_cost);
+
 }  // namespace parfft::model

@@ -40,6 +40,14 @@ void FlowSim::set_nic_scale(double scale) {
   nic_scale_ = scale;
 }
 
+std::string link_class_name(const std::string& link_name) {
+  if (link_name.rfind("dev_", 0) == 0) return "nvlink";
+  if (link_name.rfind("nic_", 0) == 0) return "nic";
+  if (link_name.rfind("host_stage", 0) == 0) return "host";
+  if (link_name == "core") return "core";
+  return "other";
+}
+
 namespace {
 
 /// Human-readable link name for the layout documented in FlowSim::run.

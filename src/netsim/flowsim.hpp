@@ -64,6 +64,13 @@ struct LinkStats {
   std::vector<Link> links;
 };
 
+/// Classifies a LinkStats link name into its hardware class:
+/// "dev_out/3" / "dev_in/3" -> "nvlink" (intra-node device fabric),
+/// "nic_out/node0" / "nic_in/node0" -> "nic" (injection links),
+/// "host_stage/node0" -> "host" (staging copies), "core" -> "core"
+/// (inter-switch fat-tree core). Unknown names map to "other".
+std::string link_class_name(const std::string& link_name);
+
 class FlowSim {
  public:
   /// The fabric for `nranks` ranks mapped by `map`; link capacities come

@@ -1,0 +1,349 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <utility>
+
+#include "common/ascii_plot.hpp"
+#include "common/error.hpp"
+#include "model/bandwidth.hpp"
+
+namespace parfft::obs {
+
+namespace {
+
+/// Structural spans wrap leaves and are skipped by the chain walk:
+/// Transform/Reshape are parents, Request covers a whole serving-layer
+/// job (it overlaps the execution spans recorded beneath it).
+bool structural(Category c) {
+  return c == Category::Transform || c == Category::Reshape ||
+         c == Category::Request;
+}
+
+bool is_compute(Category c) {
+  return c == Category::Fft || c == Category::Pack ||
+         c == Category::Unpack || c == Category::Scale;
+}
+
+bool is_comms(Category c) {
+  return c == Category::Exchange || c == Category::Send ||
+         c == Category::Collective;
+}
+
+/// Synchronizing spans begin at a group-wide barrier instant: every
+/// participating rank enters together, so the chain's dependency at the
+/// span's begin is the straggler that released the barrier.
+bool synchronizing(Category c) {
+  return c == Category::Exchange || c == Category::Collective;
+}
+
+/// Per-rank leaf timeline, sorted by (end, begin) so the chain walk can
+/// consume spans back to front with a cursor.
+struct RankTimeline {
+  std::vector<const Span*> leaves;
+  std::ptrdiff_t cursor = -1;  ///< index of the next span to consume
+};
+
+}  // namespace
+
+double CriticalPath::total() const {
+  double t = 0;
+  for (const PathStep& s : steps) t += s.dur;
+  return t;
+}
+
+PathAttribution CriticalPath::attribution() const {
+  PathAttribution a;
+  for (const PathStep& s : steps) {
+    if (s.untracked || s.cat == Category::Wait || s.cat == Category::Fault ||
+        s.cat == Category::Retry) {
+      a.wait += s.dur;
+    } else if (is_comms(s.cat)) {
+      a.comms += s.dur;
+    } else {
+      a.compute += s.dur;
+    }
+  }
+  a.hidden_compute = hidden_compute;
+  return a;
+}
+
+CriticalPath critical_path(const RunTrace& run) {
+  CriticalPath out;
+  const int R = run.nranks();
+  std::vector<RankTimeline> tl(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    RankTimeline& t = tl[static_cast<std::size_t>(r)];
+    for (const Span& s : run.tracer.spans(r))
+      if (!structural(s.cat)) t.leaves.push_back(&s);
+    std::sort(t.leaves.begin(), t.leaves.end(),
+              [](const Span* a, const Span* b) {
+                if (a->end() != b->end()) return a->end() < b->end();
+                return a->begin < b->begin;
+              });
+    t.cursor = static_cast<std::ptrdiff_t>(t.leaves.size()) - 1;
+    if (!t.leaves.empty())
+      out.makespan = std::max(out.makespan, t.leaves.back()->end());
+  }
+  if (out.makespan <= 0) return out;
+  const double eps = 1e-9 * (1.0 + out.makespan);
+
+  // The straggler at barrier instant `T`: the rank whose latest
+  // unconsumed non-wait work ends last at or before T. Wait spans ending
+  // at T are barrier filler on the non-critical ranks and never carry
+  // the dependency.
+  auto straggler = [&](double T) {
+    int best = 0;
+    double best_end = -1;
+    for (int r = 0; r < R; ++r) {
+      const RankTimeline& t = tl[static_cast<std::size_t>(r)];
+      for (std::ptrdiff_t i = t.cursor; i >= 0; --i) {
+        const Span* s = t.leaves[static_cast<std::size_t>(i)];
+        if (s->end() > T + eps) continue;
+        if (s->cat == Category::Wait && s->end() > T - eps) continue;
+        if (s->end() > best_end + eps) {
+          best_end = s->end();
+          best = r;
+        }
+        break;
+      }
+    }
+    return best;
+  };
+
+  int rank = straggler(out.makespan);
+  double T = out.makespan;
+  std::vector<PathStep> rev;
+  while (T > eps) {
+    RankTimeline& t = tl[static_cast<std::size_t>(rank)];
+    // Latest unconsumed span of `rank` ending at or before T.
+    const Span* s = nullptr;
+    while (t.cursor >= 0) {
+      const Span* c = t.leaves[static_cast<std::size_t>(t.cursor)];
+      if (c->end() <= T + eps) {
+        s = c;
+        break;
+      }
+      --t.cursor;
+    }
+    if (s == nullptr) {
+      // Nothing recorded before T on this rank: untracked lead-in.
+      rev.push_back({rank, Category::Wait, "(untracked)", 0, T, true});
+      break;
+    }
+    if (s->end() < T - eps) {
+      // Gap between the chain and the previous span: untracked time.
+      rev.push_back(
+          {rank, Category::Wait, "(untracked)", s->end(), T - s->end(), true});
+      T = s->end();
+      continue;
+    }
+    rev.push_back({rank, s->cat, s->name, s->begin, s->dur, false});
+    --t.cursor;
+    T = s->begin;
+    if (synchronizing(s->cat)) rank = straggler(T);
+  }
+  out.steps.assign(rev.rbegin(), rev.rend());
+  for (const PathStep& s : out.steps) {
+    out.by_category[s.cat] += s.dur;
+    if (s.untracked) out.untracked += s.dur;
+  }
+
+  // Overlap-hidden compute: compute spans (any rank) that execute while
+  // the critical chain sits inside a comms step. The chain's own steps
+  // are disjoint in time, so path compute never double-counts here.
+  std::vector<std::pair<double, double>> comm_windows;
+  for (const PathStep& s : out.steps)
+    if (!s.untracked && is_comms(s.cat))
+      comm_windows.push_back({s.begin, s.end()});
+  if (!comm_windows.empty() && R > 0) {
+    double hidden = 0;
+    for (const RankTimeline& t : tl) {
+      for (const Span* s : t.leaves) {
+        if (!is_compute(s->cat)) continue;
+        for (const auto& [w0, w1] : comm_windows) {
+          const double o = std::min(s->end(), w1) - std::max(s->begin, w0);
+          if (o > 0) hidden += o;
+        }
+      }
+    }
+    out.hidden_compute = hidden / R;
+  }
+  return out;
+}
+
+std::vector<ExchangeResidual> bandwidth_residuals(const RunTrace& run,
+                                                  double flag_threshold) {
+  std::vector<ExchangeResidual> out;
+  for (const ExchangeRecord& rec : run.exchanges()) {
+    ExchangeResidual r;
+    r.name = rec.name;
+    r.begin = rec.begin;
+    r.measured = rec.duration;
+    r.model_bw = rec.model_bandwidth;
+    r.predicted = model::predicted_exchange_time(
+        rec.max_rank_msgs, rec.max_rank_bytes, rec.model_bandwidth,
+        rec.per_message_cost);
+    r.achieved_bw = model::achieved_exchange_bandwidth(
+        rec.max_rank_msgs, rec.max_rank_bytes, rec.duration,
+        rec.per_message_cost);
+    r.residual =
+        r.predicted > 0 ? (r.measured - r.predicted) / r.predicted : 0.0;
+    r.flagged = std::abs(r.residual) > flag_threshold;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+namespace {
+
+/// Fixed display order of the link classes (fast fabric outward).
+int class_order(const std::string& cls) {
+  if (cls == "nvlink") return 0;
+  if (cls == "nic") return 1;
+  if (cls == "host") return 2;
+  if (cls == "core") return 3;
+  return 4;
+}
+
+struct RowAcc {
+  double capacity = 0;
+  std::vector<double> num;  ///< integral of allocated rate per bucket
+  std::vector<double> den;  ///< integral of capacity per bucket
+};
+
+}  // namespace
+
+LinkHeatmap link_heatmap(const RunTrace& run, int buckets, bool per_link) {
+  PARFFT_CHECK(buckets >= 1, "heatmap needs at least one bucket");
+  LinkHeatmap hm;
+  const std::vector<ExchangeRecord> recs = run.exchanges();
+  for (const ExchangeRecord& rec : recs)
+    hm.t1 = std::max(hm.t1, rec.begin + rec.duration);
+  if (hm.t1 <= 0) return hm;
+  const double bucket = (hm.t1 - hm.t0) / buckets;
+
+  std::map<std::string, RowAcc> rows;
+  auto accumulate = [&](RowAcc& acc, double a, double b, double rate,
+                        double capacity) {
+    // Spread the [a, b) segment at `rate` over the buckets it touches.
+    if (b <= a) return;
+    int i0 = static_cast<int>((a - hm.t0) / bucket);
+    i0 = std::clamp(i0, 0, buckets - 1);
+    for (int i = i0; i < buckets; ++i) {
+      const double lo = hm.t0 + i * bucket;
+      const double hi = lo + bucket;
+      if (lo >= b) break;
+      const double overlap = std::min(b, hi) - std::max(a, lo);
+      if (overlap <= 0) continue;
+      acc.num[static_cast<std::size_t>(i)] += rate * overlap;
+      acc.den[static_cast<std::size_t>(i)] += capacity * overlap;
+    }
+  };
+
+  for (const ExchangeRecord& rec : recs) {
+    for (const LinkUsage& l : rec.links) {
+      if (l.capacity <= 0) continue;
+      const std::string key = per_link ? l.name : l.cls;
+      RowAcc& acc = rows[key];
+      if (acc.num.empty()) {
+        acc.num.assign(static_cast<std::size_t>(buckets), 0.0);
+        acc.den.assign(static_cast<std::size_t>(buckets), 0.0);
+      }
+      acc.capacity = std::max(acc.capacity, l.capacity);
+      for (std::size_t i = 0; i < l.samples.size(); ++i) {
+        const double a = rec.begin + l.samples[i].first;
+        const double b = i + 1 < l.samples.size()
+                             ? rec.begin + l.samples[i + 1].first
+                             : rec.begin + rec.duration;
+        accumulate(acc, a, b, l.samples[i].second, l.capacity);
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, const RowAcc*>> ordered;
+  ordered.reserve(rows.size());
+  for (const auto& [key, acc] : rows) ordered.push_back({key, &acc});
+  std::sort(ordered.begin(), ordered.end(),
+            [&](const auto& a, const auto& b) {
+              const int oa = class_order(per_link ? "" : a.first);
+              const int ob = class_order(per_link ? "" : b.first);
+              if (oa != ob) return oa < ob;
+              return a.first < b.first;
+            });
+  for (const auto& [key, acc] : ordered) {
+    LinkHeatmap::Row row;
+    row.label = key;
+    row.capacity = acc->capacity;
+    row.util.resize(static_cast<std::size_t>(buckets), 0.0);
+    for (int i = 0; i < buckets; ++i) {
+      const auto b = static_cast<std::size_t>(i);
+      row.util[b] = acc->den[b] > 0 ? acc->num[b] / acc->den[b] : 0.0;
+    }
+    hm.rows.push_back(std::move(row));
+  }
+  return hm;
+}
+
+void write_heatmap_csv(const LinkHeatmap& hm, std::ostream& os) {
+  os << "link";
+  const std::size_t buckets = hm.rows.empty() ? 0 : hm.rows[0].util.size();
+  const double w = hm.bucket_seconds();
+  for (std::size_t i = 0; i < buckets; ++i)
+    os << ",t" << hm.t0 + static_cast<double>(i) * w;
+  os << "\n";
+  for (const LinkHeatmap::Row& row : hm.rows) {
+    os << row.label;
+    for (double u : row.util) os << ',' << u;
+    os << "\n";
+  }
+}
+
+void write_heatmap_ascii(const LinkHeatmap& hm, std::ostream& os) {
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> values;
+  for (const LinkHeatmap::Row& row : hm.rows) {
+    labels.push_back(row.label);
+    values.push_back(row.util);
+  }
+  ascii_heatmap(os, labels, values,
+                "time 0.." + std::to_string(hm.t1) + " s, utilization 0..1");
+}
+
+void write_attribution_report(const RunTrace& run, std::ostream& os) {
+  const CriticalPath cp = critical_path(run);
+  const PathAttribution at = cp.attribution();
+  os << "attribution: " << run.label() << "\n";
+  os << "  makespan      : " << cp.makespan << " s over " << run.nranks()
+     << " ranks (" << cp.steps.size() << " critical steps)\n";
+  auto pct = [&](double v) {
+    return cp.makespan > 0 ? 100.0 * v / cp.makespan : 0.0;
+  };
+  os << "  compute       : " << at.compute << " s (" << pct(at.compute)
+     << "%)\n";
+  os << "  comms         : " << at.comms << " s (" << pct(at.comms) << "%)\n";
+  os << "  wait/skew     : " << at.wait << " s (" << pct(at.wait) << "%)\n";
+  os << "  hidden compute: " << at.hidden_compute
+     << " s overlapped behind critical comms (per-rank mean)\n";
+
+  const std::vector<ExchangeResidual> res = bandwidth_residuals(run);
+  if (!res.empty()) {
+    double worst = 0, sum = 0;
+    int flagged = 0;
+    for (const ExchangeResidual& r : res) {
+      worst = std::max(worst, std::abs(r.residual));
+      sum += std::abs(r.residual);
+      flagged += r.flagged ? 1 : 0;
+    }
+    os << "  model residual: mean |r| "
+       << sum / static_cast<double>(res.size()) << ", worst |r| " << worst
+       << ", flagged " << flagged << "/" << res.size() << " exchanges\n";
+  }
+
+  const LinkHeatmap hm = link_heatmap(run);
+  if (!hm.rows.empty()) write_heatmap_ascii(hm, os);
+}
+
+}  // namespace parfft::obs

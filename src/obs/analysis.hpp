@@ -1,0 +1,152 @@
+#pragma once
+/// \file analysis.hpp
+/// Trace attribution engine: interprets a recorded obs::RunTrace.
+///
+/// The recording layers (tracer, metrics, exchange records) answer "what
+/// happened"; this module answers "what *dominated*, and did the model
+/// predict it":
+///
+///  * critical_path() extracts the longest dependency chain of spans
+///    across simulated ranks -- the per-category attribution behind the
+///    paper's Fig. 6/7 breakdowns, with compute that hides behind the
+///    critical comm chain reported separately (overlap-hidden time);
+///  * bandwidth_residuals() compares each recorded exchange against the
+///    Section III model (eqs. (2)-(5), src/model prediction hooks) and
+///    flags exchanges the model mispredicts beyond a threshold;
+///  * link_heatmap() buckets the per-link utilization samples into a
+///    (link class) x (time) matrix, exportable as CSV or an ASCII
+///    heatmap (common/ascii_plot.hpp).
+///
+/// Everything here is read-only over the run: analysis never perturbs a
+/// simulation, so analysis-enabled runs stay byte-identical to
+/// analysis-off runs (asserted by tests/test_analysis.cpp).
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/session.hpp"
+#include "obs/tracer.hpp"
+
+namespace parfft::obs {
+
+/// One link of the critical chain: a leaf span (or an untracked gap) on
+/// one rank's timeline.
+struct PathStep {
+  int rank = 0;
+  Category cat = Category::Wait;
+  std::string name;
+  double begin = 0;
+  double dur = 0;
+  bool untracked = false;  ///< gap with no recorded span (threaded runtime)
+
+  double end() const { return begin + dur; }
+};
+
+/// The taxonomy of the paper's Fig. 6/7 breakdowns, applied to the
+/// critical chain. `compute` aggregates Fft+Pack+Unpack+Scale, `comms`
+/// aggregates Exchange+Send+Collective, `wait` is synchronization skew
+/// (Wait spans and untracked gaps). compute + comms + wait == makespan.
+///
+/// `hidden_compute` is the overlap the breakdown hides: the mean (over
+/// ranks) compute seconds that execute while the critical chain sits in
+/// a comms step -- work whose cost the exchange absorbed.
+struct PathAttribution {
+  double compute = 0;
+  double comms = 0;
+  double wait = 0;
+  double hidden_compute = 0;
+
+  double total() const { return compute + comms + wait; }
+};
+
+/// The longest dependency chain of one run.
+struct CriticalPath {
+  double makespan = 0;          ///< latest span end over all ranks
+  std::vector<PathStep> steps;  ///< contiguous in time, oldest first
+  /// Critical seconds per leaf category (untracked gaps under Wait).
+  std::map<Category, double> by_category;
+  double untracked = 0;  ///< gap seconds on the chain
+  /// Mean-over-ranks compute seconds overlapping the chain's comms
+  /// steps; surfaced through attribution().hidden_compute.
+  double hidden_compute = 0;
+
+  /// Sum of step durations; equals makespan for a chain over span
+  /// timelines that tile each rank's clock (core::simulate runs).
+  double total() const;
+  PathAttribution attribution() const;
+};
+
+/// Extracts the critical path from `run`'s span record. The chain is
+/// walked backwards from the globally latest span end: within a rank it
+/// follows the leaf span ending at the current instant; at a
+/// synchronizing span boundary (Exchange / Collective begin, which every
+/// participating rank enters together) it jumps to the straggler -- the
+/// rank whose preceding work finished last and therefore released the
+/// barrier. Deterministic: ties break toward the lowest rank.
+///
+/// `hidden_compute` is filled by intersecting every rank's compute spans
+/// with the chain's comms steps. Call after recording has quiesced.
+CriticalPath critical_path(const RunTrace& run);
+
+/// One exchange's achieved-vs-predicted comparison (paper eqs. (2)-(5)).
+struct ExchangeResidual {
+  std::string name;      ///< routine label from the record
+  double begin = 0;      ///< virtual start time of the exchange
+  double measured = 0;   ///< recorded phase duration, seconds
+  double predicted = 0;  ///< model::predicted_exchange_time() on B, L
+  double residual = 0;   ///< (measured - predicted) / predicted
+  double model_bw = 0;     ///< calibration B (uncontended), bytes/s
+  double achieved_bw = 0;  ///< eq. (4)/(5) inversion of `measured`
+  bool flagged = false;    ///< |residual| above the caller's threshold
+};
+
+/// Default flagging threshold: the model is considered wrong when it
+/// misses the measured time by more than 25%.
+inline constexpr double kResidualFlagThreshold = 0.25;
+
+/// Residuals for every exchange recorded on `run`, in record order.
+/// An uncontended exchange (each flow alone on its links) measures
+/// exactly what B and L predict, so its residual is ~0; contention makes
+/// the measured time exceed the prediction (positive residual), which is
+/// precisely the bandwidth collapse of the paper's Fig. 4.
+std::vector<ExchangeResidual> bandwidth_residuals(
+    const RunTrace& run, double flag_threshold = kResidualFlagThreshold);
+
+/// Time-bucketed link utilization, one row per link class (or per link).
+struct LinkHeatmap {
+  double t0 = 0, t1 = 0;  ///< covered time range, virtual seconds
+  struct Row {
+    std::string label;       ///< link class ("nic") or link name
+    double capacity = 0;     ///< aggregate capacity behind the row
+    std::vector<double> util;  ///< mean utilization in [0, 1] per bucket
+  };
+  std::vector<Row> rows;
+
+  double bucket_seconds() const {
+    return rows.empty() || rows[0].util.empty()
+               ? 0
+               : (t1 - t0) / static_cast<double>(rows[0].util.size());
+  }
+};
+
+/// Builds the heatmap from `run`'s exchange records. Utilization of a
+/// bucket is the integral of allocated rate over the bucket divided by
+/// (capacity x bucket length), aggregated over every link of the row.
+/// `per_link` keeps one row per physical link instead of per class.
+LinkHeatmap link_heatmap(const RunTrace& run, int buckets = 48,
+                         bool per_link = false);
+
+/// CSV export. Schema (header included): row label, then one column per
+/// bucket named by the bucket's start time in seconds.
+void write_heatmap_csv(const LinkHeatmap& hm, std::ostream& os);
+
+/// ASCII rendering via common/ascii_plot.hpp's intensity ramp.
+void write_heatmap_ascii(const LinkHeatmap& hm, std::ostream& os);
+
+/// One-stop attribution report of a run (critical path + residual
+/// summary + class heatmap), human-readable; used by bench binaries.
+void write_attribution_report(const RunTrace& run, std::ostream& os);
+
+}  // namespace parfft::obs

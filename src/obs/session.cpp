@@ -29,6 +29,16 @@ std::vector<CounterSeries> RunTrace::counter_series() const {
   return series_;
 }
 
+void RunTrace::add_exchange(ExchangeRecord rec) {
+  std::lock_guard lk(mu_);
+  exchanges_.push_back(std::move(rec));
+}
+
+std::vector<ExchangeRecord> RunTrace::exchanges() const {
+  std::lock_guard lk(mu_);
+  return exchanges_;
+}
+
 Session::Session() {
   if (const char* p = std::getenv("PARFFT_TRACE"); p != nullptr && *p) {
     env_enabled_ = true;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -31,6 +32,41 @@ struct CounterSample {
 struct CounterSeries {
   std::string name;
   std::vector<CounterSample> samples;
+};
+
+/// Utilization of one fabric link during one exchange phase, copied from
+/// netsim's LinkStats at record time (obs stays independent of netsim).
+/// Samples are (t, allocated rate in bytes/s) step points relative to the
+/// exchange's start; the last sample closes the phase at rate 0.
+struct LinkUsage {
+  std::string name;   ///< "dev_out/3", "nic_in/node0", "core", ...
+  std::string cls;    ///< link class: "nvlink", "nic", "host", "core"
+  double capacity = 0;  ///< bytes/s
+  double bytes = 0;     ///< payload carried across the phase
+  std::vector<std::pair<double, double>> samples;
+};
+
+/// One recorded exchange phase: everything the analysis layer
+/// (obs/analysis.hpp) needs to compare the achieved exchange against the
+/// paper's Section III bandwidth model and to build link heatmaps.
+///
+/// The calibration pair (model_bandwidth, per_message_cost) is measured
+/// at record time from the *uncontended* fabric -- the bandwidth and
+/// fixed cost one lone message of this exchange's representative size
+/// would see. That is the B (and L) of eqs. (2)-(5); the residual of the
+/// measured duration against the prediction made from them quantifies
+/// contention and model error.
+struct ExchangeRecord {
+  std::string name;     ///< exchange routine label ("alltoallv", ...)
+  double begin = 0;     ///< virtual start (the group's sync point)
+  double duration = 0;  ///< phase completion, max over ranks
+  int nranks = 0;       ///< participating group size
+  double bytes_total = 0;     ///< payload moved by the whole phase
+  double max_rank_bytes = 0;  ///< busiest sender's outgoing bytes
+  int max_rank_msgs = 0;      ///< busiest sender's message count
+  double model_bandwidth = 0;   ///< B: uncontended per-flow bytes/s
+  double per_message_cost = 0;  ///< L + overhead of one lone message, s
+  std::vector<LinkUsage> links;  ///< timestamped per-link utilization
 };
 
 /// One traced execution: label + spans + metrics + counter tracks.
@@ -53,6 +89,11 @@ class RunTrace {
   void counter_sample(const std::string& name, double t, double value);
   std::vector<CounterSeries> counter_series() const;
 
+  /// Appends one exchange-phase record (thread-safe). Instrumentation
+  /// sites (core::simulate) feed this; obs/analysis.hpp consumes it.
+  void add_exchange(ExchangeRecord rec);
+  std::vector<ExchangeRecord> exchanges() const;
+
  private:
   std::string label_;
   int pid_;
@@ -60,6 +101,7 @@ class RunTrace {
   bool with_args_;
   mutable std::mutex mu_;
   std::vector<CounterSeries> series_;
+  std::vector<ExchangeRecord> exchanges_;
 };
 
 /// Owns all runs of the process. Use Session::global(); a fresh Session

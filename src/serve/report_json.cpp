@@ -1,0 +1,50 @@
+/// \file report_json.cpp
+/// ServeReport -> JSON. Kept apart from server.cpp: the event loop never
+/// needs iostream formatting, and perf tooling (bench/perf_baseline,
+/// tools/perfdiff) is the only consumer of this shape.
+
+#include <ostream>
+
+#include "serve/server.hpp"
+
+namespace parfft::serve {
+
+namespace {
+
+void write_latency(std::ostream& os, const char* key,
+                   const LatencySummary& l) {
+  os << '"' << key << "\":{\"p50\":" << l.p50 << ",\"p95\":" << l.p95
+     << ",\"p99\":" << l.p99 << ",\"p999\":" << l.p999
+     << ",\"mean\":" << l.mean << ",\"max\":" << l.max << '}';
+}
+
+}  // namespace
+
+void ServeReport::write_json(std::ostream& os) const {
+  os << '{';
+  os << "\"offered\":" << offered << ",\"admitted\":" << admitted
+     << ",\"completed\":" << completed << ",\"failed\":" << failed
+     << ",\"rejected\":" << rejected << ",\"dropped\":" << dropped
+     << ",\"aborted\":" << aborted << ",\"shed\":" << shed
+     << ",\"retries\":" << retries << ",\"hedges\":" << hedges
+     << ",\"crashes\":" << crashes << ",\"batches\":" << batches;
+  os << ",\"makespan\":" << makespan << ",\"busy_time\":" << busy_time
+     << ",\"downtime\":" << downtime << ",\"throughput\":" << throughput
+     << ",\"goodput\":" << goodput << ",\"deadline_met\":" << deadline_met
+     << ",\"utilization\":" << utilization << ",\"mean_batch\":" << mean_batch
+     << ",\"retry_amplification\":" << retry_amplification;
+  os << ',';
+  write_latency(os, "latency", latency);
+  os << ',';
+  write_latency(os, "queue_wait", queue_wait);
+  os << ",\"mean_recovery\":" << mean_recovery
+     << ",\"recoveries\":" << recovery_times.size();
+  os << ",\"cache_hits\":" << cache_hits
+     << ",\"cache_misses\":" << cache_misses
+     << ",\"cache_evictions\":" << cache_evictions
+     << ",\"cache_invalidations\":" << cache_invalidations
+     << ",\"setup_charged\":" << setup_charged;
+  os << '}';
+}
+
+}  // namespace parfft::serve

@@ -30,6 +30,7 @@
 ///    dispatch so retry storms cannot collapse goodput.
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,12 @@ struct ServeReport {
   /// calls this before returning under PARFFT_PARANOID; callable
   /// directly from tests in any build.
   void verify() const;
+
+  /// Machine-readable JSON object of the report (one flat object; the
+  /// latency/queue-wait summaries nest). Feeds bench/perf_baseline's
+  /// BENCH_parfft.json and any external dashboard. Per-request latency
+  /// vectors are summarized, not dumped.
+  void write_json(std::ostream& os) const;
 };
 
 /// The service engine. One instance owns one plan cache; run() may be

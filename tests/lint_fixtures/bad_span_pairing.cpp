@@ -1,0 +1,19 @@
+// Negative fixture for the span-pairing rule: an end() with nothing open
+// followed by a parent span opened with tracer.begin() and never closed.
+// Not compiled -- scanned by parfft_lint's fixture tests.
+
+#include "obs/tracer.hpp"
+
+namespace parfft {
+
+void closes_without_opening(obs::Tracer& tracer) {
+  tracer.end(0, 2.0);  // no begin() anywhere above on this receiver chain
+}
+
+void leaks_a_parent_span(obs::Tracer& tracer) {
+  tracer.begin(0, obs::Category::Transform, "fft3d", 0.0);
+  tracer.complete(0, obs::Category::Fft, "fft", 0.0, 1.0);
+  // missing tracer.end(...): the Transform parent stays open forever.
+}
+
+}  // namespace parfft

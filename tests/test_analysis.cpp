@@ -1,0 +1,344 @@
+/// \file test_analysis.cpp
+/// Trace attribution engine (src/obs/analysis): critical-path extraction
+/// on hand-built span DAGs and on real simulator runs, Fig. 6/7 category
+/// attribution, bandwidth-model residuals (near-zero uncontended, flagged
+/// under contention), link heatmaps, and the guarantee that enabling
+/// analysis/tracing never perturbs the simulation itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulate.hpp"
+#include "obs/analysis.hpp"
+#include "obs/session.hpp"
+#include "obs/tracer.hpp"
+
+using namespace parfft;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hand-built span DAGs: the walk's contract is checkable by eye.
+
+/// Two ranks, one globally synchronizing exchange. Rank 1 computes longer
+/// (the straggler releasing the barrier), rank 0 finishes the phase.
+///
+///   rank 0:  Fft [0,2)   Wait [2,3)  Exchange [3,4)  Unpack [4,5)
+///   rank 1:  Fft [0,3)               Exchange [3,4)  Unpack [4,4.5)
+///
+/// Expected chain (oldest first): Fft(r1) -> Exchange(r0) -> Unpack(r0).
+void fill_straggler(obs::RunTrace& run) {
+  obs::Tracer& t = run.tracer;
+  t.complete(0, obs::Category::Fft, "fft", 0.0, 2.0);
+  t.complete(0, obs::Category::Wait, "wait", 2.0, 1.0);
+  t.complete(0, obs::Category::Exchange, "alltoallv", 3.0, 1.0);
+  t.complete(0, obs::Category::Unpack, "unpack", 4.0, 1.0);
+  t.complete(1, obs::Category::Fft, "fft", 0.0, 3.0);
+  t.complete(1, obs::Category::Exchange, "alltoallv", 3.0, 1.0);
+  t.complete(1, obs::Category::Unpack, "unpack", 4.0, 0.5);
+}
+
+TEST(CriticalPath, TotalEqualsMakespanOnHandBuiltDag) {
+  obs::RunTrace run("unit", /*pid=*/1, /*nranks=*/2, /*with_args=*/false);
+  fill_straggler(run);
+  const obs::CriticalPath cp = obs::critical_path(run);
+
+  EXPECT_DOUBLE_EQ(cp.makespan, 5.0);
+  EXPECT_NEAR(cp.total(), cp.makespan, 1e-12);
+
+  ASSERT_EQ(cp.steps.size(), 3u);
+  EXPECT_EQ(cp.steps[0].rank, 1);
+  EXPECT_EQ(cp.steps[0].cat, obs::Category::Fft);
+  EXPECT_DOUBLE_EQ(cp.steps[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(cp.steps[0].dur, 3.0);
+  EXPECT_EQ(cp.steps[1].rank, 0);
+  EXPECT_EQ(cp.steps[1].cat, obs::Category::Exchange);
+  EXPECT_EQ(cp.steps[2].rank, 0);
+  EXPECT_EQ(cp.steps[2].cat, obs::Category::Unpack);
+
+  // Steps tile [0, makespan): contiguous, no overlap, no gap.
+  for (std::size_t i = 1; i < cp.steps.size(); ++i)
+    EXPECT_NEAR(cp.steps[i].begin, cp.steps[i - 1].end(), 1e-12);
+  EXPECT_EQ(cp.untracked, 0.0);
+}
+
+TEST(CriticalPath, AttributionSumsToMakespan) {
+  obs::RunTrace run("unit", 1, 2, false);
+  fill_straggler(run);
+  const obs::CriticalPath cp = obs::critical_path(run);
+  const obs::PathAttribution a = cp.attribution();
+
+  EXPECT_DOUBLE_EQ(a.compute, 4.0);  // Fft 3 + Unpack 1
+  EXPECT_DOUBLE_EQ(a.comms, 1.0);    // Exchange 1
+  EXPECT_DOUBLE_EQ(a.wait, 0.0);     // rank 0's Wait is off the chain
+  EXPECT_NEAR(a.total(), cp.makespan, 1e-12);
+
+  EXPECT_DOUBLE_EQ(cp.by_category.at(obs::Category::Fft), 3.0);
+  EXPECT_DOUBLE_EQ(cp.by_category.at(obs::Category::Exchange), 1.0);
+  EXPECT_DOUBLE_EQ(cp.by_category.at(obs::Category::Unpack), 1.0);
+  EXPECT_EQ(cp.by_category.count(obs::Category::Wait), 0u);
+}
+
+TEST(CriticalPath, HiddenComputeMeasuresOverlapBehindCommsSteps) {
+  // Rank 1's FFT keeps running 1.5 s into the chain's exchange window
+  // [1,3): that work is hidden behind comms. Mean over 2 ranks = 0.75.
+  obs::RunTrace run("unit", 1, 2, false);
+  obs::Tracer& t = run.tracer;
+  t.complete(0, obs::Category::Pack, "pack", 0.0, 1.0);
+  t.complete(0, obs::Category::Exchange, "alltoallv", 1.0, 2.0);
+  t.complete(0, obs::Category::Unpack, "unpack", 3.0, 1.0);
+  t.complete(1, obs::Category::Fft, "fft", 0.0, 2.5);
+
+  const obs::CriticalPath cp = obs::critical_path(run);
+  EXPECT_DOUBLE_EQ(cp.makespan, 4.0);
+  EXPECT_NEAR(cp.total(), cp.makespan, 1e-12);
+  EXPECT_NEAR(cp.attribution().hidden_compute, 0.75, 1e-12);
+}
+
+TEST(CriticalPath, NestedParentsAreIgnoredLeavesDrive) {
+  // Structural parents (Transform/Reshape) enclose the leaves; the walk
+  // must attribute time to the leaves only, never double-count parents.
+  obs::RunTrace run("unit", 1, 1, false);
+  obs::Tracer& t = run.tracer;
+  t.begin(0, obs::Category::Transform, "transform", 0.0);
+  t.complete(0, obs::Category::Fft, "fft_z", 0.0, 2.0);
+  t.begin(0, obs::Category::Reshape, "reshape", 2.0);
+  t.complete(0, obs::Category::Pack, "pack", 2.0, 0.5);
+  t.complete(0, obs::Category::Exchange, "alltoallv", 2.5, 1.0);
+  t.end(0, 3.5);
+  t.end(0, 3.5);
+
+  const obs::CriticalPath cp = obs::critical_path(run);
+  EXPECT_DOUBLE_EQ(cp.makespan, 3.5);
+  EXPECT_NEAR(cp.total(), cp.makespan, 1e-12);
+  ASSERT_EQ(cp.steps.size(), 3u);
+  for (const obs::PathStep& s : cp.steps) {
+    EXPECT_NE(s.cat, obs::Category::Transform);
+    EXPECT_NE(s.cat, obs::Category::Reshape);
+  }
+}
+
+TEST(CriticalPath, UntrackedGapsBecomeWaitSteps) {
+  // A hole in the timeline (no span covers [1,2)) must surface as an
+  // untracked Wait step, keeping total() == makespan.
+  obs::RunTrace run("unit", 1, 1, false);
+  run.tracer.complete(0, obs::Category::Fft, "fft", 0.0, 1.0);
+  run.tracer.complete(0, obs::Category::Unpack, "unpack", 2.0, 1.0);
+
+  const obs::CriticalPath cp = obs::critical_path(run);
+  EXPECT_DOUBLE_EQ(cp.makespan, 3.0);
+  EXPECT_NEAR(cp.total(), cp.makespan, 1e-12);
+  EXPECT_NEAR(cp.untracked, 1.0, 1e-12);
+  const obs::PathAttribution a = cp.attribution();
+  EXPECT_NEAR(a.wait, 1.0, 1e-12);
+  EXPECT_NEAR(a.total(), cp.makespan, 1e-12);
+}
+
+TEST(CriticalPath, EmptyRunYieldsEmptyPath) {
+  obs::RunTrace run("unit", 1, 2, false);
+  const obs::CriticalPath cp = obs::critical_path(run);
+  EXPECT_EQ(cp.makespan, 0.0);
+  EXPECT_TRUE(cp.steps.empty());
+  EXPECT_EQ(cp.attribution().total(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Real simulator runs: the chain must tile the virtual makespan exactly.
+
+const obs::RunTrace& traced_sim(const core::SimConfig& base,
+                                core::SimReport* rep = nullptr) {
+  core::SimConfig cfg = base;
+  cfg.options.trace.enabled = true;
+  const core::SimReport r = core::simulate(cfg);
+  if (rep != nullptr) *rep = r;
+  return *obs::Session::global().runs().back();
+}
+
+core::SimConfig small_sim(int nranks) {
+  core::SimConfig cfg;
+  cfg.n = {64, 64, 64};
+  cfg.nranks = nranks;
+  cfg.repeats = 2;
+  cfg.options.backend = core::Backend::Alltoallv;
+  return cfg;
+}
+
+TEST(CriticalPathSim, ChainTilesTheVirtualMakespan) {
+  core::SimReport rep;
+  const obs::RunTrace& run = traced_sim(small_sim(12), &rep);
+  const obs::CriticalPath cp = obs::critical_path(run);
+
+  const double eps = 1e-9 * (1.0 + cp.makespan);
+  EXPECT_NEAR(cp.makespan, rep.total, eps);
+  EXPECT_NEAR(cp.total(), cp.makespan, eps);
+  EXPECT_NEAR(cp.attribution().total(), cp.makespan, eps);
+  // Simulator timelines tile every rank's clock: nothing untracked.
+  EXPECT_NEAR(cp.untracked, 0.0, eps);
+  // A 12-rank distributed FFT has both compute and comms on the chain.
+  EXPECT_GT(cp.attribution().compute, 0.0);
+  EXPECT_GT(cp.attribution().comms, 0.0);
+  // Steps are contiguous in time.
+  for (std::size_t i = 1; i < cp.steps.size(); ++i)
+    EXPECT_NEAR(cp.steps[i].begin, cp.steps[i - 1].end(), eps) << i;
+}
+
+TEST(CriticalPathSim, SlabDecompositionAlsoTiles) {
+  core::SimConfig cfg = small_sim(6);
+  cfg.options.decomp = core::Decomposition::Slab;
+  const obs::RunTrace& run = traced_sim(cfg);
+  const obs::CriticalPath cp = obs::critical_path(run);
+  const double eps = 1e-9 * (1.0 + cp.makespan);
+  EXPECT_NEAR(cp.total(), cp.makespan, eps);
+  EXPECT_NEAR(cp.attribution().total(), cp.makespan, eps);
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth-model residuals.
+
+TEST(Residuals, UncontendedPairExchangeMatchesModel) {
+  // Two ranks on one node: the two opposing flows share no link, so each
+  // achieves the calibrated single-flow bandwidth and the eq. (2)-(5)
+  // prediction lands on the measured time.
+  const obs::RunTrace& run = traced_sim(small_sim(2));
+  const auto residuals = obs::bandwidth_residuals(run);
+  ASSERT_FALSE(residuals.empty());
+  for (const obs::ExchangeResidual& r : residuals) {
+    EXPECT_GT(r.predicted, 0.0);
+    EXPECT_GT(r.model_bw, 0.0);
+    EXPECT_LT(std::fabs(r.residual), obs::kResidualFlagThreshold)
+        << r.name << " @ " << r.begin;
+    EXPECT_FALSE(r.flagged);
+  }
+}
+
+TEST(Residuals, ContendedAlltoallIsFlaggedPositive) {
+  // 24 ranks over 4 nodes: every exchange funnels 6 ranks through each
+  // node's NIC pair, collapsing per-flow bandwidth well below the
+  // single-flow calibration (paper Fig. 4) -- large positive residuals.
+  const obs::RunTrace& run = traced_sim(small_sim(24));
+  const auto residuals = obs::bandwidth_residuals(run);
+  ASSERT_FALSE(residuals.empty());
+  int flagged = 0;
+  double mean = 0;
+  for (const obs::ExchangeResidual& r : residuals) {
+    flagged += r.flagged ? 1 : 0;
+    mean += r.residual;
+  }
+  mean /= static_cast<double>(residuals.size());
+  EXPECT_GT(flagged, 0);
+  EXPECT_GT(mean, 0.0);
+}
+
+TEST(Residuals, AchievedBandwidthInvertsTheMeasurement) {
+  const obs::RunTrace& run = traced_sim(small_sim(12));
+  for (const obs::ExchangeResidual& r : obs::bandwidth_residuals(run)) {
+    // achieved_bw re-derives the measured time: bytes/bw + msg costs.
+    EXPECT_GT(r.achieved_bw, 0.0);
+    EXPECT_LE(r.achieved_bw, r.model_bw * (1.0 + 1e-6));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Link heatmaps.
+
+TEST(Heatmap, ClassRowsCoverTheRunWithBoundedUtilization) {
+  const obs::RunTrace& run = traced_sim(small_sim(12));
+  const obs::LinkHeatmap hm = obs::link_heatmap(run, /*buckets=*/16);
+
+  ASSERT_FALSE(hm.rows.empty());
+  EXPECT_GT(hm.t1, hm.t0);
+  EXPECT_GT(hm.bucket_seconds(), 0.0);
+
+  std::set<std::string> labels;
+  for (const obs::LinkHeatmap::Row& row : hm.rows) {
+    labels.insert(row.label);
+    EXPECT_GT(row.capacity, 0.0) << row.label;
+    ASSERT_EQ(row.util.size(), 16u) << row.label;
+    for (double u : row.util) {
+      EXPECT_GE(u, 0.0) << row.label;
+      EXPECT_LE(u, 1.0 + 1e-9) << row.label;
+    }
+  }
+  // 12 ranks span 2 Summit nodes: NVLink and NIC classes must appear.
+  EXPECT_TRUE(labels.count("nvlink")) << "rows missing nvlink class";
+  EXPECT_TRUE(labels.count("nic")) << "rows missing nic class";
+}
+
+TEST(Heatmap, PerLinkModeSplitsClasses) {
+  const obs::RunTrace& run = traced_sim(small_sim(6));
+  const obs::LinkHeatmap by_class = obs::link_heatmap(run, 8, false);
+  const obs::LinkHeatmap by_link = obs::link_heatmap(run, 8, true);
+  EXPECT_GT(by_link.rows.size(), by_class.rows.size());
+}
+
+TEST(Heatmap, CsvExportIsRectangular) {
+  const obs::RunTrace& run = traced_sim(small_sim(6));
+  const obs::LinkHeatmap hm = obs::link_heatmap(run, 8);
+  std::ostringstream os;
+  obs::write_heatmap_csv(hm, os);
+
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line.rfind("link,", 0), 0u) << "header: " << line;
+  const auto cols = [](const std::string& s) {
+    return 1 + static_cast<int>(std::count(s.begin(), s.end(), ','));
+  };
+  const int width = cols(line);
+  EXPECT_EQ(width, 9);  // label + 8 buckets
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(cols(line), width) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, hm.rows.size());
+}
+
+TEST(Heatmap, AsciiAndReportRender) {
+  const obs::RunTrace& run = traced_sim(small_sim(6));
+  std::ostringstream os;
+  obs::write_heatmap_ascii(obs::link_heatmap(run, 12), os);
+  EXPECT_NE(os.str().find("nvlink"), std::string::npos);
+
+  std::ostringstream report;
+  obs::write_attribution_report(run, report);
+  EXPECT_NE(report.str().find("makespan"), std::string::npos);
+  EXPECT_NE(report.str().find("compute"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Analysis must never perturb the simulation.
+
+TEST(AnalysisIsInert, TracedRunIsByteIdenticalToUntraced) {
+  core::SimConfig off = small_sim(12);
+  core::SimConfig on = off;
+  on.options.trace.enabled = true;
+
+  const core::SimReport a = core::simulate(off);
+  const core::SimReport b = core::simulate(on);
+
+  // Bitwise-equal virtual times: recording and calibration are read-only
+  // over the cost model. (Exact equality is intentional; these are the
+  // same arithmetic operations in the same order.)
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.per_transform, b.per_transform);
+  ASSERT_EQ(a.rank_times.size(), b.rank_times.size());
+  for (std::size_t i = 0; i < a.rank_times.size(); ++i)
+    EXPECT_EQ(a.rank_times[i], b.rank_times[i]) << "rank " << i;
+  EXPECT_EQ(a.kernels.fft, b.kernels.fft);
+  EXPECT_EQ(a.kernels.pack, b.kernels.pack);
+  EXPECT_EQ(a.kernels.unpack, b.kernels.unpack);
+  EXPECT_EQ(a.kernels.comm, b.kernels.comm);
+  ASSERT_EQ(a.comm_calls.size(), b.comm_calls.size());
+  for (std::size_t i = 0; i < a.comm_calls.size(); ++i)
+    EXPECT_EQ(a.comm_calls[i].seconds, b.comm_calls[i].seconds) << i;
+}
+
+}  // namespace

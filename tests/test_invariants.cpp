@@ -214,6 +214,8 @@ TEST(FlowSimInvariants, NoLinkExceedsItsCapacity) {
 TEST(ParanoidViolations, TracerMisnestedSpanThrows) {
   const bool prev = set_paranoid(true);
   obs::Tracer tracer(1);
+  // Deliberately left open: the test needs a live parent to mis-nest
+  // against. parfft-lint: allow(span-pairing)
   tracer.begin(0, obs::Category::Transform, "outer", 10.0);
   // A child claiming to start before its open parent is mis-nested.
   EXPECT_THROW(
@@ -224,6 +226,7 @@ TEST(ParanoidViolations, TracerMisnestedSpanThrows) {
 TEST(ParanoidViolations, DisabledAtRuntimeDoesNotThrow) {
   const bool prev = set_paranoid(false);
   obs::Tracer tracer(1);
+  // Deliberately left open, as above. parfft-lint: allow(span-pairing)
   tracer.begin(0, obs::Category::Transform, "outer", 10.0);
   EXPECT_NO_THROW(
       tracer.complete(0, obs::Category::Fft, "child", 1.0, 0.5));

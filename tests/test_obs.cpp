@@ -582,3 +582,76 @@ TEST(SessionTest, DisabledConfigRecordsNothing) {
   s.write_chrome(os);
   EXPECT_NO_THROW(JsonParser(os.str()).parse());
 }
+
+// ---------------------------------------------------------------------------
+// Exporter edge cases: the writers must produce well-formed output for
+// degenerate sessions, not just the happy path the benches exercise.
+
+// A session that recorded nothing still writes a complete, parseable
+// Chrome document (empty traceEvents) and an empty summary.
+TEST(ExportEdgeCases, EmptySessionWritesValidEmptyDocuments) {
+  obs::Session s;
+  std::ostringstream chrome;
+  s.write_chrome(chrome);
+  JValue doc = JsonParser(chrome.str()).parse();
+  const JValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JValue::Kind::Arr);
+  EXPECT_TRUE(events->arr.empty());
+
+  std::ostringstream summary;
+  s.write_summary(summary);
+  EXPECT_TRUE(summary.str().empty());
+}
+
+// A run holding metrics but not a single span (e.g. a phase that only
+// counts bytes) exports: Chrome output is valid JSON with metadata-only
+// events, and the summary still lists the metrics.
+TEST(ExportEdgeCases, MetricsOnlyRunExports) {
+  obs::RunTrace run("metrics only", 3, 2, /*with_args=*/false);
+  run.metrics.counter("rank/0/bytes_sent").add(1 << 16);
+  run.metrics.gauge("link/core/peak_util").set(0.5);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, {&run});
+  JValue doc = JsonParser(os.str()).parse();
+  const JValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const JValue& e : events->arr)
+    EXPECT_EQ(e.string("ph"), "M") << "span event in a span-less run";
+
+  std::ostringstream summary;
+  obs::write_run_summary(summary, run);
+  EXPECT_NE(summary.str().find("metrics only"), std::string::npos);
+  EXPECT_NE(summary.str().find("rank/0/bytes_sent"), std::string::npos);
+  EXPECT_NE(summary.str().find("link/core/peak_util"), std::string::npos);
+}
+
+// PARFFT_TRACE_SUMMARY=- streams the summary tables to stderr when the
+// session flushes; the shape must match write_run_summary's output.
+TEST(ExportEdgeCases, SummaryDashFlushesTablesToStderr) {
+  ASSERT_EQ(setenv("PARFFT_TRACE_SUMMARY", "-", /*overwrite=*/1), 0);
+  testing::internal::CaptureStderr();
+  {
+    obs::Session s;  // reads the env at construction
+    obs::TraceConfig on;
+    on.enabled = true;
+    obs::RunTrace* run = s.begin_run("dash run", 1, on);
+    ASSERT_NE(run, nullptr);
+    run->tracer.complete(0, obs::Category::Exchange, "alltoallv", 0.0,
+                         1e-3);
+    run->metrics.counter("rank/0/bytes_sent").add(4096);
+  }  // destructor flushes to stderr
+  const std::string err = testing::internal::GetCapturedStderr();
+  ASSERT_EQ(unsetenv("PARFFT_TRACE_SUMMARY"), 0);
+
+  obs::RunTrace twin("dash run", 1, 1, false);
+  twin.tracer.complete(0, obs::Category::Exchange, "alltoallv", 0.0, 1e-3);
+  twin.metrics.counter("rank/0/bytes_sent").add(4096);
+  std::ostringstream expected;
+  obs::write_run_summary(expected, twin);
+  EXPECT_NE(err.find("dash run"), std::string::npos);
+  EXPECT_NE(err.find("exchange"), std::string::npos);
+  EXPECT_NE(err.find(expected.str()), std::string::npos)
+      << "stderr summary does not embed write_run_summary's tables";
+}

@@ -30,6 +30,15 @@
 ///                   (the CMake header-self-sufficiency check compiles
 ///                   each public header alone; this is the textual
 ///                   counterpart with precise line numbers).
+///   span-pairing    unbalanced obs::Tracer begin()/end() calls. A parent
+///                   span opened with tracer.begin() must be closed by a
+///                   tracer.end() in the same file (per tracer receiver,
+///                   textually balanced and never closing more than was
+///                   opened): a leaked parent span corrupts every later
+///                   depth/attribution computed from the trace, and the
+///                   paranoid nesting checks only fire at runtime on
+///                   traced configurations. Tests that leak spans on
+///                   purpose annotate the begin line.
 ///
 /// Allowlist mechanism: a line (or the line above it) containing
 ///   // parfft-lint: allow(<rule>)
@@ -520,6 +529,98 @@ void check_include_hygiene(const FileText& f, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------- span-pairing
+
+/// Identifiers declared in this file as (obs::)Tracer variables; the
+/// member name `tracer` (RunTrace::tracer) is always a tracer receiver.
+std::set<std::string> tracer_vars(const FileText& f) {
+  std::set<std::string> vars = {"tracer"};
+  for (const std::string& s : f.code) {
+    for (std::size_t p = find_word(s, "Tracer"); p != std::string::npos;
+         p = find_word(s, "Tracer", p + 1)) {
+      std::size_t q = p + 6;
+      while (q < s.size() && (s[q] == ' ' || s[q] == '&')) ++q;
+      std::size_t b = q;
+      while (q < s.size() && ident_char(s[q])) ++q;
+      if (q > b) vars.insert(s.substr(b, q - b));
+    }
+  }
+  return vars;
+}
+
+void check_span_pairing(const FileText& f, std::vector<Finding>& out) {
+  const std::set<std::string> vars = tracer_vars(f);
+  // The identifier immediately left of the '.' / '->' before position `p`.
+  auto receiver = [](const std::string& s, std::size_t p) -> std::string {
+    std::size_t e;
+    if (p >= 1 && s[p - 1] == '.') {
+      e = p - 1;
+    } else if (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>') {
+      e = p - 2;
+    } else {
+      return {};
+    }
+    std::size_t b = e;
+    while (b > 0 && ident_char(s[b - 1])) --b;
+    return s.substr(b, e - b);
+  };
+
+  struct OpenSpan {
+    std::size_t line;  ///< 1-based line of the begin()
+    bool allow;        ///< suppressed via the allow mechanism
+  };
+  std::map<std::string, std::vector<OpenSpan>> open;
+  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    // (column, receiver, +1 begin / -1 end) events of this line, in order.
+    struct Event {
+      std::size_t col;
+      std::string recv;
+      int delta;
+    };
+    std::vector<Event> events;
+    for (const auto& [tok, delta] :
+         {std::pair<const char*, int>{"begin", +1}, {"end", -1}}) {
+      const std::size_t len = std::strlen(tok);
+      for (std::size_t p = find_word(s, tok); p != std::string::npos;
+           p = find_word(s, tok, p + 1)) {
+        std::size_t q = p + len;
+        while (q < s.size() && s[q] == ' ') ++q;
+        if (q >= s.size() || s[q] != '(') continue;
+        const std::string r = receiver(s, p);
+        if (vars.count(r) == 0) continue;  // container .begin()/.end() etc.
+        events.push_back({p, r, delta});
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.col < b.col; });
+    for (const Event& e : events) {
+      std::vector<OpenSpan>& stack = open[e.recv];
+      if (e.delta > 0) {
+        stack.push_back({ln + 1, allowed(f, ln + 1, "span-pairing")});
+      } else if (!stack.empty()) {
+        stack.pop_back();
+      } else if (!allowed(f, ln + 1, "span-pairing")) {
+        out.push_back({f.path, ln + 1, "span-pairing",
+                       "tracer end() without an open begin() in this file; "
+                       "parent spans must be opened and closed in the same "
+                       "scope"});
+      }
+    }
+  }
+  for (const auto& [recv, stack] : open) {
+    (void)recv;
+    for (const OpenSpan& o : stack) {
+      if (o.allow) continue;
+      out.push_back({f.path, o.line, "span-pairing",
+                     "tracer begin() without a matching end() in this file; "
+                     "a leaked parent span corrupts span nesting -- close "
+                     "it in the same scope or annotate "
+                     "'parfft-lint: allow(span-pairing)'"});
+    }
+  }
+}
+
 // ----------------------------------------------------------------- driver
 
 bool scannable(const fs::path& p) {
@@ -566,7 +667,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: parfft_lint [--expect=rule,...] <file-or-dir>...\n"
                    "rules: wall-clock unordered-iter float-eq "
-                   "include-hygiene\n";
+                   "include-hygiene span-pairing\n";
       return 0;
     } else {
       collect(arg, files);
@@ -593,6 +694,7 @@ int main(int argc, char** argv) {
     check_unordered_iter(f, findings);
     check_float_eq(f, findings, explicit_file);
     check_include_hygiene(f, findings);
+    check_span_pairing(f, findings);
   }
 
   for (const Finding& v : findings)

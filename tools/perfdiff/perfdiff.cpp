@@ -1,0 +1,258 @@
+/// \file perfdiff.cpp
+/// Compares two BENCH_parfft.json files (bench/perf_baseline output) and
+/// exits nonzero when the current file regresses against the baseline.
+///
+/// Usage:
+///   perfdiff <baseline.json> <current.json> [--tol=0.05]
+///
+/// Every metric carries a "dir" tag saying which direction is better;
+/// a move the *wrong* way by more than the relative tolerance is a
+/// regression. Metrics missing from the current file are regressions
+/// too (a deleted guard is a silent regression); new metrics are
+/// reported but never fail. Exit codes: 0 ok, 1 regression, 2 usage or
+/// parse error.
+///
+/// The parser covers exactly the JSON subset perf_baseline emits
+/// (objects / arrays / strings without escapes needing decoding /
+/// numbers / booleans / null) -- no external dependency.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct JValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(JValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(JValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JValue::Kind::String; return string(out.str);
+      case 't': out.kind = JValue::Kind::Bool; out.b = true;
+                return literal("true");
+      case 'f': out.kind = JValue::Kind::Bool; out.b = false;
+                return literal("false");
+      case 'n': out.kind = JValue::Kind::Null; return literal("null");
+      default: out.kind = JValue::Kind::Number; return number(out.num);
+    }
+  }
+
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        out += s_[pos_ + 1];  // raw pass-through; keys we read are plain
+        pos_ += 2;
+      } else {
+        out += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number(double& out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool array(JValue& out) {
+    out.kind = JValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JValue v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool object(JValue& out) {
+    out.kind = JValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      JValue v;
+      if (!value(v)) return false;
+      out.obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+struct Metric {
+  double v = 0;
+  std::string dir = "lower";
+};
+
+bool load_metrics(const char* path, std::map<std::string, Metric>& out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "perfdiff: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  JValue root;
+  if (!Parser(text).parse(root) || root.kind != JValue::Kind::Object) {
+    std::fprintf(stderr, "perfdiff: %s is not valid JSON\n", path);
+    return false;
+  }
+  const auto it = root.obj.find("metrics");
+  if (it == root.obj.end() || it->second.kind != JValue::Kind::Object) {
+    std::fprintf(stderr, "perfdiff: %s has no \"metrics\" object\n", path);
+    return false;
+  }
+  for (const auto& [name, val] : it->second.obj) {
+    if (val.kind != JValue::Kind::Object) continue;
+    Metric m;
+    if (const auto v = val.obj.find("v");
+        v != val.obj.end() && v->second.kind == JValue::Kind::Number)
+      m.v = v->second.num;
+    else
+      continue;
+    if (const auto d = val.obj.find("dir");
+        d != val.obj.end() && d->second.kind == JValue::Kind::String)
+      m.dir = d->second.str;
+    out.emplace(name, std::move(m));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tol = 0.05;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tol=", 6) == 0) {
+      tol = std::strtod(argv[i] + 6, nullptr);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: perfdiff <baseline.json> <current.json> "
+                  "[--tol=0.05]\n");
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2 || tol < 0) {
+    std::fprintf(stderr,
+                 "usage: perfdiff <baseline.json> <current.json> "
+                 "[--tol=0.05]\n");
+    return 2;
+  }
+
+  std::map<std::string, Metric> base, cur;
+  if (!load_metrics(files[0], base) || !load_metrics(files[1], cur)) return 2;
+
+  int regressions = 0, improvements = 0;
+  std::size_t name_w = 6;
+  for (const auto& [name, m] : base) name_w = std::max(name_w, name.size());
+  std::printf("%-*s %14s %14s %9s  status\n", static_cast<int>(name_w),
+              "metric", "baseline", "current", "delta");
+  for (const auto& [name, b] : base) {
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      std::printf("%-*s %14.6g %14s %9s  REGRESSION (missing)\n",
+                  static_cast<int>(name_w), name.c_str(), b.v, "-", "-");
+      ++regressions;
+      continue;
+    }
+    const Metric& c = it->second;
+    const double denom = b.v != 0 ? b.v : 1.0;
+    const double rel = (c.v - b.v) / denom;
+    // Positive `bad` means the metric moved the wrong way.
+    const double bad = b.dir == "higher" ? -rel : rel;
+    const char* status = "ok";
+    if (bad > tol) {
+      status = "REGRESSION";
+      ++regressions;
+    } else if (bad < -tol) {
+      status = "improved";
+      ++improvements;
+    }
+    std::printf("%-*s %14.6g %14.6g %+8.2f%%  %s\n",
+                static_cast<int>(name_w), name.c_str(), b.v, c.v, 100 * rel,
+                status);
+  }
+  for (const auto& [name, c] : cur)
+    if (base.find(name) == base.end())
+      std::printf("%-*s %14s %14.6g %9s  new\n", static_cast<int>(name_w),
+                  name.c_str(), "-", c.v, "-");
+
+  std::printf("\n%d regression(s), %d improvement(s), tolerance %.1f%%\n",
+              regressions, improvements, 100 * tol);
+  return regressions > 0 ? 1 : 0;
+}
