@@ -1,0 +1,50 @@
+#pragma once
+/// \file stopwatch.hpp
+/// Wall-clock stopwatch for measuring the cost of the instrumentation
+/// itself (bench/perf_baseline's obs.trace_overhead_ratio).
+///
+/// This is the repo's one sanctioned wall-clock read, which is why it
+/// lives in src/common (exempt from parfft_lint's wall-clock rule, like
+/// the blessed Rng). Simulation *results* must never depend on it: it
+/// only ever times how long the host took to produce results that are
+/// themselves pure virtual-time functions of the seed.
+
+#include <chrono>
+
+namespace parfft {
+
+/// Monotonic elapsed-time meter. start() (or construction) marks a
+/// reference point; seconds() reads the elapsed wall time against it.
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Best-of-N wall time of `fn` in seconds: the minimum over `reps`
+/// repetitions, the standard scheduler-noise filter for overhead
+/// ratios (the minimum is the least-disturbed observation; means drag
+/// in preemption spikes).
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = -1;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    fn();
+    const double t = sw.seconds();
+    if (best < 0 || t < best) best = t;
+  }
+  return best < 0 ? 0 : best;
+}
+
+}  // namespace parfft

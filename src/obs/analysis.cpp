@@ -58,7 +58,7 @@ PathAttribution CriticalPath::attribution() const {
   PathAttribution a;
   for (const PathStep& s : steps) {
     if (s.untracked || s.cat == Category::Wait || s.cat == Category::Fault ||
-        s.cat == Category::Retry) {
+        s.cat == Category::Retry || s.cat == Category::Alert) {
       a.wait += s.dur;
     } else if (is_comms(s.cat)) {
       a.comms += s.dur;

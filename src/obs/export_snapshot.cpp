@@ -1,0 +1,113 @@
+/// \file export_snapshot.cpp
+/// Telemetry -> snapshot JSON (schema "parfft-telemetry-v1").
+///
+/// One document per call: every windowed series (run-total stats plus
+/// the retained windows, newest last, live window flagged), every
+/// tenant's SLO monitor, the alert log and the flight-recorder state.
+/// tools/parfft_top renders this; docs/observability.md documents the
+/// schema. Kept apart from telemetry.cpp so the hot path never touches
+/// iostream formatting.
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+
+namespace parfft::obs {
+
+namespace {
+
+/// %.12g round-trips timeline positions; JSON forbids bare inf/nan.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  for (const char* bad : {"inf", "nan", "INF", "NAN"})
+    if (std::string(buf).find(bad) != std::string::npos) return "0";
+  return buf;
+}
+
+void write_window(std::ostream& os, const WindowStats& w, bool live) {
+  os << "{\"begin\":" << num(w.begin) << ",\"end\":" << num(w.end)
+     << ",\"count\":" << w.count() << ",\"mean\":" << num(w.mean())
+     << ",\"p50\":" << num(w.quantile(0.50))
+     << ",\"p99\":" << num(w.quantile(0.99))
+     << ",\"max\":" << num(w.hist.max());
+  if (live) os << ",\"live\":true";
+  os << '}';
+}
+
+}  // namespace
+
+void Telemetry::write_snapshot(std::ostream& os) const {
+  os << "{\"schema\":\"parfft-telemetry-v1\",\"now\":" << num(now_)
+     << ",\"window\":" << num(cfg_.window) << ",\"enabled\":"
+     << (cfg_.enabled ? "true" : "false");
+
+  os << ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, sp] : all_series()) {
+    const WindowedSeries& s = *sp;
+    if (!first) os << ',';
+    first = false;
+    const LogLinearHistogram all = s.overall();
+    os << '"' << json_escape(name) << "\":{\"count\":" << all.count()
+       << ",\"sum\":" << num(all.sum()) << ",\"mean\":" << num(all.mean())
+       << ",\"p50\":" << num(all.quantile(0.50))
+       << ",\"p99\":" << num(all.quantile(0.99))
+       << ",\"max\":" << num(all.max()) << ",\"windows\":[";
+    bool w_first = true;
+    for (const WindowStats& w : s.sealed()) {
+      if (!w_first) os << ',';
+      w_first = false;
+      write_window(os, w, /*live=*/false);
+    }
+    if (!w_first) os << ',';
+    write_window(os, s.live(), /*live=*/true);
+    os << "]}";
+  }
+  os << '}';
+
+  os << ",\"slo\":[";
+  first = true;
+  for (const auto& [tenant, m] : slos_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"tenant\":" << tenant << ",\"state\":\""
+       << alert_state_name(m.state()) << "\",\"target\":"
+       << num(m.target().latency) << ",\"objective\":"
+       << num(m.target().objective) << ",\"good\":" << m.good()
+       << ",\"bad\":" << m.bad() << ",\"attainment\":"
+       << num(m.attainment()) << ",\"burn_short\":" << num(m.burn_short())
+       << ",\"burn_long\":" << num(m.burn_long()) << '}';
+  }
+  os << ']';
+
+  os << ",\"alerts\":[";
+  first = true;
+  for (const AlertTransition& a : alerts_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"t\":" << num(a.t) << ",\"tenant\":" << a.tenant
+       << ",\"from\":\"" << alert_state_name(a.from) << "\",\"to\":\""
+       << alert_state_name(a.to) << "\",\"burn_short\":"
+       << num(a.burn_short) << ",\"burn_long\":" << num(a.burn_long)
+       << '}';
+  }
+  os << ']';
+
+  os << ",\"recorder\":{\"capacity\":" << recorder_.capacity()
+     << ",\"seen\":" << recorder_.seen() << ",\"recorded\":"
+     << recorder_.recorded() << ",\"window\":" << num(recorder_.window())
+     << ",\"dumps\":[";
+  first = true;
+  for (const std::string& d : dumps_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(d) << '"';
+  }
+  os << "]}}\n";
+}
+
+}  // namespace parfft::obs

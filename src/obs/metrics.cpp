@@ -29,6 +29,32 @@ std::vector<std::uint64_t> Histogram::counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> c = counts();
+  std::uint64_t n = 0;
+  for (std::uint64_t v : c) n += v;
+  if (n == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (static_cast<double>(cum + c[i]) >= target) {
+      // Overflow bucket (i == edges_.size()) has no upper bound: clamp
+      // to the last edge (documented under-estimate).
+      if (i >= edges_.size()) return edges_.back();
+      const double lower = i == 0 ? 0.0 : edges_[i - 1];
+      const double upper = edges_[i];
+      const double within =
+          c[i] > 0
+              ? (target - static_cast<double>(cum)) / static_cast<double>(c[i])
+              : 0.0;
+      return lower + within * (upper - lower);
+    }
+    cum += c[i];
+  }
+  return edges_.back();
+}
+
 std::vector<double> geometric_edges(double lo, double hi, double factor) {
   PARFFT_CHECK(lo > 0 && factor > 1, "geometric edges need lo > 0, factor > 1");
   std::vector<double> edges;

@@ -74,6 +74,16 @@ class Histogram {
   std::uint64_t count() const { return n_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Value below which a fraction `q` (in [0, 1]) of observations fall,
+  /// by linear interpolation within the winning bucket. Bias: the
+  /// estimate is exact only when observations are uniform within their
+  /// bucket; the error is bounded by one bucket width. Bucket 0's lower
+  /// bound is taken as 0 (edges are upper bounds), and observations in
+  /// the overflow bucket clamp to the last edge -- overflow-heavy
+  /// populations under-report their tail, so size the edges to cover
+  /// the expected range. Returns 0 when empty.
+  double quantile(double q) const;
+
  private:
   std::vector<double> edges_;
   std::vector<std::atomic<std::uint64_t>> buckets_;

@@ -20,6 +20,7 @@ const char* category_name(Category c) {
     case Category::Request: return "request";
     case Category::Fault: return "fault";
     case Category::Retry: return "retry";
+    case Category::Alert: return "alert";
   }
   return "unknown";
 }

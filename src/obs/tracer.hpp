@@ -47,6 +47,7 @@ enum class Category {
   Request,     ///< one client job in the serving layer (arrival to completion)
   Fault,       ///< injected fault window (crash/restart, degraded link, blackout)
   Retry,       ///< client-side backoff interval between request attempts
+  Alert,       ///< SLO alert state transition (telemetry monitor edge)
 };
 
 /// Stable lowercase name ("pack", "exchange", ...) used in exports.

@@ -44,6 +44,35 @@ void ServeReport::write_json(std::ostream& os) const {
      << ",\"cache_evictions\":" << cache_evictions
      << ",\"cache_invalidations\":" << cache_invalidations
      << ",\"setup_charged\":" << setup_charged;
+  os << ",\"tenants\":[";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantReport& t = tenants[i];
+    if (i) os << ',';
+    os << "{\"tenant\":" << t.tenant << ",\"offered\":" << t.offered
+       << ",\"completed\":" << t.completed << ",\"failed\":" << t.failed
+       << ",\"shed\":" << t.shed << ",\"p50\":" << t.p50
+       << ",\"p95\":" << t.p95 << ",\"p99\":" << t.p99
+       << ",\"mean\":" << t.mean << ",\"max\":" << t.max
+       << ",\"slo_latency\":" << t.slo_latency
+       << ",\"slo_objective\":" << t.slo_objective
+       << ",\"attainment\":" << t.attainment
+       << ",\"burn_short\":" << t.burn_short
+       << ",\"burn_long\":" << t.burn_long << ",\"state\":\"" << t.state
+       << "\",\"alerts\":" << t.alerts << '}';
+  }
+  os << ']';
+  os << ",\"alerts\":[";
+  for (std::size_t i = 0; i < alert_log.size(); ++i) {
+    const obs::AlertTransition& a = alert_log[i];
+    if (i) os << ',';
+    os << "{\"t\":" << a.t << ",\"tenant\":" << a.tenant << ",\"from\":\""
+       << obs::alert_state_name(a.from) << "\",\"to\":\""
+       << obs::alert_state_name(a.to)
+       << "\",\"burn_short\":" << a.burn_short
+       << ",\"burn_long\":" << a.burn_long << '}';
+  }
+  os << ']';
+  os << ",\"flight_dumps\":" << flight_dumps.size();
   os << '}';
 }
 

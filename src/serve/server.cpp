@@ -64,6 +64,24 @@ void ServeReport::verify() const {
   // rounding slack from the fluid repricing arithmetic.
   PARFFT_CHECK(busy_time <= makespan * (1.0 + 1e-9) + 1e-9,
                "serve report: busy_time exceeds makespan");
+  // Per-tenant sections (absent on hand-built reports) obey the same
+  // conservation identity tenant by tenant and sum to the run totals.
+  if (!tenants.empty()) {
+    std::uint64_t t_off = 0, t_comp = 0, t_fail = 0, t_shed = 0;
+    for (const TenantReport& t : tenants) {
+      PARFFT_CHECK(t.completed + t.failed == t.offered,
+                   "serve report: tenant completed + failed != offered");
+      PARFFT_CHECK(t.shed <= t.failed,
+                   "serve report: tenant shed requests not all failed");
+      t_off += t.offered;
+      t_comp += t.completed;
+      t_fail += t.failed;
+      t_shed += t.shed;
+    }
+    PARFFT_CHECK(t_off == offered && t_comp == completed &&
+                     t_fail == failed && t_shed == shed,
+                 "serve report: tenant sections do not sum to run totals");
+  }
 }
 
 Server::Server(ServerConfig cfg)
@@ -83,6 +101,60 @@ ServeReport Server::run(Workload& workload) {
   const RetryPolicy& retry = cfg_.retry;
   ServeReport rep;
   rep.offered = workload.offered();
+
+  tel_ = std::make_unique<obs::Telemetry>(cfg_.telemetry);
+  obs::Telemetry& tel = *tel_;
+
+  // Hot-path telemetry handles, interned once per run: the per-event
+  // cost inside the loop is an indexed observe / ring write, never a
+  // string construction or map<string> lookup (that is what keeps the
+  // measured obs.trace_overhead_ratio inside its budget).
+  const bool tel_on = tel.enabled();
+  const auto sid_queue =
+      tel_on ? tel.series_id("serve/queue_depth") : obs::Telemetry::kNoSeries;
+  const auto sid_batch =
+      tel_on ? tel.series_id("serve/batch_size") : obs::Telemetry::kNoSeries;
+  const auto sid_nic =
+      tel_on ? tel.series_id("serve/nic_scale") : obs::Telemetry::kNoSeries;
+  const std::uint32_t fl_req = tel.intern("req");
+  const std::uint32_t fl_failed = tel.intern("failed");
+  const std::uint32_t fl_shed = tel.intern("shed");
+  const std::uint32_t fl_backoff = tel.intern("backoff");
+  std::map<int, std::uint32_t> fl_dispatch;  // per batch shape
+
+  // Per-tenant terminal accounting. Kept on the event loop's own
+  // counters -- never on the telemetry monitors -- so the per-tenant
+  // report sections are byte-identical whether telemetry is enabled.
+  struct TenantAgg {
+    std::uint64_t offered = 0, completed = 0, failed = 0, shed = 0;
+    std::uint64_t in_slo = 0;  ///< completed within the tenant's target
+    std::unique_ptr<obs::Histogram> lat;
+    double lat_max = 0;
+  };
+  std::map<int, TenantAgg> tenant_agg;
+  auto tenant_target = [&](int tenant) {
+    const auto it = cfg_.telemetry.tenant_slo.find(tenant);
+    return it != cfg_.telemetry.tenant_slo.end() ? it->second
+                                                 : cfg_.telemetry.default_slo;
+  };
+
+  // Alert transitions fired by a telemetry advance: record each edge as
+  // an obs span and a critical flight event; a page dumps the recorder.
+  auto handle_alerts = [&](const std::vector<obs::AlertTransition>& fired) {
+    for (const obs::AlertTransition& a : fired) {
+      const std::string name = "tenant " + std::to_string(a.tenant) + ": " +
+                               obs::alert_state_name(a.from) + " -> " +
+                               obs::alert_state_name(a.to);
+      tel.flight(a.t, 0.0, obs::Category::Alert, name, a.tenant,
+                 /*critical=*/true);
+      if (run)
+        run->tracer.complete(0, obs::Category::Alert, name, a.t, 0.0,
+                             {{"burn_short", a.burn_short},
+                              {"burn_long", a.burn_long}});
+      if (a.to == obs::AlertState::Page) tel.dump_flight("page", a.t);
+    }
+  };
+  double last_blackout_dump = -1;  // one flight dump per blackout window
 
   std::vector<double> waits;
   InFlight flight;
@@ -132,6 +204,12 @@ ServeReport Server::run(Workload& workload) {
     }
     if (terminal) {
       ++rep.failed;
+      ++tenant_agg[r.tenant].failed;
+      tel.on_request(t, r.tenant,
+                     t - (r.submitted >= 0 ? r.submitted : r.arrival),
+                     /*completed=*/false);
+      tel.flight(t, 0.0, obs::Category::Request, fl_failed, r.tenant,
+                 /*critical=*/true);
       if (run) run->metrics.counter("serve/failed").add(1);
       workload.on_complete(r, t);
       return;
@@ -144,6 +222,7 @@ ServeReport Server::run(Workload& workload) {
     ++rep.retries;
     retry_q.insert({when, nr.id});
     retry_req[nr.id] = nr;
+    tel.flight(t, when - t, obs::Category::Retry, fl_backoff, r.tenant);
     if (run) {
       run->metrics.counter("serve/retries").add(1);
       run->tracer.complete(0, obs::Category::Retry, "backoff", t, when - t,
@@ -161,6 +240,18 @@ ServeReport Server::run(Workload& workload) {
     waits.push_back(r.queue_wait());
     ++rep.completed;
     if (r.met_deadline()) ++rep.deadline_met;
+    TenantAgg& ta = tenant_agg[r.tenant];
+    ++ta.completed;
+    if (!ta.lat)
+      ta.lat = std::make_unique<obs::Histogram>(
+          obs::geometric_edges(1e-6, 64.0, 2.0));
+    ta.lat->observe(r.latency());
+    ta.lat_max = std::max(ta.lat_max, r.latency());
+    const obs::SloTarget target = tenant_target(r.tenant);
+    if (target.latency > 0 && r.latency() <= target.latency) ++ta.in_slo;
+    tel.on_request(t, r.tenant, r.latency(), /*completed=*/true);
+    tel.flight(r.arrival, t - r.arrival, obs::Category::Request, fl_req,
+               r.tenant);
     if (run) {
       if (r.dispatch > r.arrival)
         run->tracer.complete(0, obs::Category::Wait, "queued", r.arrival,
@@ -202,11 +293,25 @@ ServeReport Server::run(Workload& workload) {
     if (r.submitted < 0) {
       r.submitted = r.arrival;
       if (retry.deadline > 0) r.deadline = r.submitted + retry.deadline;
+      if (!r.hedge) ++tenant_agg[r.tenant].offered;
     }
     if (faults.in_blackout(r.arrival)) {
       if (!r.hedge) {
         ++rep.dropped;
         if (run) run->metrics.counter("serve/dropped").add(1);
+        tel.flight(r.arrival, 0.0, obs::Category::Fault, "blackout_drop",
+                   r.tenant, /*critical=*/true);
+        // The fault layer fired a blackout: freeze one flight dump per
+        // window, at the first drop that reveals it.
+        for (const BlackoutWindow& w : faults.blackouts()) {
+          if (r.arrival >= w.begin && r.arrival < w.end) {
+            if (w.begin > last_blackout_dump) {
+              last_blackout_dump = w.begin;
+              tel.dump_flight("blackout", r.arrival);
+            }
+            break;
+          }
+        }
       }
       fail_or_retry(r, r.arrival);
       return;
@@ -234,6 +339,8 @@ ServeReport Server::run(Workload& workload) {
         hedge_q.emplace(std::make_pair(r.arrival + retry.hedge_delay, r.id), r);
     }
     batcher.push(r);
+    tel.observe(sid_queue, r.arrival,
+                static_cast<double>(batcher.pending()));
     if (run)
       run->counter_sample("serve/queue_depth", r.arrival,
                           static_cast<double>(batcher.pending()));
@@ -255,10 +362,16 @@ ServeReport Server::run(Workload& workload) {
     flight.exec = flight.plan->exec_time(flight.batch.size(), scale);
     flight.scale = scale;
     flight.done = flight.mark + (1.0 - flight.work) * flight.exec;
+    tel.observe(sid_nic, t, scale);
+    tel.flight(t, 0.0, obs::Category::Fault, "reprice", -1,
+               /*critical=*/true);
   };
 
   auto crash = [&](const CrashEvent& c) {
     ++rep.crashes;
+    tel.flight(c.at, c.restart_delay, obs::Category::Fault, "crash", -1,
+               /*critical=*/true);
+    tel.dump_flight("crash", c.at);
     if (run) {
       run->tracer.complete(0, obs::Category::Fault, "crash", c.at,
                            c.restart_delay);
@@ -333,6 +446,16 @@ ServeReport Server::run(Workload& workload) {
     PARFFT_PARANOID_ASSERT(flight.setup_end >= now && flight.done >= flight.setup_end);
     busy = true;
     ++rep.batches;
+    tel.observe(sid_batch, now, static_cast<double>(flight.batch.size()));
+    tel.observe(sid_nic, now, scale);
+    auto fd = fl_dispatch.find(flight.batch.shape_id);
+    if (fd == fl_dispatch.end())
+      fd = fl_dispatch
+               .emplace(flight.batch.shape_id,
+                        tel.intern("dispatch/" +
+                                   std::to_string(flight.batch.shape_id)))
+               .first;
+    tel.flight(now, flight.done - now, obs::Category::Transform, fd->second);
     if (run) {
       run->tracer.complete(
           0, obs::Category::Transform,
@@ -350,6 +473,11 @@ ServeReport Server::run(Workload& workload) {
   };
 
   while (true) {
+    // Seal telemetry windows up to the event instant before any of its
+    // events are observed, so every observation at `now` lands in the
+    // window containing `now` and alert evaluations never see the
+    // future.
+    if (tel.due(now)) handle_alerts(tel.advance(now));
     if (!up && restart_at <= now) {
       up = true;
       restart_at = kInf;
@@ -415,6 +543,13 @@ ServeReport Server::run(Workload& workload) {
             cancel_retry(r.id);
             ++rep.shed;
             ++rep.failed;
+            TenantAgg& ta = tenant_agg[r.tenant];
+            ++ta.shed;
+            ++ta.failed;
+            tel.on_request(now, r.tenant, now - r.submitted,
+                           /*completed=*/false);
+            tel.flight(now, 0.0, obs::Category::Request, fl_shed, r.tenant,
+                       /*critical=*/true);
             if (run) {
               run->metrics.counter("serve/shed").add(1);
               run->metrics.counter("serve/failed").add(1);
@@ -489,6 +624,51 @@ ServeReport Server::run(Workload& workload) {
   rep.cache_evictions = cache_.evictions();
   rep.cache_invalidations = cache_.invalidations();
   rep.setup_charged = cache_.setup_charged();
+
+  // Close out telemetry: seal every window the run spanned (plus the
+  // exchange-phase link statistics core recorded, when tracing), then
+  // lift the per-tenant sections into the report.
+  if (run)
+    for (const obs::ExchangeRecord& rec : run->exchanges())
+      tel.observe_exchange(rec);
+  handle_alerts(tel.advance(now));
+  for (const auto& [tenant, ta] : tenant_agg) {
+    TenantReport tr;
+    tr.tenant = tenant;
+    tr.offered = ta.offered;
+    tr.completed = ta.completed;
+    tr.failed = ta.failed;
+    tr.shed = ta.shed;
+    if (ta.lat) {
+      tr.p50 = ta.lat->quantile(0.50);
+      tr.p95 = ta.lat->quantile(0.95);
+      tr.p99 = ta.lat->quantile(0.99);
+      tr.mean = ta.lat->count() > 0
+                    ? ta.lat->sum() / static_cast<double>(ta.lat->count())
+                    : 0.0;
+      tr.max = ta.lat_max;
+    }
+    const obs::SloTarget target = tenant_target(tenant);
+    if (target.latency > 0) {
+      tr.slo_latency = target.latency;
+      tr.slo_objective = target.objective;
+      const std::uint64_t terminal = ta.completed + ta.failed;
+      tr.attainment = terminal > 0 ? static_cast<double>(ta.in_slo) /
+                                         static_cast<double>(terminal)
+                                   : 1.0;
+    }
+    if (const auto it = tel.slos().find(tenant); it != tel.slos().end()) {
+      tr.burn_short = it->second.burn_short();
+      tr.burn_long = it->second.burn_long();
+      tr.state = obs::alert_state_name(it->second.state());
+    }
+    for (const obs::AlertTransition& a : tel.alerts())
+      if (a.tenant == tenant) ++tr.alerts;
+    rep.tenants.push_back(std::move(tr));
+  }
+  rep.alert_log = tel.alerts();
+  rep.flight_dumps = tel.flight_dumps();
+  tel.write_snapshot_file();
   if (run) {
     // Fault windows as timeline spans (clipped to the run), so the
     // Perfetto view shows degraded/blackout stretches under the request

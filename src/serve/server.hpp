@@ -31,9 +31,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "serve/batcher.hpp"
 #include "serve/fault.hpp"
@@ -67,6 +69,14 @@ struct ServerConfig {
   /// graceful degradation under overload and retry storms.
   bool shed_expired = false;
   obs::TraceConfig trace;
+  /// Live telemetry: windowed series, per-tenant SLO monitors and the
+  /// flight recorder (obs/telemetry.hpp). Always-on by default; set
+  /// `telemetry.enabled = false` to strip every observation. Tenant SLO
+  /// targets come from telemetry.tenant_slo / telemetry.default_slo and
+  /// also drive the per-tenant attainment figures of ServeReport (those
+  /// are computed from the report's own counters, so the report is
+  /// identical whether telemetry is on or off).
+  obs::TelemetryConfig telemetry;
   std::string label = "serve";
 };
 
@@ -78,6 +88,32 @@ struct LatencySummary {
 
 /// Nearest-rank percentiles over `samples` (need not be sorted).
 LatencySummary summarize_latencies(std::vector<double> samples);
+
+/// One tenant's section of a ServeReport. Counters obey the same
+/// conservation identity as the run totals (completed + failed ==
+/// offered, per tenant); latency quantiles are derived from a
+/// fixed-bucket obs::Histogram via its interpolating quantile()
+/// estimator, not from the raw sample vector. SLO fields are filled
+/// when the tenant has a target configured (ServerConfig::telemetry):
+/// attainment always (from the report's own counters), burn rates and
+/// the final alert state only when the telemetry monitors actually ran.
+struct TenantReport {
+  int tenant = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  double p50 = 0, p95 = 0, p99 = 0;  ///< histogram-derived, completed only
+  double mean = 0, max = 0;
+  double slo_latency = 0;    ///< configured target (0 = unmonitored)
+  double slo_objective = 0;
+  /// In-SLO terminal outcomes / all terminal outcomes (1.0 before any
+  /// traffic; 1.0 when unmonitored).
+  double attainment = 1.0;
+  double burn_short = 0, burn_long = 0;  ///< at the last evaluation
+  std::string state;         ///< final alert state ("" when unmonitored)
+  std::uint64_t alerts = 0;  ///< alert transitions this tenant fired
+};
 
 /// What one Server::run() produced.
 ///
@@ -128,6 +164,15 @@ struct ServeReport {
   std::uint64_t cache_invalidations = 0;  ///< crash-forced removals
   double setup_charged = 0;  ///< virtual seconds of plan setup paid
 
+  /// Per-tenant sections, sorted by tenant id; every tenant that offered
+  /// at least one request appears.
+  std::vector<TenantReport> tenants;
+  /// SLO alert transitions, in virtual-time order (telemetry on only).
+  std::vector<obs::AlertTransition> alert_log;
+  /// Flight-recorder dump files written during the run (crash, blackout
+  /// or page triggers; telemetry on with a dump path configured only).
+  std::vector<std::string> flight_dumps;
+
   /// Throws parfft::Error if the report's conservation identities are
   /// broken: completed + failed == offered (every request terminal
   /// exactly once), attempt traffic >= terminals, deadline_met <=
@@ -157,6 +202,10 @@ class Server {
   const ServerConfig& config() const { return cfg_; }
   const PlanCache& plan_cache() const { return cache_; }
 
+  /// The telemetry of the most recent run() (null before the first run
+  /// or when telemetry is disabled). Valid until the next run() call.
+  const obs::Telemetry* telemetry() const { return tel_.get(); }
+
  private:
   /// One dispatched batch. Execution progress is tracked as a fraction of
   /// the current pricing's exec time so link-degradation boundaries can
@@ -178,6 +227,7 @@ class Server {
 
   ServerConfig cfg_;
   PlanCache cache_;
+  std::unique_ptr<obs::Telemetry> tel_;
 };
 
 }  // namespace parfft::serve

@@ -17,199 +17,17 @@
 #include "common/random.hpp"
 #include "core/plan.hpp"
 #include "core/simulate.hpp"
+#include "json_parser.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/tracer.hpp"
 
 using namespace parfft;
+using parfft::testjson::JValue;
+using parfft::testjson::JsonParser;
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal strict JSON parser, enough to validate the Chrome export. Throws
-// std::runtime_error on any syntax violation (trailing commas, bare inf,
-// unterminated strings, garbage after the document), which gtest reports
-// as a test failure.
-
-struct JValue {
-  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
-  Kind kind = Kind::Null;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<JValue> arr;
-  std::map<std::string, JValue> obj;
-
-  const JValue* find(const std::string& key) const {
-    auto it = obj.find(key);
-    return it == obj.end() ? nullptr : &it->second;
-  }
-  double number(const std::string& key) const {
-    const JValue* v = find(key);
-    if (v == nullptr || v->kind != Kind::Num)
-      throw std::runtime_error("missing number field: " + key);
-    return v->num;
-  }
-  std::string string(const std::string& key) const {
-    const JValue* v = find(key);
-    if (v == nullptr || v->kind != Kind::Str)
-      throw std::runtime_error("missing string field: " + key);
-    return v->str;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string s) : s_(std::move(s)) {}
-
-  JValue parse() {
-    JValue v = value();
-    skip();
-    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
-    return v;
-  }
-
- private:
-  void skip() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r'))
-      ++pos_;
-  }
-  char peek() {
-    skip();
-    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c)
-      throw std::runtime_error(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JValue value() {
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') return null();
-    return number();
-  }
-
-  JValue object() {
-    expect('{');
-    JValue v;
-    v.kind = JValue::Kind::Obj;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      JValue key = string_value();
-      expect(':');
-      v.obj.emplace(key.str, value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JValue array() {
-    expect('[');
-    JValue v;
-    v.kind = JValue::Kind::Arr;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.arr.push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JValue string_value() {
-    expect('"');
-    JValue v;
-    v.kind = JValue::Kind::Str;
-    while (true) {
-      if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return v;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': v.str += '"'; break;
-          case '\\': v.str += '\\'; break;
-          case '/': v.str += '/'; break;
-          case 'n': v.str += '\n'; break;
-          case 'r': v.str += '\r'; break;
-          case 't': v.str += '\t'; break;
-          case 'b': v.str += '\b'; break;
-          case 'f': v.str += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
-            v.str += static_cast<char>(
-                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
-            pos_ += 4;
-            break;
-          }
-          default: throw std::runtime_error("bad escape char");
-        }
-      } else {
-        v.str += c;
-      }
-    }
-  }
-
-  JValue boolean() {
-    JValue v;
-    v.kind = JValue::Kind::Bool;
-    if (s_.compare(pos_, 4, "true") == 0) {
-      v.b = true;
-      pos_ += 4;
-    } else if (s_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-    } else {
-      throw std::runtime_error("bad literal");
-    }
-    return v;
-  }
-
-  JValue null() {
-    if (s_.compare(pos_, 4, "null") != 0)
-      throw std::runtime_error("bad literal");
-    pos_ += 4;
-    return JValue{};
-  }
-
-  JValue number() {
-    JValue v;
-    v.kind = JValue::Kind::Num;
-    const char* start = s_.c_str() + pos_;
-    // JSON numbers may not be inf/nan; the exporter must never emit them.
-    if (s_.compare(pos_, 1, "i") == 0 || s_.compare(pos_, 1, "N") == 0)
-      throw std::runtime_error("bare inf/nan");
-    char* end = nullptr;
-    v.num = std::strtod(start, &end);
-    if (end == start) throw std::runtime_error("bad number");
-    pos_ += static_cast<std::size_t>(end - start);
-    return v;
-  }
-
-  std::string s_;
-  std::size_t pos_ = 0;
-};
 
 /// EXPECT_NEAR with a relative tolerance tight enough to be "equal up to
 /// summation-order rounding" (the tracer and the legacy aggregates sum the

@@ -1,0 +1,158 @@
+#pragma once
+/// \file mini_json.hpp
+/// Minimal JSON parser shared by the repo's perf/observability tooling
+/// (tools/perfdiff, tools/parfft_top). Covers exactly the subset the
+/// repo's own emitters produce -- objects / arrays / strings without
+/// escapes needing decoding / numbers / booleans / null -- so the tools
+/// stay dependency-free.
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parfft::tools {
+
+struct JValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  bool is_obj() const { return kind == Kind::Object; }
+  bool is_arr() const { return kind == Kind::Array; }
+  /// Member lookup; null when absent or not an object.
+  const JValue* get(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  double num_or(const std::string& key, double fallback) const {
+    const JValue* v = get(key);
+    return v && v->kind == Kind::Number ? v->num : fallback;
+  }
+  std::string str_or(const std::string& key,
+                     const std::string& fallback) const {
+    const JValue* v = get(key);
+    return v && v->kind == Kind::String ? v->str : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(JValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JValue::Kind::String; return string(out.str);
+      case 't': out.kind = JValue::Kind::Bool; out.b = true;
+                return literal("true");
+      case 'f': out.kind = JValue::Kind::Bool; out.b = false;
+                return literal("false");
+      case 'n': out.kind = JValue::Kind::Null; return literal("null");
+      default: out.kind = JValue::Kind::Number; return number(out.num);
+    }
+  }
+
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        out += s_[pos_ + 1];  // raw pass-through; keys we read are plain
+        pos_ += 2;
+      } else {
+        out += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number(double& out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool array(JValue& out) {
+    out.kind = JValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JValue v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool object(JValue& out) {
+    out.kind = JValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      JValue v;
+      if (!value(v)) return false;
+      out.obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace parfft::tools

@@ -3,157 +3,42 @@
 /// exits nonzero when the current file regresses against the baseline.
 ///
 /// Usage:
-///   perfdiff <baseline.json> <current.json> [--tol=0.05]
+///   perfdiff <baseline.json> <current.json> [--tol=0.05] [--only=a,b]
 ///
 /// Every metric carries a "dir" tag saying which direction is better;
 /// a move the *wrong* way by more than the relative tolerance is a
-/// regression. Metrics missing from the current file are regressions
-/// too (a deleted guard is a silent regression); new metrics are
-/// reported but never fail. Exit codes: 0 ok, 1 regression, 2 usage or
-/// parse error.
-///
-/// The parser covers exactly the JSON subset perf_baseline emits
-/// (objects / arrays / strings without escapes needing decoding /
-/// numbers / booleans / null) -- no external dependency.
+/// regression. The global --tol applies unless the baseline metric
+/// carries its own "tol" (e.g. the wall-clock-derived
+/// obs.trace_overhead_ratio, whose noise floor is wider than the
+/// virtual-time metrics'). --only=name,name restricts the comparison to
+/// the named metrics -- the smoke path checks a partial run against the
+/// full committed baseline without every absent metric counting as
+/// deleted. Metrics missing from the current file are regressions
+/// (a deleted guard is a silent regression); new metrics are reported
+/// but never fail. Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "mini_json.hpp"
+
 namespace {
 
-struct JValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<JValue> arr;
-  std::map<std::string, JValue> obj;
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  bool parse(JValue& out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  bool literal(const char* word) {
-    const std::size_t n = std::strlen(word);
-    if (s_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool value(JValue& out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"': out.kind = JValue::Kind::String; return string(out.str);
-      case 't': out.kind = JValue::Kind::Bool; out.b = true;
-                return literal("true");
-      case 'f': out.kind = JValue::Kind::Bool; out.b = false;
-                return literal("false");
-      case 'n': out.kind = JValue::Kind::Null; return literal("null");
-      default: out.kind = JValue::Kind::Number; return number(out.num);
-    }
-  }
-
-  bool string(std::string& out) {
-    if (s_[pos_] != '"') return false;
-    ++pos_;
-    out.clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        if (pos_ + 1 >= s_.size()) return false;
-        out += s_[pos_ + 1];  // raw pass-through; keys we read are plain
-        pos_ += 2;
-      } else {
-        out += s_[pos_++];
-      }
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool number(double& out) {
-    const char* start = s_.c_str() + pos_;
-    char* end = nullptr;
-    out = std::strtod(start, &end);
-    if (end == start) return false;
-    pos_ += static_cast<std::size_t>(end - start);
-    return true;
-  }
-
-  bool array(JValue& out) {
-    out.kind = JValue::Kind::Array;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
-    while (true) {
-      JValue v;
-      if (!value(v)) return false;
-      out.arr.push_back(std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') { ++pos_; continue; }
-      if (s_[pos_] == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool object(JValue& out) {
-    out.kind = JValue::Kind::Object;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= s_.size() || !string(key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
-      ++pos_;
-      JValue v;
-      if (!value(v)) return false;
-      out.obj.emplace(std::move(key), std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') { ++pos_; continue; }
-      if (s_[pos_] == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using parfft::tools::JsonParser;
+using parfft::tools::JValue;
 
 struct Metric {
   double v = 0;
   std::string dir = "lower";
+  double tol = -1;  ///< per-metric override; < 0 = use the global
 };
 
 bool load_metrics(const char* path, std::map<std::string, Metric>& out) {
@@ -166,26 +51,23 @@ bool load_metrics(const char* path, std::map<std::string, Metric>& out) {
   ss << f.rdbuf();
   const std::string text = ss.str();
   JValue root;
-  if (!Parser(text).parse(root) || root.kind != JValue::Kind::Object) {
+  if (!JsonParser(text).parse(root) || !root.is_obj()) {
     std::fprintf(stderr, "perfdiff: %s is not valid JSON\n", path);
     return false;
   }
-  const auto it = root.obj.find("metrics");
-  if (it == root.obj.end() || it->second.kind != JValue::Kind::Object) {
+  const JValue* metrics = root.get("metrics");
+  if (!metrics || !metrics->is_obj()) {
     std::fprintf(stderr, "perfdiff: %s has no \"metrics\" object\n", path);
     return false;
   }
-  for (const auto& [name, val] : it->second.obj) {
-    if (val.kind != JValue::Kind::Object) continue;
+  for (const auto& [name, val] : metrics->obj) {
+    if (!val.is_obj()) continue;
+    const JValue* v = val.get("v");
+    if (!v || v->kind != JValue::Kind::Number) continue;
     Metric m;
-    if (const auto v = val.obj.find("v");
-        v != val.obj.end() && v->second.kind == JValue::Kind::Number)
-      m.v = v->second.num;
-    else
-      continue;
-    if (const auto d = val.obj.find("dir");
-        d != val.obj.end() && d->second.kind == JValue::Kind::String)
-      m.dir = d->second.str;
+    m.v = v->num;
+    m.dir = val.str_or("dir", "lower");
+    m.tol = val.num_or("tol", -1.0);
     out.emplace(name, std::move(m));
   }
   return true;
@@ -195,13 +77,25 @@ bool load_metrics(const char* path, std::map<std::string, Metric>& out) {
 
 int main(int argc, char** argv) {
   double tol = 0.05;
+  std::set<std::string> only;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tol=", 6) == 0) {
       tol = std::strtod(argv[i] + 6, nullptr);
+    } else if (std::strncmp(argv[i], "--only=", 7) == 0) {
+      std::string list(argv[i] + 7);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!name.empty()) only.insert(name);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf("usage: perfdiff <baseline.json> <current.json> "
-                  "[--tol=0.05]\n");
+                  "[--tol=0.05] [--only=metric,metric]\n");
       return 0;
     } else {
       files.push_back(argv[i]);
@@ -210,12 +104,20 @@ int main(int argc, char** argv) {
   if (files.size() != 2 || tol < 0) {
     std::fprintf(stderr,
                  "usage: perfdiff <baseline.json> <current.json> "
-                 "[--tol=0.05]\n");
+                 "[--tol=0.05] [--only=metric,metric]\n");
     return 2;
   }
 
   std::map<std::string, Metric> base, cur;
   if (!load_metrics(files[0], base) || !load_metrics(files[1], cur)) return 2;
+  if (!only.empty()) {
+    for (const std::string& name : only)
+      if (base.find(name) == base.end()) {
+        std::fprintf(stderr, "perfdiff: --only metric %s not in baseline\n",
+                     name.c_str());
+        return 2;
+      }
+  }
 
   int regressions = 0, improvements = 0;
   std::size_t name_w = 6;
@@ -223,6 +125,7 @@ int main(int argc, char** argv) {
   std::printf("%-*s %14s %14s %9s  status\n", static_cast<int>(name_w),
               "metric", "baseline", "current", "delta");
   for (const auto& [name, b] : base) {
+    if (!only.empty() && only.find(name) == only.end()) continue;
     const auto it = cur.find(name);
     if (it == cur.end()) {
       std::printf("%-*s %14.6g %14s %9s  REGRESSION (missing)\n",
@@ -235,11 +138,12 @@ int main(int argc, char** argv) {
     const double rel = (c.v - b.v) / denom;
     // Positive `bad` means the metric moved the wrong way.
     const double bad = b.dir == "higher" ? -rel : rel;
+    const double limit = b.tol >= 0 ? b.tol : tol;
     const char* status = "ok";
-    if (bad > tol) {
+    if (bad > limit) {
       status = "REGRESSION";
       ++regressions;
-    } else if (bad < -tol) {
+    } else if (bad < -limit) {
       status = "improved";
       ++improvements;
     }
@@ -247,10 +151,11 @@ int main(int argc, char** argv) {
                 static_cast<int>(name_w), name.c_str(), b.v, c.v, 100 * rel,
                 status);
   }
-  for (const auto& [name, c] : cur)
-    if (base.find(name) == base.end())
-      std::printf("%-*s %14s %14.6g %9s  new\n", static_cast<int>(name_w),
-                  name.c_str(), "-", c.v, "-");
+  if (only.empty())
+    for (const auto& [name, c] : cur)
+      if (base.find(name) == base.end())
+        std::printf("%-*s %14s %14.6g %9s  new\n", static_cast<int>(name_w),
+                    name.c_str(), "-", c.v, "-");
 
   std::printf("\n%d regression(s), %d improvement(s), tolerance %.1f%%\n",
               regressions, improvements, 100 * tol);
