@@ -1,0 +1,244 @@
+/// \file cluster_sweep.cpp
+/// Sharded-tier sweep over src/cluster: machine count x placement policy,
+/// a correlated machine-fault grid, and the front-end admission modes.
+/// Not a paper figure -- this bench shows how the paper's single-machine
+/// cost models compose into a multi-machine serving tier: shape-affinity
+/// routing keeps plan caches warm (amortizing Fig. 10's setup spikes),
+/// and machine-scoped crashes cost only one shard's goodput while the
+/// router places around the hole.
+///
+/// All virtual time, fully deterministic from the workload + fault
+/// seeds; a fixed seed reprints byte-identical tables.
+///
+/// `--smoke` runs a reduced request count (CI).
+
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "serve/server.hpp"
+
+using namespace parfft;
+using namespace parfft::bench;
+namespace cl = parfft::cluster;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260808;
+
+serve::ClusterConfig machine_config() {
+  serve::ClusterConfig c;
+  c.machine = net::summit();
+  c.device = gpu::v100();
+  c.nranks = 12;  // two Summit nodes per machine shard
+  return c;
+}
+
+serve::JobShape cube(int n) {
+  serve::JobShape s;
+  s.n = {n, n, n};
+  s.options.decomp = core::Decomposition::Pencil;
+  s.options.overlap_batches = true;
+  return s;
+}
+
+double unit_time(const serve::ClusterConfig& c, const serve::JobShape& s) {
+  core::Simulator sim(serve::to_sim_config(c, s));
+  return sim.transform_time(1);
+}
+
+/// A skewed shape catalog: enough distinct shapes that a cache-blind
+/// policy thrashes, with a heavy head so affinity has something to pin.
+const std::vector<serve::ShapeMix>& sweep_mix() {
+  static const std::vector<serve::ShapeMix> mix = {
+      {cube(64), 6.0}, {cube(128), 3.0}, {cube(96), 2.0},
+      {cube(48), 1.0}, {cube(32), 1.0}};
+  return mix;
+}
+
+serve::ServerConfig shard_config(const serve::ClusterConfig& c, double t1) {
+  serve::ServerConfig cfg;
+  cfg.cluster = c;
+  for (const auto& m : sweep_mix()) cfg.shapes.push_back(m.shape);
+  cfg.batching.max_batch = 8;
+  cfg.batching.max_delay = 2 * t1;
+  cfg.cache_capacity = 4;  // small enough that placement policy matters
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_base = 0.5 * t1;
+  cfg.retry.backoff_cap = 8 * t1;
+  cfg.retry.jitter_seed = kSeed;
+  return cfg;
+}
+
+/// Machine count x placement policy, fault-free: throughput scaling and
+/// how each policy treats the shards' plan caches.
+void sweep_placement(std::uint64_t requests) {
+  const serve::ClusterConfig c = machine_config();
+  const double t1 = unit_time(c, sweep_mix()[0].shape);
+
+  std::printf("placement sweep: %llu requests, arrival rate 3/t1 per "
+              "machine, cache capacity 4\n",
+              static_cast<unsigned long long>(requests));
+  Table t({"machines", "placement", "done", "throughput/s", "p99",
+           "warm rate", "cache miss", "setup paid"});
+  for (int machines : {1, 3, 6}) {
+    for (cl::Placement p :
+         {cl::Placement::Hash, cl::Placement::Load, cl::Placement::Affinity}) {
+      cl::ClusterOptions opt;
+      opt.shard = shard_config(c, t1);
+      opt.machines = machines;
+      opt.placement = p;
+      opt.label = std::string("cluster/place_m") + std::to_string(machines) +
+                  "_" + cl::placement_name(p);
+      cl::Cluster tier(opt);
+      serve::OpenLoopWorkload load(sweep_mix(), 3.0 * machines / t1, requests,
+                                   /*tenants=*/4, kSeed);
+      const cl::ClusterReport rep = tier.run(load);
+      rep.verify();
+      std::uint64_t misses = 0;
+      double setup = 0;
+      for (const cl::MachineSlice& s : rep.per_machine) {
+        misses += s.report.cache_misses;
+        setup += s.report.setup_charged;
+      }
+      t.add_row({std::to_string(machines), cl::placement_name(p),
+                 std::to_string(rep.completed),
+                 format_fixed(rep.throughput, 1), format_time(rep.latency.p99),
+                 format_fixed(100 * rep.affinity_hit_rate, 1) + "%",
+                 std::to_string(misses), format_time(setup)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("\n");
+}
+
+/// Correlated machine faults on a 3-machine tier: one seeded
+/// crash/degrade schedule per machine (ClusterFaultPlan::generate), at
+/// rising fault rates. The router fails new placements over, so global
+/// conservation holds while per-machine downtime diverges.
+void sweep_machine_faults(std::uint64_t requests) {
+  const serve::ClusterConfig c = machine_config();
+  const double t1 = unit_time(c, sweep_mix()[0].shape);
+  const int machines = 3;
+  const double rate = 2.0 * machines / t1;
+  const double horizon = 2.5 * static_cast<double>(requests) / rate;
+
+  std::printf("machine-fault sweep: 3 machines, affinity placement, %llu "
+              "requests, crash MTTR 8x t1\n",
+              static_cast<unsigned long long>(requests));
+  Table t({"mtbf", "done", "failed", "crashes", "failovers", "goodput/s",
+           "p99", "downtime m0/m1/m2"});
+  for (double mtbf_units : {0.0, 120.0, 60.0, 30.0}) {
+    cl::ClusterOptions opt;
+    opt.shard = shard_config(c, t1);
+    opt.shard.retry.deadline = 80 * t1;
+    opt.shard.shed_expired = true;
+    opt.machines = machines;
+    opt.placement = cl::Placement::Affinity;
+    if (mtbf_units > 0) {
+      serve::FaultSpec spec;
+      spec.seed = kSeed;
+      spec.horizon = horizon;
+      spec.crash_mtbf = mtbf_units * t1;
+      spec.crash_mttr = 8 * t1;
+      spec.degrade_mtbf = 2 * mtbf_units * t1;
+      spec.degrade_mttr = 10 * t1;
+      opt.faults = serve::ClusterFaultPlan::generate(machines, spec);
+    }
+    opt.label = std::string("cluster/fault_mtbf") +
+                (mtbf_units > 0 ? format_fixed(mtbf_units, 0) : "inf");
+    cl::Cluster tier(opt);
+    serve::OpenLoopWorkload load(sweep_mix(), rate, requests, /*tenants=*/4,
+                                 kSeed);
+    const cl::ClusterReport rep = tier.run(load);
+    rep.verify();
+    std::string downtimes;
+    for (const cl::MachineSlice& s : rep.per_machine) {
+      if (!downtimes.empty()) downtimes += "/";
+      downtimes += format_time(s.report.downtime);
+    }
+    t.add_row({mtbf_units > 0 ? format_fixed(mtbf_units, 0) + "xt1" : "none",
+               std::to_string(rep.completed), std::to_string(rep.failed),
+               std::to_string(rep.crashes), std::to_string(rep.failovers),
+               format_fixed(rep.goodput, 1), format_time(rep.latency.p99),
+               downtimes});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+}
+
+/// Front-end admission: a router blackout mid-run under Shed vs Spool,
+/// and the global queue limit tightening. Shed trades completions for a
+/// flat tail; Spool completes everything at a deferred-latency cost.
+void sweep_admission(std::uint64_t requests) {
+  const serve::ClusterConfig c = machine_config();
+  const double t1 = unit_time(c, sweep_mix()[0].shape);
+  const int machines = 3;
+  const double rate = 3.0 * machines / t1;
+  // Blackout scaled to the arrival span so the window actually overlaps
+  // traffic at every request count (smoke included).
+  const double span = static_cast<double>(requests) / rate;
+  const double black_begin = 0.3 * span;
+  const double black_end = 0.55 * span;
+
+  std::printf("admission sweep: 3 machines, front-end blackout over "
+              "[30%%, 55%%) of the arrival span, %llu requests\n",
+              static_cast<unsigned long long>(requests));
+  Table t({"mode", "queue limit", "done", "shed", "spooled", "goodput/s",
+           "p99"});
+  struct Mode {
+    const char* name;
+    cl::AdmissionConfig::FrontendDown down;
+    std::size_t limit;
+  };
+  const Mode modes[] = {
+      {"shed", cl::AdmissionConfig::FrontendDown::Shed, 0},
+      {"spool", cl::AdmissionConfig::FrontendDown::Spool, 0},
+      {"shed", cl::AdmissionConfig::FrontendDown::Shed, 24},
+      {"spool", cl::AdmissionConfig::FrontendDown::Spool, 24},
+  };
+  for (const Mode& mode : modes) {
+    cl::ClusterOptions opt;
+    opt.shard = shard_config(c, t1);
+    opt.machines = machines;
+    opt.placement = cl::Placement::Load;
+    opt.admission.frontend_down = mode.down;
+    opt.admission.global_queue_limit = mode.limit;
+    opt.faults.frontend().add_blackout(black_begin, black_end);
+    opt.label = std::string("cluster/admission_") + mode.name + "_q" +
+                std::to_string(mode.limit);
+    cl::Cluster tier(opt);
+    serve::OpenLoopWorkload load(sweep_mix(), rate, requests, /*tenants=*/4,
+                                 kSeed);
+    const cl::ClusterReport rep = tier.run(load);
+    rep.verify();
+    t.add_row({mode.name,
+               mode.limit > 0 ? std::to_string(mode.limit) : "none",
+               std::to_string(rep.completed),
+               std::to_string(rep.frontend_shed),
+               std::to_string(rep.spooled), format_fixed(rep.goodput, 1),
+               format_time(rep.latency.p99)});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  banner("cluster_sweep",
+         "multi-machine sharded tier: placement, machine faults, admission",
+         "shape-affinity routing amortizes the cuFFT plan-setup spike "
+         "(Fig. 10) across shards; machine-scoped crashes cost one shard's "
+         "goodput while the router places around the hole; the front end "
+         "sheds or spools through its own blackouts");
+
+  sweep_placement(smoke ? 240 : 2400);
+  sweep_machine_faults(smoke ? 240 : 2400);
+  sweep_admission(smoke ? 180 : 1800);
+  return 0;
+}

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cluster/cluster.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/analysis.hpp"
@@ -44,6 +45,7 @@
 
 using namespace parfft;
 using namespace parfft::bench;
+namespace cl = parfft::cluster;
 
 namespace {
 
@@ -363,6 +365,37 @@ serve::ServeReport suite_fault() {
   return rep;
 }
 
+/// The sharded tier's pinned cell (bench/cluster_sweep's headline
+/// config): 3 machines behind shape-affinity routing, one machine-scoped
+/// crash mid-run forcing placement failover. Guards the cluster's
+/// useful-work rate, how warm affinity keeps the caches, and the tail
+/// under failover.
+void suite_cluster() {
+  const serve::ClusterConfig c = cluster();
+  const double t1 = unit_time(c, serve_mix()[0].shape);
+  cl::ClusterOptions opt;
+  opt.shard = serve_cfg(c, t1);
+  opt.shard.retry.max_attempts = 3;
+  opt.shard.retry.backoff_base = 0.5 * t1;
+  opt.shard.retry.jitter_seed = kSeed;
+  opt.machines = 3;
+  opt.placement = cl::Placement::Affinity;
+  opt.label = "perf/cluster";
+  // Crash machine 0 while arrivals are still flowing: its pinned shapes
+  // must fail over and re-warm elsewhere.
+  opt.faults.machine(0).add_crash(40 * t1, 20 * t1);
+  cl::Cluster tier(opt);
+  serve::OpenLoopWorkload load(serve_mix(), 8.0 / t1, /*requests=*/400,
+                               /*tenants=*/4, kSeed);
+  const cl::ClusterReport rep = tier.run(load);
+  rep.verify();
+  put("cluster.goodput", rep.goodput, "higher");
+  put("cluster.affinity_hit_rate", rep.affinity_hit_rate, "higher");
+  put("cluster.failover_p99", hist_quantile(rep.latencies, 0.99));
+  put("cluster.completed", static_cast<double>(rep.completed), "higher");
+  put("cluster.failovers", static_cast<double>(rep.failovers));
+}
+
 void write_bench_json(std::ostream& os, const serve::ServeReport& serve_rep,
                       const serve::ServeReport* fault_rep) {
   os << "{\n  \"schema\": \"parfft-bench-v1\",\n  \"suite\": "
@@ -420,6 +453,7 @@ int main(int argc, char** argv) {
     const serve::ServeReport serve_rep = suite_serve(snapshot);
     suite_overhead();
     const serve::ServeReport fault_rep = suite_fault();
+    suite_cluster();
 
     std::ofstream f(out);
     PARFFT_CHECK(static_cast<bool>(f), "cannot open output " + out);

@@ -1,0 +1,356 @@
+/// \file cluster.cpp
+/// The cluster router: request placement across machine shards, global
+/// admission, front-end fault handling, and the one virtual clock every
+/// shard advances on.
+///
+/// Scheduling discipline (the whole determinism argument): each outer
+/// iteration finds the earliest pending instant t across (a) the global
+/// workload's next arrival, (b) the spool's next release and (c) every
+/// shard's next internal event, then either routes everything due at t
+/// or advances the due shards to t -- never both in one pass, because
+/// handing a shard an arrival can unlock an earlier internal event (a
+/// crash scheduled while the shard sat idle) that must fire first. A
+/// shard is therefore never advanced past an arrival it has not been
+/// handed, and a one-machine cluster replays the standalone
+/// serve::Server event order exactly.
+
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/paranoid.hpp"
+#include "common/random.hpp"
+#include "obs/telemetry.hpp"
+
+namespace parfft::cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// An arrival held at the router through a front-end blackout
+/// (AdmissionConfig::FrontendDown::Spool), re-admitted at `release`.
+struct Spooled {
+  serve::Request req;
+  double release = 0;
+};
+
+/// The router-fed request source one shard's engine pulls from. Local
+/// emptiness does not mean the run is over -- exhausted() consults the
+/// global workload and the router's spool, so a shard idles (instead of
+/// draining its batcher early) while more traffic can still be routed
+/// its way.
+class Feeder final : public serve::Workload {
+ public:
+  Feeder(serve::Workload& global, const std::deque<Spooled>& spool)
+      : global_(&global), spool_(&spool) {}
+
+  /// Router-side: hand this shard an arrival (times non-decreasing).
+  void push(serve::Request r) { q_.push_back(std::move(r)); }
+  /// Routed but not yet admitted by the shard's engine.
+  std::size_t backlog() const { return q_.size(); }
+
+  std::optional<double> peek() const override {
+    if (q_.empty()) return std::nullopt;
+    return q_.front().arrival;
+  }
+  serve::Request pop() override {
+    PARFFT_ASSERT(!q_.empty());
+    serve::Request r = std::move(q_.front());
+    q_.pop_front();
+    return r;
+  }
+  void on_complete(const serve::Request& r, double now) override {
+    global_->on_complete(r, now);
+  }
+  /// Requests routed here so far: the shard's offered count, so each
+  /// shard's conservation identity stays local to what it was handed.
+  std::uint64_t offered() const override { return routed_; }
+  bool done() const override { return q_.empty(); }
+  bool exhausted() const override {
+    return q_.empty() && !global_->peek().has_value() && spool_->empty();
+  }
+
+  void count_routed() { ++routed_; }
+
+ private:
+  serve::Workload* global_;
+  const std::deque<Spooled>* spool_;
+  std::deque<serve::Request> q_;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::Hash: return "hash";
+    case Placement::Load: return "load";
+    case Placement::Affinity: return "affinity";
+  }
+  return "?";
+}
+
+struct Cluster::Shard {
+  explicit Shard(serve::ServerConfig cfg) : server(std::move(cfg)) {}
+
+  serve::Server server;
+  std::unique_ptr<Feeder> feeder;  ///< live during run()
+  std::uint64_t routed = 0;        ///< this run
+  std::uint64_t warm_routed = 0;   ///< this run
+};
+
+Cluster::Cluster(ClusterOptions opt) : opt_(std::move(opt)) {
+  PARFFT_CHECK(opt_.machines >= 1, "cluster: need at least one machine");
+  for (int m = 0; m < opt_.machines; ++m) {
+    serve::ServerConfig cfg = opt_.shard;
+    const std::string mid = std::to_string(m);
+    cfg.label = opt_.label;
+    cfg.label += "/m";
+    cfg.label += mid;
+    cfg.faults = opt_.faults.machine(m);
+    cfg.telemetry.machine = m;
+    // Shards must not clobber one snapshot file; the combined document
+    // goes to ClusterOptions::snapshot_path instead.
+    cfg.telemetry.snapshot_path.clear();
+    if (!cfg.telemetry.flight_path.empty()) {
+      cfg.telemetry.flight_path += "m";
+      cfg.telemetry.flight_path += mid;
+      cfg.telemetry.flight_path += "_";
+    }
+    shards_.push_back(std::make_unique<Shard>(std::move(cfg)));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+ClusterReport Cluster::run(serve::Workload& workload) {
+  const int n = opt_.machines;
+  ClusterReport rep;
+  rep.machines = n;
+  rep.placement = opt_.placement;
+
+  std::deque<Spooled> spool;
+  std::map<int, int> affinity;  ///< shape_id -> pinned shard
+  double clock = 0;
+
+  for (auto& s : shards_) {
+    s->feeder = std::make_unique<Feeder>(workload, spool);
+    s->routed = 0;
+    s->warm_routed = 0;
+    s->server.begin(*s->feeder);
+  }
+
+  // A machine takes new placements while its executor is (or will be,
+  // by the restart already scheduled) up at t and it is not inside its
+  // own blackout window.
+  auto healthy = [&](int m, double t) {
+    return shards_[m]->server.executor_up_at(t) &&
+           !opt_.faults.machine(m).in_blackout(t);
+  };
+  // Queue depth the router sees: batcher backlog plus requests routed
+  // but not yet admitted by the shard's engine.
+  auto depth = [&](int m) {
+    return shards_[m]->server.queue_depth() + shards_[m]->feeder->backlog();
+  };
+  auto load = [&](int m) { return depth(m) + shards_[m]->server.in_flight(); };
+  // Least-loaded healthy machine, lowest id on ties; when every machine
+  // is down, least-loaded overall (the request queues there and waits
+  // out the recovery, exactly as a standalone server would).
+  auto least_loaded = [&](double t) {
+    int best = -1;
+    std::size_t best_load = 0;
+    for (int pass = 0; pass < 2 && best < 0; ++pass)
+      for (int m = 0; m < n; ++m) {
+        if (pass == 0 && !healthy(m, t)) continue;
+        if (best < 0 || load(m) < best_load) {
+          best = m;
+          best_load = load(m);
+        }
+      }
+    return best;
+  };
+
+  auto pick = [&](const serve::Request& r, double t) {
+    switch (opt_.placement) {
+      case Placement::Hash: {
+        // SplitMix-mixed id so adjacent ids spray, modulo machine count.
+        const int h = static_cast<int>(Rng(r.id).split(0).seed() %
+                                       static_cast<std::uint64_t>(n));
+        if (healthy(h, t)) return h;
+        for (int k = 1; k < n; ++k) {
+          const int m = (h + k) % n;
+          if (healthy(m, t)) {
+            ++rep.failovers;
+            return m;
+          }
+        }
+        return h;  // every machine down: stay put and wait out recovery
+      }
+      case Placement::Load:
+        return least_loaded(t);
+      case Placement::Affinity: {
+        if (auto it = affinity.find(r.shape_id); it != affinity.end()) {
+          if (healthy(it->second, t)) return it->second;
+          const int m = least_loaded(t);
+          if (m != it->second && healthy(m, t)) {
+            // Re-pin: the failover target warms this shape up, so the
+            // pin follows the plans.
+            ++rep.failovers;
+            it->second = m;
+          }
+          return it->second;
+        }
+        const int m = least_loaded(t);
+        affinity.emplace(r.shape_id, m);
+        return m;
+      }
+    }
+    return 0;
+  };
+
+  auto place = [&](serve::Request r, double t) {
+    const int m = pick(r, t);
+    Shard& s = *shards_[m];
+    if (s.server.plan_cache().warm(s.server.config().shapes[r.shape_id]))
+      ++s.warm_routed;
+    ++s.routed;
+    s.feeder->count_routed();
+    s.feeder->push(std::move(r));
+  };
+
+  auto route = [&](serve::Request r, double t) {
+    const serve::FaultPlan& fe = opt_.faults.frontend();
+    if (fe.in_blackout(t)) {
+      if (opt_.admission.frontend_down ==
+          AdmissionConfig::FrontendDown::Spool) {
+        double release = t;
+        for (const serve::BlackoutWindow& w : fe.blackouts())
+          if (w.begin <= t && t < w.end) {
+            release = w.end;
+            break;
+          }
+        r.arrival = release;
+        ++rep.spooled;
+        spool.push_back({std::move(r), release});
+        return;
+      }
+      ++rep.frontend_shed;
+      workload.on_complete(r, t);
+      return;
+    }
+    if (opt_.admission.global_queue_limit > 0) {
+      std::size_t total = 0;
+      for (int m = 0; m < n; ++m) total += depth(m);
+      if (total >= opt_.admission.global_queue_limit) {
+        ++rep.frontend_shed;
+        workload.on_complete(r, t);
+        return;
+      }
+    }
+    place(std::move(r), t);
+  };
+
+  while (true) {
+    double t = kInf;
+    if (auto a = workload.peek()) t = std::min(t, *a);
+    if (!spool.empty()) t = std::min(t, spool.front().release);
+    for (auto& s : shards_) t = std::min(t, s->server.next_event_time());
+    if (t == kInf) break;
+    clock = std::max(clock, t);
+
+    // Route everything due at t before advancing anyone: a shard must
+    // never move past an arrival it has not been handed.
+    bool routed_any = false;
+    while (!spool.empty() && spool.front().release <= t) {
+      Spooled sp = std::move(spool.front());
+      spool.pop_front();
+      route(std::move(sp.req), sp.release);
+      routed_any = true;
+    }
+    while (true) {
+      const std::optional<double> a = workload.peek();
+      if (!a || *a > t) break;
+      route(workload.pop(), *a);
+      routed_any = true;
+    }
+    // Routing can unlock a shard event earlier than t (a crash scheduled
+    // while the shard sat idle with nothing pending); recompute the
+    // horizon before advancing anyone.
+    if (routed_any) continue;
+
+    for (auto& s : shards_) {
+      if (s->server.next_event_time() <= t) {
+        s->server.advance_to(t);
+        // Clock-skew invariants: a serviced shard sits exactly on the
+        // chosen instant and never runs ahead of the router's clock.
+        PARFFT_PARANOID_ASSERT(s->server.now() == t);
+        PARFFT_PARANOID_ASSERT(s->server.now() <= clock);
+      }
+    }
+  }
+  PARFFT_ASSERT(spool.empty());
+
+  rep.offered = workload.offered();
+  for (int m = 0; m < n; ++m) {
+    Shard& s = *shards_[m];
+    serve::ServeReport sr = s.server.finish();
+    s.feeder.reset();
+
+    MachineSlice slice;
+    slice.machine = m;
+    slice.routed = s.routed;
+    slice.warm_routed = s.warm_routed;
+    rep.routed += s.routed;
+    rep.completed += sr.completed;
+    rep.failed += sr.failed;
+    rep.deadline_met += sr.deadline_met;
+    rep.crashes += sr.crashes;
+    rep.makespan = std::max(rep.makespan, sr.makespan);
+    rep.latencies.insert(rep.latencies.end(), sr.latencies.begin(),
+                         sr.latencies.end());
+    slice.report = std::move(sr);
+    rep.per_machine.push_back(std::move(slice));
+  }
+  rep.failed += rep.frontend_shed;
+  rep.makespan = std::max(rep.makespan, clock);
+  rep.throughput = rep.makespan > 0
+                       ? static_cast<double>(rep.completed) / rep.makespan
+                       : 0.0;
+  rep.goodput = rep.makespan > 0
+                    ? static_cast<double>(rep.deadline_met) / rep.makespan
+                    : 0.0;
+  std::uint64_t warm = 0;
+  for (const MachineSlice& s : rep.per_machine) warm += s.warm_routed;
+  rep.affinity_hit_rate =
+      rep.routed > 0 ? static_cast<double>(warm) / static_cast<double>(rep.routed)
+                     : 0.0;
+  rep.latency = serve::summarize_latencies(rep.latencies);
+
+  PARFFT_IF_PARANOID(rep.verify());
+
+  if (!opt_.snapshot_path.empty()) {
+    std::ofstream f(opt_.snapshot_path);
+    std::string msg = "cluster: cannot open snapshot path ";
+    msg += opt_.snapshot_path;
+    PARFFT_CHECK(static_cast<bool>(f), msg);
+    write_snapshot(f);
+  }
+  return rep;
+}
+
+void Cluster::write_snapshot(std::ostream& os) const {
+  std::vector<const obs::Telemetry*> tels;
+  for (const auto& s : shards_)
+    if (s->server.telemetry()) tels.push_back(s->server.telemetry());
+  obs::write_cluster_snapshot(os, tels);
+}
+
+}  // namespace parfft::cluster

@@ -1,0 +1,174 @@
+#pragma once
+/// \file cluster.hpp
+/// Multi-machine sharded serving tier.
+///
+/// One serve::Server multiplexes jobs over ONE simulated machine; large
+/// deployments of the paper's systems (Summit, Spock) run many such
+/// machines behind a routing front end. This module simulates that tier:
+/// a Cluster owns N machine shards -- each a full serve::Server with its
+/// own plan cache, batcher, executor and fault domain -- and a Router
+/// that places every global arrival on a shard, all advanced on one
+/// deterministic virtual clock (seeded runs are byte-identical, and a
+/// one-machine cluster reproduces the standalone serve::Server report
+/// exactly).
+///
+/// Placement policies (Placement):
+///  - Hash: stateless spray by request id -- perfect load spreading,
+///    cache-blind (every shard re-pays plan setup for every shape);
+///  - Load: least-loaded shard (queued + unrouted + in flight);
+///  - Affinity: sticky shape -> shard map (first placement by load), so
+///    repeated shapes land on the shard whose plan cache is already warm.
+///
+/// Failure domains (serve::ClusterFaultPlan): each machine runs its own
+/// crash/degrade/blackout schedule -- crash machine 0 while machine 1
+/// degrades -- and the router fails over new placements around machines
+/// that are down (crashed or in a machine blackout). Requests already on
+/// a crashed shard follow that shard's retry semantics; failover is a
+/// placement decision, never a cross-shard migration, so each shard's
+/// conservation identity (completed + failed == offered) stays local.
+///
+/// The front end is itself a fault domain: during a frontend() blackout
+/// arrivals never reach any shard, and AdmissionConfig::frontend_down
+/// picks between shedding them (terminal failure at the router) and
+/// spooling them until the blackout lifts. A global admission limit
+/// bounds the aggregate queue depth across all shards.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace parfft::cluster {
+
+/// How the router picks a shard for each arrival.
+enum class Placement {
+  Hash,      ///< SplitMix-mixed request id modulo machine count
+  Load,      ///< least (queued + unrouted + in flight), lowest id wins ties
+  Affinity,  ///< sticky shape -> shard; first placement by load
+};
+
+const char* placement_name(Placement p);
+
+/// Router-level admission control.
+struct AdmissionConfig {
+  /// Shed arrivals once the aggregate queue depth across all shards
+  /// (batcher backlogs plus routed-but-unadmitted requests) reaches this
+  /// many (0 = unbounded).
+  std::size_t global_queue_limit = 0;
+
+  /// What happens to arrivals while the front end itself is blacked out
+  /// (ClusterFaultPlan::frontend() blackout windows).
+  enum class FrontendDown {
+    Shed,   ///< terminal failure at the router; clients see a lost request
+    Spool,  ///< hold at the router, re-admit when the blackout lifts
+  };
+  FrontendDown frontend_down = FrontendDown::Shed;
+};
+
+struct ClusterOptions {
+  /// Template for every machine shard. Per shard the cluster overrides
+  /// label ("<label>/m<id>"), faults (ClusterFaultPlan::machine(id)) and
+  /// telemetry.machine; telemetry.snapshot_path is cleared (shards would
+  /// clobber one file -- the combined document goes to `snapshot_path`
+  /// below) and a set flight_path gets an "m<id>_" suffix.
+  serve::ServerConfig shard;
+  int machines = 1;
+  Placement placement = Placement::Hash;
+  AdmissionConfig admission;
+  /// Machine-scoped fault schedules plus the front end's own. Empty =
+  /// fault-free everywhere.
+  serve::ClusterFaultPlan faults;
+  std::string label = "cluster";
+  /// Combined parfft-telemetry-v1 snapshot of all shards, written after
+  /// each run ("" = none; see obs::write_cluster_snapshot).
+  std::string snapshot_path;
+};
+
+/// One machine's slice of a cluster run.
+struct MachineSlice {
+  int machine = 0;
+  std::uint64_t routed = 0;       ///< arrivals the router placed here
+  std::uint64_t warm_routed = 0;  ///< placements onto an already-warm cache
+  serve::ServeReport report;      ///< the shard's own full report
+};
+
+/// What one Cluster::run() produced: per-machine ServeReports plus the
+/// router's own accounting, under the same conservation discipline as a
+/// single server -- globally and per shard, every request ends exactly
+/// once.
+struct ClusterReport {
+  int machines = 0;
+  Placement placement = Placement::Hash;
+
+  std::uint64_t offered = 0;   ///< requests the workload generated
+  std::uint64_t routed = 0;    ///< placed on some shard (== sum of slices)
+  /// Arrivals terminally shed at the router: front-end blackout in Shed
+  /// mode, or the global admission limit. Counted in `failed`, never in
+  /// any shard's report.
+  std::uint64_t frontend_shed = 0;
+  std::uint64_t spooled = 0;    ///< arrivals held through a front-end blackout
+  std::uint64_t failovers = 0;  ///< placements diverted off a down shard
+
+  std::uint64_t completed = 0;     ///< sum over shards
+  std::uint64_t failed = 0;        ///< shard failures + frontend_shed
+  std::uint64_t deadline_met = 0;  ///< sum over shards
+  std::uint64_t crashes = 0;       ///< executor crashes across all shards
+
+  double makespan = 0;    ///< router clock at the last event
+  double throughput = 0;  ///< completed / makespan
+  double goodput = 0;     ///< deadline_met / makespan
+  /// warm_routed / routed: how often placement landed a request on a
+  /// shard that already held its plan (the figure shape-affinity routing
+  /// exists to maximize).
+  double affinity_hit_rate = 0;
+
+  serve::LatencySummary latency;  ///< merged over all shards
+  /// Merged per-request latencies, shard-major in machine order (each
+  /// shard's slice in its own completion order).
+  std::vector<double> latencies;
+
+  std::vector<MachineSlice> per_machine;  ///< ascending machine id
+
+  /// Throws parfft::Error if the cluster conservation identities are
+  /// broken: offered == routed + frontend_shed, routed == sum of slice
+  /// routed == sum of shard offered, completed + failed == offered
+  /// globally, every shard report passes its own verify(), and the
+  /// derived figures are consistent. Cluster::run() calls this before
+  /// returning under PARFFT_PARANOID; callable from tests in any build.
+  void verify() const;
+
+  /// Machine-readable JSON: the cluster totals flat, one nested
+  /// ServeReport per machine. Feeds bench/cluster_sweep and
+  /// bench/perf_baseline.
+  void write_json(std::ostream& os) const;
+};
+
+/// The sharded serving tier. Shards (and their plan caches) persist
+/// across run() calls, mirroring serve::Server; ClusterFaultPlan times
+/// are relative to each run's start.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opt);
+  ~Cluster();
+
+  /// Drives `workload` to completion across all shards on one virtual
+  /// clock and returns the aggregated report.
+  ClusterReport run(serve::Workload& workload);
+
+  const ClusterOptions& options() const { return opt_; }
+
+  /// Combined parfft-telemetry-v1 document over every shard's most
+  /// recent run (valid after run(); see obs::write_cluster_snapshot).
+  void write_snapshot(std::ostream& os) const;
+
+ private:
+  struct Shard;
+
+  ClusterOptions opt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace parfft::cluster

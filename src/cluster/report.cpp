@@ -1,0 +1,117 @@
+/// \file report.cpp
+/// ClusterReport conservation checks and JSON export. Kept apart from
+/// cluster.cpp: the router never needs iostream formatting, and the
+/// verify() identities double as the subsystem's executable spec
+/// (tests/test_invariants.cpp breaks each one on purpose).
+
+#include <cmath>
+#include <ostream>
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+
+namespace parfft::cluster {
+
+void ClusterReport::verify() const {
+  PARFFT_CHECK(machines >= 1, "cluster report: no machines");
+  PARFFT_CHECK(per_machine.size() == static_cast<std::size_t>(machines),
+               "cluster report: per-machine slice count != machines");
+
+  std::uint64_t routed_sum = 0, completed_sum = 0, failed_sum = 0;
+  std::uint64_t met_sum = 0, crash_sum = 0, warm_sum = 0;
+  for (const MachineSlice& s : per_machine) {
+    // Every shard must satisfy the single-machine identities on its own
+    // slice of traffic before the global ones can mean anything.
+    s.report.verify();
+    PARFFT_CHECK(s.routed == s.report.offered,
+                 "cluster report: a shard's routed count != its offered");
+    PARFFT_CHECK(s.warm_routed <= s.routed,
+                 "cluster report: warm placements exceed placements");
+    PARFFT_CHECK(s.report.makespan <= makespan,
+                 "cluster report: a shard outran the cluster makespan");
+    routed_sum += s.routed;
+    completed_sum += s.report.completed;
+    failed_sum += s.report.failed;
+    met_sum += s.report.deadline_met;
+    crash_sum += s.report.crashes;
+    warm_sum += s.warm_routed;
+  }
+
+  // Global admission conservation: every generated request was either
+  // placed on exactly one shard or terminally shed at the front end,
+  // and the shard totals roll up without loss or double counting.
+  PARFFT_CHECK(routed == routed_sum,
+               "cluster report: routed != sum of shard routed");
+  PARFFT_CHECK(offered == routed + frontend_shed,
+               "cluster report: offered != routed + frontend shed");
+  PARFFT_CHECK(completed == completed_sum,
+               "cluster report: completed != sum of shard completed");
+  PARFFT_CHECK(failed == failed_sum + frontend_shed,
+               "cluster report: failed != shard failures + frontend shed");
+  PARFFT_CHECK(completed + failed == offered,
+               "cluster report: completed + failed != offered");
+  PARFFT_CHECK(deadline_met == met_sum,
+               "cluster report: deadline_met != sum over shards");
+  PARFFT_CHECK(deadline_met <= completed,
+               "cluster report: deadline_met exceeds completed");
+  PARFFT_CHECK(crashes == crash_sum,
+               "cluster report: crashes != sum over shards");
+  PARFFT_CHECK(latencies.size() == completed,
+               "cluster report: latency samples != completions");
+
+  PARFFT_CHECK(makespan >= 0, "cluster report: negative makespan");
+  PARFFT_CHECK(affinity_hit_rate >= 0.0 && affinity_hit_rate <= 1.0,
+               "cluster report: affinity hit rate outside [0, 1]");
+  if (routed > 0)
+    PARFFT_CHECK(std::fabs(affinity_hit_rate -
+                           static_cast<double>(warm_sum) /
+                               static_cast<double>(routed)) < 1e-9,
+                 "cluster report: affinity hit rate != warm / routed");
+  if (makespan > 0) {
+    PARFFT_CHECK(std::fabs(throughput * makespan -
+                           static_cast<double>(completed)) < 1e-6,
+                 "cluster report: throughput inconsistent with completed");
+    PARFFT_CHECK(std::fabs(goodput * makespan -
+                           static_cast<double>(deadline_met)) < 1e-6,
+                 "cluster report: goodput inconsistent with deadline_met");
+  }
+}
+
+namespace {
+
+void write_latency(std::ostream& os, const char* key,
+                   const serve::LatencySummary& l) {
+  os << '"' << key << "\":{\"p50\":" << l.p50 << ",\"p95\":" << l.p95
+     << ",\"p99\":" << l.p99 << ",\"p999\":" << l.p999
+     << ",\"mean\":" << l.mean << ",\"max\":" << l.max << '}';
+}
+
+}  // namespace
+
+void ClusterReport::write_json(std::ostream& os) const {
+  os << '{';
+  os << "\"machines\":" << machines << ",\"placement\":\""
+     << placement_name(placement) << '"';
+  os << ",\"offered\":" << offered << ",\"routed\":" << routed
+     << ",\"frontend_shed\":" << frontend_shed << ",\"spooled\":" << spooled
+     << ",\"failovers\":" << failovers;
+  os << ",\"completed\":" << completed << ",\"failed\":" << failed
+     << ",\"deadline_met\":" << deadline_met << ",\"crashes\":" << crashes;
+  os << ",\"makespan\":" << makespan << ",\"throughput\":" << throughput
+     << ",\"goodput\":" << goodput
+     << ",\"affinity_hit_rate\":" << affinity_hit_rate;
+  os << ',';
+  write_latency(os, "latency", latency);
+  os << ",\"per_machine\":[";
+  for (std::size_t i = 0; i < per_machine.size(); ++i) {
+    const MachineSlice& s = per_machine[i];
+    if (i) os << ',';
+    os << "{\"machine\":" << s.machine << ",\"routed\":" << s.routed
+       << ",\"warm_routed\":" << s.warm_routed << ",\"report\":";
+    s.report.write_json(os);
+    os << '}';
+  }
+  os << "]}";
+}
+
+}  // namespace parfft::cluster

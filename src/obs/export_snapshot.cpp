@@ -4,13 +4,18 @@
 /// One document per call: every windowed series (run-total stats plus
 /// the retained windows, newest last, live window flagged), every
 /// tenant's SLO monitor, the alert log and the flight-recorder state.
-/// tools/parfft_top renders this; docs/observability.md documents the
-/// schema. Kept apart from telemetry.cpp so the hot path never touches
-/// iostream formatting.
+/// Machine-tagged instances (TelemetryConfig::machine >= 0) carry the
+/// tag on the document and every SLO entry; write_cluster_snapshot()
+/// merges many tagged instances into one document with a per-machine
+/// section. tools/parfft_top renders this; docs/observability.md
+/// documents the schema. Kept apart from telemetry.cpp so the hot path
+/// never touches iostream formatting.
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
@@ -38,21 +43,16 @@ void write_window(std::ostream& os, const WindowStats& w, bool live) {
   os << '}';
 }
 
-}  // namespace
-
-void Telemetry::write_snapshot(std::ostream& os) const {
-  os << "{\"schema\":\"parfft-telemetry-v1\",\"now\":" << num(now_)
-     << ",\"window\":" << num(cfg_.window) << ",\"enabled\":"
-     << (cfg_.enabled ? "true" : "false");
-
-  os << ",\"series\":{";
-  bool first = true;
-  for (const auto& [name, sp] : all_series()) {
+/// Entries of the "series" object: every series of `tel`, names
+/// prefixed with `prefix` ("machine/<id>/" in cluster documents).
+void write_series_entries(std::ostream& os, const Telemetry& tel,
+                          const std::string& prefix, bool& first) {
+  for (const auto& [name, sp] : tel.all_series()) {
     const WindowedSeries& s = *sp;
     if (!first) os << ',';
     first = false;
     const LogLinearHistogram all = s.overall();
-    os << '"' << json_escape(name) << "\":{\"count\":" << all.count()
+    os << '"' << json_escape(prefix + name) << "\":{\"count\":" << all.count()
        << ",\"sum\":" << num(all.sum()) << ",\"mean\":" << num(all.mean())
        << ",\"p50\":" << num(all.quantile(0.50))
        << ",\"p99\":" << num(all.quantile(0.99))
@@ -67,21 +67,50 @@ void Telemetry::write_snapshot(std::ostream& os) const {
     write_window(os, s.live(), /*live=*/true);
     os << "]}";
   }
-  os << '}';
+}
 
-  os << ",\"slo\":[";
-  first = true;
-  for (const auto& [tenant, m] : slos_) {
+/// Entries of the "slo" array, tagged with the instance's machine id
+/// when it has one.
+void write_slo_entries(std::ostream& os, const Telemetry& tel, bool& first) {
+  for (const auto& [tenant, m] : tel.slos()) {
     if (!first) os << ',';
     first = false;
-    os << "{\"tenant\":" << tenant << ",\"state\":\""
-       << alert_state_name(m.state()) << "\",\"target\":"
+    os << "{\"tenant\":" << tenant;
+    if (tel.machine() >= 0) os << ",\"machine\":" << tel.machine();
+    os << ",\"state\":\"" << alert_state_name(m.state()) << "\",\"target\":"
        << num(m.target().latency) << ",\"objective\":"
        << num(m.target().objective) << ",\"good\":" << m.good()
        << ",\"bad\":" << m.bad() << ",\"attainment\":"
        << num(m.attainment()) << ",\"burn_short\":" << num(m.burn_short())
        << ",\"burn_long\":" << num(m.burn_long()) << '}';
   }
+}
+
+void write_alert_entry(std::ostream& os, const AlertTransition& a,
+                       int machine) {
+  os << "{\"t\":" << num(a.t) << ",\"tenant\":" << a.tenant;
+  if (machine >= 0) os << ",\"machine\":" << machine;
+  os << ",\"from\":\"" << alert_state_name(a.from) << "\",\"to\":\""
+     << alert_state_name(a.to) << "\",\"burn_short\":" << num(a.burn_short)
+     << ",\"burn_long\":" << num(a.burn_long) << '}';
+}
+
+}  // namespace
+
+void Telemetry::write_snapshot(std::ostream& os) const {
+  os << "{\"schema\":\"parfft-telemetry-v1\",\"now\":" << num(now_)
+     << ",\"window\":" << num(cfg_.window) << ",\"enabled\":"
+     << (cfg_.enabled ? "true" : "false");
+  if (cfg_.machine >= 0) os << ",\"machine\":" << cfg_.machine;
+
+  os << ",\"series\":{";
+  bool first = true;
+  write_series_entries(os, *this, "", first);
+  os << '}';
+
+  os << ",\"slo\":[";
+  first = true;
+  write_slo_entries(os, *this, first);
   os << ']';
 
   os << ",\"alerts\":[";
@@ -89,11 +118,7 @@ void Telemetry::write_snapshot(std::ostream& os) const {
   for (const AlertTransition& a : alerts_) {
     if (!first) os << ',';
     first = false;
-    os << "{\"t\":" << num(a.t) << ",\"tenant\":" << a.tenant
-       << ",\"from\":\"" << alert_state_name(a.from) << "\",\"to\":\""
-       << alert_state_name(a.to) << "\",\"burn_short\":"
-       << num(a.burn_short) << ",\"burn_long\":" << num(a.burn_long)
-       << '}';
+    write_alert_entry(os, a, cfg_.machine);
   }
   os << ']';
 
@@ -108,6 +133,97 @@ void Telemetry::write_snapshot(std::ostream& os) const {
     os << '"' << json_escape(d) << '"';
   }
   os << "]}}\n";
+}
+
+void write_cluster_snapshot(std::ostream& os,
+                            const std::vector<const Telemetry*>& machines) {
+  double now = 0;
+  double window = 0;
+  bool enabled = false;
+  for (const Telemetry* t : machines) {
+    now = std::max(now, t->now());
+    if (window <= 0) window = t->config().window;
+    enabled = enabled || t->enabled();
+  }
+  os << "{\"schema\":\"parfft-telemetry-v1\",\"now\":" << num(now)
+     << ",\"window\":" << num(window) << ",\"enabled\":"
+     << (enabled ? "true" : "false");
+
+  os << ",\"series\":{";
+  bool first = true;
+  for (const Telemetry* t : machines) {
+    const std::string prefix =
+        t->machine() >= 0 ? "machine/" + std::to_string(t->machine()) + "/"
+                          : "";
+    write_series_entries(os, *t, prefix, first);
+  }
+  os << '}';
+
+  os << ",\"slo\":[";
+  first = true;
+  for (const Telemetry* t : machines) write_slo_entries(os, *t, first);
+  os << ']';
+
+  // Merge the per-machine alert logs into one virtual-time-ordered
+  // stream; ties break by (machine, tenant) so the document is a pure
+  // function of the inputs.
+  std::vector<std::pair<const Telemetry*, const AlertTransition*>> merged;
+  for (const Telemetry* t : machines)
+    for (const AlertTransition& a : t->alerts()) merged.push_back({t, &a});
+  std::sort(merged.begin(), merged.end(), [](const auto& x, const auto& y) {
+    if (x.second->t != y.second->t) return x.second->t < y.second->t;
+    if (x.first->machine() != y.first->machine())
+      return x.first->machine() < y.first->machine();
+    return x.second->tenant < y.second->tenant;
+  });
+  os << ",\"alerts\":[";
+  first = true;
+  for (const auto& [t, a] : merged) {
+    if (!first) os << ',';
+    first = false;
+    write_alert_entry(os, *a, t->machine());
+  }
+  os << ']';
+
+  std::uint64_t cap = 0, seen = 0, recorded = 0;
+  double rec_window = 0;
+  for (const Telemetry* t : machines) {
+    cap += t->recorder().capacity();
+    seen += t->recorder().seen();
+    recorded += t->recorder().recorded();
+    rec_window = std::max(rec_window, t->recorder().window());
+  }
+  os << ",\"recorder\":{\"capacity\":" << cap << ",\"seen\":" << seen
+     << ",\"recorded\":" << recorded << ",\"window\":" << num(rec_window)
+     << ",\"dumps\":[";
+  first = true;
+  for (const Telemetry* t : machines)
+    for (const std::string& d : t->flight_dumps()) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << json_escape(d) << '"';
+    }
+  os << "]}";
+
+  // The per-machine section: one summary object per shard, ascending by
+  // machine id (callers pass shards in id order).
+  os << ",\"machines\":[";
+  first = true;
+  for (const Telemetry* t : machines) {
+    if (!first) os << ',';
+    first = false;
+    std::uint64_t requests = 0;
+    if (const WindowedSeries* s = t->find_series("serve/latency"))
+      requests = s->overall().count();
+    os << "{\"id\":" << t->machine() << ",\"now\":" << num(t->now())
+       << ",\"enabled\":" << (t->enabled() ? "true" : "false")
+       << ",\"series\":" << t->all_series().size()
+       << ",\"requests\":" << requests << ",\"slo\":" << t->slos().size()
+       << ",\"alerts\":" << t->alerts().size() << ",\"recorded\":"
+       << t->recorder().recorded() << ",\"dumps\":"
+       << t->flight_dumps().size() << '}';
+  }
+  os << "]}\n";
 }
 
 }  // namespace parfft::obs

@@ -399,6 +399,12 @@ class FlightRecorder {
 /// branches at call sites.
 struct TelemetryConfig {
   bool enabled = true;
+  /// Machine id this telemetry belongs to (-1 = standalone server). The
+  /// cluster tier (src/cluster) gives every shard its own tagged
+  /// instance; the tag rides on every SLO monitor and series in the
+  /// snapshot so dashboards can attribute a burn to the machine that
+  /// caused it.
+  int machine = -1;
   double window = 0.5;            ///< virtual seconds per window
   std::size_t keep_windows = 128; ///< sealed windows retained per series
   SloPolicy slo;
@@ -433,6 +439,8 @@ class Telemetry {
   const TelemetryConfig& config() const { return cfg_; }
   bool enabled() const { return cfg_.enabled; }
   double now() const { return now_; }
+  /// Machine tag of every series/SLO monitor here (-1 = standalone).
+  int machine() const { return cfg_.machine; }
 
   /// Interns the named series, creating it on first use. Valid for the
   /// lifetime of the Telemetry object.
@@ -542,5 +550,16 @@ class Telemetry {
   FlightRecorder recorder_;
   std::vector<std::string> dumps_;
 };
+
+/// One combined "parfft-telemetry-v1" document over many machine-tagged
+/// Telemetry instances (the cluster router's per-shard telemetry): the
+/// merged "series" object carries every shard's series under a
+/// "machine/<id>/" prefix, "slo"/"alerts" entries carry a "machine"
+/// field, the recorder counters aggregate, and a "machines" array gives
+/// one summary section per machine. Single-machine snapshots from
+/// Telemetry::write_snapshot stay valid under the same schema; this
+/// adds the per-machine dimension. Defined in export_snapshot.cpp.
+void write_cluster_snapshot(std::ostream& os,
+                            const std::vector<const Telemetry*>& machines);
 
 }  // namespace parfft::obs

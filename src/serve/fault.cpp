@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -103,6 +104,54 @@ bool FaultPlan::in_blackout(double t) const {
   for (const BlackoutWindow& w : blackouts_)
     if (t >= w.begin && t < w.end) return true;
   return false;
+}
+
+ClusterFaultPlan ClusterFaultPlan::generate(int machines,
+                                            const FaultSpec& spec) {
+  PARFFT_CHECK(machines >= 1, "cluster fault plan needs >= 1 machine");
+  ClusterFaultPlan plan;
+  for (int m = 0; m < machines; ++m) {
+    FaultSpec ms = spec;
+    ms.seed = Rng(spec.seed).split(static_cast<std::uint64_t>(m)).seed();
+    plan.machines_[m] = FaultPlan::generate(ms);
+  }
+  FaultSpec fs = spec;
+  fs.seed = Rng(spec.seed).split(static_cast<std::uint64_t>(machines)).seed();
+  // The front end only blacks out; its crash/degrade processes are
+  // disabled rather than silently dropped at query time.
+  fs.crash_mtbf = 0;
+  fs.degrade_mtbf = 0;
+  plan.frontend_ = FaultPlan::generate(fs);
+  return plan;
+}
+
+FaultPlan& ClusterFaultPlan::machine(int m) {
+  PARFFT_CHECK(m >= 0, "machine id must be non-negative");
+  return machines_[m];
+}
+
+const FaultPlan& ClusterFaultPlan::machine(int m) const {
+  const auto it = machines_.find(m);
+  return it != machines_.end() ? it->second : none_;
+}
+
+void ClusterFaultPlan::set_machine(int m, FaultPlan plan) {
+  PARFFT_CHECK(m >= 0, "machine id must be non-negative");
+  machines_[m] = std::move(plan);
+}
+
+bool ClusterFaultPlan::empty() const {
+  if (!frontend_.empty()) return false;
+  for (const auto& [m, p] : machines_)
+    if (!p.empty()) return false;
+  return true;
+}
+
+std::vector<int> ClusterFaultPlan::machines() const {
+  std::vector<int> ids;
+  ids.reserve(machines_.size());
+  for (const auto& [m, p] : machines_) ids.push_back(m);
+  return ids;
 }
 
 double retry_backoff(const RetryPolicy& policy, std::uint64_t id,

@@ -24,6 +24,7 @@
 ///    front-end); clients see a lost request and retry per policy.
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -118,6 +119,47 @@ class FaultPlan {
   std::vector<CrashEvent> crashes_;
   std::vector<DegradeWindow> degrades_;
   std::vector<BlackoutWindow> blackouts_;
+};
+
+/// Machine-scoped fault schedules for the multi-machine cluster tier
+/// (src/cluster): each machine shard owns an independent FaultPlan, so
+/// correlated/partial failures are expressible -- crash machine 0 while
+/// machine 1 runs degraded -- instead of the single-machine plan's
+/// all-or-nothing semantics. A separate front-end plan scopes blackouts
+/// to the router itself (front-end-down admission: arrivals never reach
+/// any shard). Default-constructed = no faults anywhere: a cluster run
+/// with an empty plan is byte-identical to one without the fault layer.
+class ClusterFaultPlan {
+ public:
+  ClusterFaultPlan() = default;
+
+  /// Seeded schedule for `machines` shards plus the front end: machine
+  /// `m` draws its plan from stream m of `spec.seed` (Rng::split), the
+  /// front end from stream `machines`, so per-machine schedules are
+  /// decorrelated but jointly reproducible and adding a machine never
+  /// perturbs the others' schedules.
+  static ClusterFaultPlan generate(int machines, const FaultSpec& spec);
+
+  /// Mutable per-machine plan, created empty on first use.
+  FaultPlan& machine(int m);
+  /// The machine's plan; a shared empty plan when none was configured.
+  const FaultPlan& machine(int m) const;
+  void set_machine(int m, FaultPlan plan);
+
+  /// The router's own fault schedule. Only its blackout windows are
+  /// meaningful today (a partitioned front end); crash/degrade entries
+  /// are ignored by the router.
+  FaultPlan& frontend() { return frontend_; }
+  const FaultPlan& frontend() const { return frontend_; }
+
+  bool empty() const;
+  /// Machine ids with a configured (possibly empty) plan, ascending.
+  std::vector<int> machines() const;
+
+ private:
+  std::map<int, FaultPlan> machines_;
+  FaultPlan frontend_;
+  FaultPlan none_;  ///< returned for unconfigured machines
 };
 
 /// Client-side recovery: how a failed submission (rejected, dropped in a

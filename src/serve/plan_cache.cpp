@@ -52,6 +52,10 @@ PlanCache::Lookup PlanCache::acquire(const JobShape& shape) {
   return {it->second.plan.get(), /*hit=*/false, setup};
 }
 
+bool PlanCache::warm(const JobShape& shape) const {
+  return entries_.find(shape_key(cluster_, shape)) != entries_.end();
+}
+
 std::size_t PlanCache::invalidate_all() {
   const std::size_t n = entries_.size();
   entries_.clear();

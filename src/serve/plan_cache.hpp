@@ -88,6 +88,12 @@ class PlanCache {
   /// isolation, not more capacity).
   std::size_t invalidate_all();
 
+  /// True when `shape`'s plan is resident. A pure probe: no counters
+  /// move, no LRU motion -- the cluster router's shape-affinity
+  /// placement uses it to find the shard whose cache is warm without
+  /// perturbing that shard's hit accounting.
+  bool warm(const JobShape& shape) const;
+
   std::size_t resident() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }

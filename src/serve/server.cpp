@@ -84,42 +84,33 @@ void ServeReport::verify() const {
   }
 }
 
-Server::Server(ServerConfig cfg)
-    : cfg_(std::move(cfg)),
-      cache_(cfg_.cluster, cfg_.cache_capacity, cfg_.cache_eviction_window) {
-  PARFFT_CHECK(!cfg_.shapes.empty(), "server needs a non-empty shape catalog");
-  PARFFT_CHECK(cfg_.retry.max_attempts >= 1,
-               "retry.max_attempts counts the first attempt; must be >= 1");
-}
-
-ServeReport Server::run(Workload& workload) {
-  obs::RunTrace* run =
-      obs::Session::global().begin_run(cfg_.label, /*nranks=*/1, cfg_.trace);
-
-  Batcher batcher(cfg_.batching);
-  const FaultPlan& faults = cfg_.faults;
-  const RetryPolicy& retry = cfg_.retry;
+/// The resumable event loop: every local run() used to keep, promoted to
+/// members so an external driver (the cluster router) can interleave
+/// many engines on one deterministic virtual clock. service() replays
+/// the loop body at the current instant until it reaches a fixpoint;
+/// next_event() is the former next-event computation, unchanged.
+struct Server::Engine {
+  Server& srv;
+  Workload& workload;
+  obs::RunTrace* run;
+  obs::Telemetry& tel;
+  Batcher batcher;
+  const FaultPlan& faults;
+  const RetryPolicy& retry;
   ServeReport rep;
-  rep.offered = workload.offered();
-
-  tel_ = std::make_unique<obs::Telemetry>(cfg_.telemetry);
-  obs::Telemetry& tel = *tel_;
 
   // Hot-path telemetry handles, interned once per run: the per-event
   // cost inside the loop is an indexed observe / ring write, never a
   // string construction or map<string> lookup (that is what keeps the
   // measured obs.trace_overhead_ratio inside its budget).
-  const bool tel_on = tel.enabled();
-  const auto sid_queue =
-      tel_on ? tel.series_id("serve/queue_depth") : obs::Telemetry::kNoSeries;
-  const auto sid_batch =
-      tel_on ? tel.series_id("serve/batch_size") : obs::Telemetry::kNoSeries;
-  const auto sid_nic =
-      tel_on ? tel.series_id("serve/nic_scale") : obs::Telemetry::kNoSeries;
-  const std::uint32_t fl_req = tel.intern("req");
-  const std::uint32_t fl_failed = tel.intern("failed");
-  const std::uint32_t fl_shed = tel.intern("shed");
-  const std::uint32_t fl_backoff = tel.intern("backoff");
+  bool tel_on;
+  obs::Telemetry::SeriesId sid_queue = obs::Telemetry::kNoSeries;
+  obs::Telemetry::SeriesId sid_batch = obs::Telemetry::kNoSeries;
+  obs::Telemetry::SeriesId sid_nic = obs::Telemetry::kNoSeries;
+  std::uint32_t fl_req = 0;
+  std::uint32_t fl_failed = 0;
+  std::uint32_t fl_shed = 0;
+  std::uint32_t fl_backoff = 0;
   std::map<int, std::uint32_t> fl_dispatch;  // per batch shape
 
   // Per-tenant terminal accounting. Kept on the event loop's own
@@ -132,28 +123,7 @@ ServeReport Server::run(Workload& workload) {
     double lat_max = 0;
   };
   std::map<int, TenantAgg> tenant_agg;
-  auto tenant_target = [&](int tenant) {
-    const auto it = cfg_.telemetry.tenant_slo.find(tenant);
-    return it != cfg_.telemetry.tenant_slo.end() ? it->second
-                                                 : cfg_.telemetry.default_slo;
-  };
 
-  // Alert transitions fired by a telemetry advance: record each edge as
-  // an obs span and a critical flight event; a page dumps the recorder.
-  auto handle_alerts = [&](const std::vector<obs::AlertTransition>& fired) {
-    for (const obs::AlertTransition& a : fired) {
-      const std::string name = "tenant " + std::to_string(a.tenant) + ": " +
-                               obs::alert_state_name(a.from) + " -> " +
-                               obs::alert_state_name(a.to);
-      tel.flight(a.t, 0.0, obs::Category::Alert, name, a.tenant,
-                 /*critical=*/true);
-      if (run)
-        run->tracer.complete(0, obs::Category::Alert, name, a.t, 0.0,
-                             {{"burn_short", a.burn_short},
-                              {"burn_long", a.burn_long}});
-      if (a.to == obs::AlertState::Page) tel.dump_flight("page", a.t);
-    }
-  };
   double last_blackout_dump = -1;  // one flight dump per blackout window
 
   std::vector<double> waits;
@@ -184,15 +154,64 @@ ServeReport Server::run(Workload& workload) {
   // Pending hedge timers carry the request they would duplicate.
   std::map<std::pair<double, std::uint64_t>, Request> hedge_q;
 
-  auto cancel_retry = [&](std::uint64_t id) {
+  Engine(Server& s, Workload& w)
+      : srv(s),
+        workload(w),
+        run(obs::Session::global().begin_run(s.cfg_.label, /*nranks=*/1,
+                                             s.cfg_.trace)),
+        tel(*s.tel_),
+        batcher(s.cfg_.batching),
+        faults(s.cfg_.faults),
+        retry(s.cfg_.retry),
+        tel_on(tel.enabled()) {
+    rep.offered = workload.offered();
+    sid_queue = tel_on ? tel.series_id("serve/queue_depth")
+                       : obs::Telemetry::kNoSeries;
+    sid_batch = tel_on ? tel.series_id("serve/batch_size")
+                       : obs::Telemetry::kNoSeries;
+    sid_nic = tel_on ? tel.series_id("serve/nic_scale")
+                     : obs::Telemetry::kNoSeries;
+    fl_req = tel.intern("req");
+    fl_failed = tel.intern("failed");
+    fl_shed = tel.intern("shed");
+    fl_backoff = tel.intern("backoff");
+  }
+
+  const ServerConfig& cfg() const { return srv.cfg_; }
+  PlanCache& cache() { return srv.cache_; }
+
+  obs::SloTarget tenant_target(int tenant) const {
+    const auto it = cfg().telemetry.tenant_slo.find(tenant);
+    return it != cfg().telemetry.tenant_slo.end() ? it->second
+                                                  : cfg().telemetry.default_slo;
+  }
+
+  // Alert transitions fired by a telemetry advance: record each edge as
+  // an obs span and a critical flight event; a page dumps the recorder.
+  void handle_alerts(const std::vector<obs::AlertTransition>& fired) {
+    for (const obs::AlertTransition& a : fired) {
+      const std::string name = "tenant " + std::to_string(a.tenant) + ": " +
+                               obs::alert_state_name(a.from) + " -> " +
+                               obs::alert_state_name(a.to);
+      tel.flight(a.t, 0.0, obs::Category::Alert, name, a.tenant,
+                 /*critical=*/true);
+      if (run)
+        run->tracer.complete(0, obs::Category::Alert, name, a.t, 0.0,
+                             {{"burn_short", a.burn_short},
+                              {"burn_long", a.burn_long}});
+      if (a.to == obs::AlertState::Page) tel.dump_flight("page", a.t);
+    }
+  }
+
+  void cancel_retry(std::uint64_t id) {
     auto it = retry_req.find(id);
     if (it == retry_req.end()) return;
     retry_q.erase({it->second.arrival, id});
     retry_req.erase(it);
-  };
+  }
 
   // Terminal failure or resubmission after a failed attempt at `t`.
-  auto fail_or_retry = [&](const Request& r, double t) {
+  void fail_or_retry(const Request& r, double t) {
     if (r.hedge) return;  // best-effort duplicate; the primary owns the outcome
     bool terminal = r.attempt >= retry.max_attempts;
     double when = 0;
@@ -228,9 +247,9 @@ ServeReport Server::run(Workload& workload) {
       run->tracer.complete(0, obs::Category::Retry, "backoff", t, when - t,
                            {{"attempt", static_cast<double>(nr.attempt)}});
     }
-  };
+  }
 
-  auto complete = [&](Request& r, double t) {
+  void complete(Request& r, double t) {
     r.completion = t;
     PARFFT_PARANOID_ASSERT(r.completion >= r.submitted);
     PARFFT_PARANOID_ASSERT(r.dispatch < 0 || r.completion >= r.dispatch);
@@ -265,9 +284,9 @@ ServeReport Server::run(Workload& workload) {
           .observe(r.latency());
     }
     workload.on_complete(r, t);
-  };
+  }
 
-  auto finish_flight = [&] {
+  void finish_flight() {
     PARFFT_PARANOID_ASSERT(flight.done >= flight.start);
     PARFFT_PARANOID_ASSERT(flight.done >= flight.setup_end);
     now = std::max(now, flight.done);
@@ -287,9 +306,9 @@ ServeReport Server::run(Workload& workload) {
             .observe(rec);
     }
     busy = false;
-  };
+  }
 
-  auto admit = [&](Request r) {
+  void admit(Request r) {
     if (r.submitted < 0) {
       r.submitted = r.arrival;
       if (retry.deadline > 0) r.deadline = r.submitted + retry.deadline;
@@ -317,7 +336,7 @@ ServeReport Server::run(Workload& workload) {
       return;
     }
     const bool full =
-        cfg_.queue_limit > 0 && batcher.pending() >= cfg_.queue_limit;
+        cfg().queue_limit > 0 && batcher.pending() >= cfg().queue_limit;
     if (full) {
       if (!r.hedge) {
         ++rep.rejected;
@@ -338,25 +357,25 @@ ServeReport Server::run(Workload& workload) {
       if (retry.hedge)
         hedge_q.emplace(std::make_pair(r.arrival + retry.hedge_delay, r.id), r);
     }
-    batcher.push(r);
-    tel.observe(sid_queue, r.arrival,
-                static_cast<double>(batcher.pending()));
+    const double arrival = r.arrival;
+    batcher.push(std::move(r));
+    tel.observe(sid_queue, arrival, static_cast<double>(batcher.pending()));
     if (run)
-      run->counter_sample("serve/queue_depth", r.arrival,
+      run->counter_sample("serve/queue_depth", arrival,
                           static_cast<double>(batcher.pending()));
-  };
+  }
 
   // Advance the in-flight work fraction to `t` at the current pricing.
-  auto advance_work = [&](double t) {
+  void advance_work(double t) {
     const double cut = std::max(t, flight.setup_end);
     if (cut > flight.mark && flight.exec > 0)
       flight.work += (cut - flight.mark) / flight.exec;
     flight.mark = cut;
-  };
+  }
 
   // A degradation boundary crossed mid-flight: bank progress at the old
   // pricing, reprice the remainder against the new fabric state.
-  auto reprice = [&](double t, double scale) {
+  void reprice(double t, double scale) {
     advance_work(t);
     flight.work = std::min(flight.work, 1.0);
     flight.exec = flight.plan->exec_time(flight.batch.size(), scale);
@@ -365,9 +384,9 @@ ServeReport Server::run(Workload& workload) {
     tel.observe(sid_nic, t, scale);
     tel.flight(t, 0.0, obs::Category::Fault, "reprice", -1,
                /*critical=*/true);
-  };
+  }
 
-  auto crash = [&](const CrashEvent& c) {
+  void crash(const CrashEvent& c) {
     ++rep.crashes;
     tel.flight(c.at, c.restart_delay, obs::Category::Fault, "crash", -1,
                /*critical=*/true);
@@ -416,17 +435,17 @@ ServeReport Server::run(Workload& workload) {
     }
     // Device state is gone; every resident plan re-pays its setup spike
     // after recovery.
-    cache_.invalidate_all();
+    cache().invalidate_all();
     up = false;
     restart_at = c.at + c.restart_delay;
     rep.downtime += c.restart_delay;
     last_crash = c.at;
     awaiting_recovery = true;
-  };
+  }
 
-  auto dispatch = [&](Batch&& b) {
-    PlanCache::Lookup look = cache_.acquire(
-        cfg_.shapes[static_cast<std::size_t>(b.shape_id)]);
+  void dispatch(Batch&& b) {
+    PlanCache::Lookup look =
+        cache().acquire(cfg().shapes[static_cast<std::size_t>(b.shape_id)]);
     const double scale = faults.nic_scale_at(now);
     const double exec = look.plan->exec_time(b.size(), scale);
     for (Request& r : b.requests) {
@@ -443,7 +462,8 @@ ServeReport Server::run(Workload& workload) {
     flight.mark = flight.setup_end;
     flight.done = flight.setup_end + exec;
     flight.plan = look.plan;
-    PARFFT_PARANOID_ASSERT(flight.setup_end >= now && flight.done >= flight.setup_end);
+    PARFFT_PARANOID_ASSERT(flight.setup_end >= now &&
+                           flight.done >= flight.setup_end);
     busy = true;
     ++rep.batches;
     tel.observe(sid_batch, now, static_cast<double>(flight.batch.size()));
@@ -459,8 +479,9 @@ ServeReport Server::run(Workload& workload) {
     if (run) {
       run->tracer.complete(
           0, obs::Category::Transform,
-          shape_key(cfg_.cluster,
-                    cfg_.shapes[static_cast<std::size_t>(flight.batch.shape_id)]),
+          shape_key(cfg().cluster,
+                    cfg().shapes[static_cast<std::size_t>(
+                        flight.batch.shape_id)]),
           now, flight.done - now,
           {{"batch", static_cast<double>(flight.batch.size())},
            {"plan_setup", look.setup_charge},
@@ -470,9 +491,12 @@ ServeReport Server::run(Workload& workload) {
       if (!look.hit)
         run->metrics.counter("serve/plan_setup_seconds").add(look.setup_charge);
     }
-  };
+  }
 
-  while (true) {
+  /// One pass of the former loop body at the current instant; true when
+  /// a dispatch made the executor busy and the pass must be re-run (the
+  /// old `continue`) before the next-event computation is valid.
+  bool service_once() {
     // Seal telemetry windows up to the event instant before any of its
     // events are observed, so every observation at `now` lands in the
     // window containing `now` and alert evaluations never see the
@@ -524,8 +548,8 @@ ServeReport Server::run(Workload& workload) {
       // No more company can arrive once arrivals, retries and hedges are
       // exhausted (closed-loop clients only re-submit on completion), so
       // waiting out max_delay would be pure idle time: drain.
-      const bool drain = !workload.peek().has_value() && retry_q.empty() &&
-                         hedge_q.empty();
+      const bool drain =
+          workload.exhausted() && retry_q.empty() && hedge_q.empty();
       while (!busy && !batcher.empty()) {
         Batch b = batcher.pop(now, drain);
         if (b.size() == 0) break;
@@ -535,7 +559,7 @@ ServeReport Server::run(Workload& workload) {
           auto it = live.find(r.id);
           // Another copy of this id already ran (or runs now): collapse.
           if (it == live.end() || it->second.st != State::Queued) continue;
-          if (cfg_.shed_expired && r.deadline > 0 && now >= r.deadline) {
+          if (cfg().shed_expired && r.deadline > 0 && now >= r.deadline) {
             // Deadline-aware shedding: executing an already-late request
             // wastes capacity the queue behind it needs. Terminal -- no
             // retry can beat a deadline that has passed.
@@ -564,8 +588,19 @@ ServeReport Server::run(Workload& workload) {
         b.requests = std::move(keep);
         dispatch(std::move(b));
       }
-      if (busy) continue;
+      if (busy) return true;
     }
+    return false;
+  }
+
+  void service() {
+    while (service_once()) {
+    }
+  }
+
+  /// The next instant any internal event fires (the former next-event
+  /// computation); infinity when the engine is drained.
+  double next_event() const {
     const bool work_pending = busy || !batcher.empty() ||
                               workload.peek().has_value() || !retry_q.empty();
     double next = kInf;
@@ -583,122 +618,195 @@ ServeReport Server::run(Workload& workload) {
     if (!up && work_pending) next = std::min(next, restart_at);
     if (work_pending && crash_idx < faults.crashes().size())
       next = std::min(next, faults.crashes()[crash_idx].at);
-    if (next == kInf) break;
-    PARFFT_ASSERT(next >= now);
-    now = next;
+    // Never report an event in the past: a feeder-fed shard that sat
+    // idle through a scheduled crash fires it late, at the instant work
+    // finally arrives, and the resulting restart_at can already be due.
+    // Re-servicing the current instant handles it; standalone workloads
+    // never take this path (arrivals are always visible via peek(), so
+    // crashes fire on time).
+    return next < now ? now : next;
   }
 
-  PARFFT_ASSERT(batcher.empty() && !busy);
-  PARFFT_ASSERT(retry_q.empty() && retry_req.empty() && live.empty());
-  PARFFT_ASSERT(rep.completed + rep.failed == rep.offered);
+  ServeReport finalize() {
+    PARFFT_ASSERT(batcher.empty() && !busy);
+    PARFFT_ASSERT(retry_q.empty() && retry_req.empty() && live.empty());
+    // External feeders only know their final offered count once the
+    // driver has routed everything; standalone workloads report a
+    // constant, so the refresh is a no-op for them.
+    rep.offered = workload.offered();
+    PARFFT_ASSERT(rep.completed + rep.failed == rep.offered);
 
-  // A crash's scheduled downtime past the end of useful work is not
-  // service time lost.
-  if (!up) rep.downtime -= restart_at - now;
+    // A crash's scheduled downtime past the end of useful work is not
+    // service time lost.
+    if (!up) rep.downtime -= restart_at - now;
 
-  rep.makespan = now;
-  rep.throughput = rep.makespan > 0
-                       ? static_cast<double>(rep.completed) / rep.makespan
-                       : 0.0;
-  rep.goodput = rep.makespan > 0
-                    ? static_cast<double>(rep.deadline_met) / rep.makespan
-                    : 0.0;
-  rep.utilization = rep.makespan > 0 ? rep.busy_time / rep.makespan : 0.0;
-  rep.mean_batch = rep.batches > 0 ? static_cast<double>(rep.completed) /
-                                         static_cast<double>(rep.batches)
-                                   : 0.0;
-  rep.retry_amplification =
-      rep.offered > 0
-          ? static_cast<double>(rep.offered + rep.retries + rep.hedges) /
-                static_cast<double>(rep.offered)
-          : 0.0;
-  rep.latency = summarize_latencies(rep.latencies);
-  rep.queue_wait = summarize_latencies(std::move(waits));
-  if (!rep.recovery_times.empty()) {
-    double sum = 0;
-    for (double v : rep.recovery_times) sum += v;
-    rep.mean_recovery = sum / static_cast<double>(rep.recovery_times.size());
-  }
-  rep.cache_hits = cache_.hits();
-  rep.cache_misses = cache_.misses();
-  rep.cache_evictions = cache_.evictions();
-  rep.cache_invalidations = cache_.invalidations();
-  rep.setup_charged = cache_.setup_charged();
+    rep.makespan = now;
+    rep.throughput = rep.makespan > 0
+                         ? static_cast<double>(rep.completed) / rep.makespan
+                         : 0.0;
+    rep.goodput = rep.makespan > 0
+                      ? static_cast<double>(rep.deadline_met) / rep.makespan
+                      : 0.0;
+    rep.utilization = rep.makespan > 0 ? rep.busy_time / rep.makespan : 0.0;
+    rep.mean_batch = rep.batches > 0 ? static_cast<double>(rep.completed) /
+                                           static_cast<double>(rep.batches)
+                                     : 0.0;
+    rep.retry_amplification =
+        rep.offered > 0
+            ? static_cast<double>(rep.offered + rep.retries + rep.hedges) /
+                  static_cast<double>(rep.offered)
+            : 0.0;
+    rep.latency = summarize_latencies(rep.latencies);
+    rep.queue_wait = summarize_latencies(std::move(waits));
+    if (!rep.recovery_times.empty()) {
+      double sum = 0;
+      for (double v : rep.recovery_times) sum += v;
+      rep.mean_recovery = sum / static_cast<double>(rep.recovery_times.size());
+    }
+    rep.cache_hits = cache().hits();
+    rep.cache_misses = cache().misses();
+    rep.cache_evictions = cache().evictions();
+    rep.cache_invalidations = cache().invalidations();
+    rep.setup_charged = cache().setup_charged();
 
-  // Close out telemetry: seal every window the run spanned (plus the
-  // exchange-phase link statistics core recorded, when tracing), then
-  // lift the per-tenant sections into the report.
-  if (run)
-    for (const obs::ExchangeRecord& rec : run->exchanges())
-      tel.observe_exchange(rec);
-  handle_alerts(tel.advance(now));
-  for (const auto& [tenant, ta] : tenant_agg) {
-    TenantReport tr;
-    tr.tenant = tenant;
-    tr.offered = ta.offered;
-    tr.completed = ta.completed;
-    tr.failed = ta.failed;
-    tr.shed = ta.shed;
-    if (ta.lat) {
-      tr.p50 = ta.lat->quantile(0.50);
-      tr.p95 = ta.lat->quantile(0.95);
-      tr.p99 = ta.lat->quantile(0.99);
-      tr.mean = ta.lat->count() > 0
-                    ? ta.lat->sum() / static_cast<double>(ta.lat->count())
-                    : 0.0;
-      tr.max = ta.lat_max;
+    // Close out telemetry: seal every window the run spanned (plus the
+    // exchange-phase link statistics core recorded, when tracing), then
+    // lift the per-tenant sections into the report.
+    if (run)
+      for (const obs::ExchangeRecord& rec : run->exchanges())
+        tel.observe_exchange(rec);
+    handle_alerts(tel.advance(now));
+    for (const auto& [tenant, ta] : tenant_agg) {
+      TenantReport tr;
+      tr.tenant = tenant;
+      tr.offered = ta.offered;
+      tr.completed = ta.completed;
+      tr.failed = ta.failed;
+      tr.shed = ta.shed;
+      if (ta.lat) {
+        tr.p50 = ta.lat->quantile(0.50);
+        tr.p95 = ta.lat->quantile(0.95);
+        tr.p99 = ta.lat->quantile(0.99);
+        tr.mean = ta.lat->count() > 0
+                      ? ta.lat->sum() / static_cast<double>(ta.lat->count())
+                      : 0.0;
+        tr.max = ta.lat_max;
+      }
+      const obs::SloTarget target = tenant_target(tenant);
+      if (target.latency > 0) {
+        tr.slo_latency = target.latency;
+        tr.slo_objective = target.objective;
+        const std::uint64_t terminal = ta.completed + ta.failed;
+        tr.attainment = terminal > 0 ? static_cast<double>(ta.in_slo) /
+                                           static_cast<double>(terminal)
+                                     : 1.0;
+      }
+      if (const auto it = tel.slos().find(tenant); it != tel.slos().end()) {
+        tr.burn_short = it->second.burn_short();
+        tr.burn_long = it->second.burn_long();
+        tr.state = obs::alert_state_name(it->second.state());
+      }
+      for (const obs::AlertTransition& a : tel.alerts())
+        if (a.tenant == tenant) ++tr.alerts;
+      rep.tenants.push_back(std::move(tr));
     }
-    const obs::SloTarget target = tenant_target(tenant);
-    if (target.latency > 0) {
-      tr.slo_latency = target.latency;
-      tr.slo_objective = target.objective;
-      const std::uint64_t terminal = ta.completed + ta.failed;
-      tr.attainment = terminal > 0 ? static_cast<double>(ta.in_slo) /
-                                         static_cast<double>(terminal)
-                                   : 1.0;
+    rep.alert_log = tel.alerts();
+    rep.flight_dumps = tel.flight_dumps();
+    tel.write_snapshot_file();
+    if (run) {
+      // Fault windows as timeline spans (clipped to the run), so the
+      // Perfetto view shows degraded/blackout stretches under the request
+      // and transform tracks.
+      for (const DegradeWindow& w : faults.degrades()) {
+        if (w.begin >= rep.makespan) break;
+        run->tracer.complete(0, obs::Category::Fault, "degraded", w.begin,
+                             std::min(w.end, rep.makespan) - w.begin,
+                             {{"nic_scale", w.nic_scale}});
+      }
+      for (const BlackoutWindow& w : faults.blackouts()) {
+        if (w.begin >= rep.makespan) break;
+        run->tracer.complete(0, obs::Category::Fault, "blackout", w.begin,
+                             std::min(w.end, rep.makespan) - w.begin);
+      }
+      run->metrics.counter("serve/completed").add(
+          static_cast<double>(rep.completed));
+      run->metrics.gauge("serve/throughput").set(rep.throughput);
+      run->metrics.gauge("serve/goodput").set(rep.goodput);
+      run->metrics.gauge("serve/utilization").set(rep.utilization);
+      run->metrics.gauge("serve/retry_amplification")
+          .set(rep.retry_amplification);
+      run->metrics.gauge("serve/downtime_seconds").set(rep.downtime);
+      run->metrics.gauge("serve/cache_hits").set(
+          static_cast<double>(rep.cache_hits));
+      run->metrics.gauge("serve/cache_misses").set(
+          static_cast<double>(rep.cache_misses));
     }
-    if (const auto it = tel.slos().find(tenant); it != tel.slos().end()) {
-      tr.burn_short = it->second.burn_short();
-      tr.burn_long = it->second.burn_long();
-      tr.state = obs::alert_state_name(it->second.state());
-    }
-    for (const obs::AlertTransition& a : tel.alerts())
-      if (a.tenant == tenant) ++tr.alerts;
-    rep.tenants.push_back(std::move(tr));
+    PARFFT_IF_PARANOID(rep.verify());
+    return rep;
   }
-  rep.alert_log = tel.alerts();
-  rep.flight_dumps = tel.flight_dumps();
-  tel.write_snapshot_file();
-  if (run) {
-    // Fault windows as timeline spans (clipped to the run), so the
-    // Perfetto view shows degraded/blackout stretches under the request
-    // and transform tracks.
-    for (const DegradeWindow& w : faults.degrades()) {
-      if (w.begin >= rep.makespan) break;
-      run->tracer.complete(0, obs::Category::Fault, "degraded", w.begin,
-                           std::min(w.end, rep.makespan) - w.begin,
-                           {{"nic_scale", w.nic_scale}});
-    }
-    for (const BlackoutWindow& w : faults.blackouts()) {
-      if (w.begin >= rep.makespan) break;
-      run->tracer.complete(0, obs::Category::Fault, "blackout", w.begin,
-                           std::min(w.end, rep.makespan) - w.begin);
-    }
-    run->metrics.counter("serve/completed").add(
-        static_cast<double>(rep.completed));
-    run->metrics.gauge("serve/throughput").set(rep.throughput);
-    run->metrics.gauge("serve/goodput").set(rep.goodput);
-    run->metrics.gauge("serve/utilization").set(rep.utilization);
-    run->metrics.gauge("serve/retry_amplification")
-        .set(rep.retry_amplification);
-    run->metrics.gauge("serve/downtime_seconds").set(rep.downtime);
-    run->metrics.gauge("serve/cache_hits").set(
-        static_cast<double>(rep.cache_hits));
-    run->metrics.gauge("serve/cache_misses").set(
-        static_cast<double>(rep.cache_misses));
-  }
-  PARFFT_IF_PARANOID(rep.verify());
+};
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cluster, cfg_.cache_capacity, cfg_.cache_eviction_window) {
+  PARFFT_CHECK(!cfg_.shapes.empty(), "server needs a non-empty shape catalog");
+  PARFFT_CHECK(cfg_.retry.max_attempts >= 1,
+               "retry.max_attempts counts the first attempt; must be >= 1");
+}
+
+Server::~Server() = default;
+
+void Server::begin(Workload& workload) {
+  tel_ = std::make_unique<obs::Telemetry>(cfg_.telemetry);
+  eng_ = std::make_unique<Engine>(*this, workload);
+  eng_->service();
+}
+
+double Server::next_event_time() const {
+  PARFFT_ASSERT(eng_ != nullptr);
+  return eng_->next_event();
+}
+
+void Server::advance_to(double t) {
+  PARFFT_ASSERT(eng_ != nullptr);
+  PARFFT_ASSERT(t >= eng_->now);
+  eng_->now = t;
+  eng_->service();
+}
+
+double Server::now() const { return eng_ ? eng_->now : 0.0; }
+
+bool Server::executor_up() const { return eng_ ? eng_->up : true; }
+
+bool Server::executor_up_at(double t) const {
+  return eng_ ? (eng_->up || eng_->restart_at <= t) : true;
+}
+
+std::size_t Server::queue_depth() const {
+  return eng_ ? eng_->batcher.pending() : 0;
+}
+
+std::size_t Server::in_flight() const {
+  return eng_ && eng_->busy
+             ? static_cast<std::size_t>(eng_->flight.batch.size())
+             : 0;
+}
+
+ServeReport Server::finish() {
+  PARFFT_ASSERT(eng_ != nullptr);
+  ServeReport rep = eng_->finalize();
+  eng_.reset();
   return rep;
+}
+
+ServeReport Server::run(Workload& workload) {
+  begin(workload);
+  while (true) {
+    const double next = eng_->next_event();
+    if (next == kInf) break;
+    advance_to(next);
+  }
+  return finish();
 }
 
 }  // namespace parfft::serve

@@ -195,15 +195,46 @@ struct ServeReport {
 class Server {
  public:
   explicit Server(ServerConfig cfg);
+  ~Server();
 
-  /// Drives `workload` to completion in virtual time.
+  /// Drives `workload` to completion in virtual time. Exactly
+  /// begin() + advance_to(next_event_time()) until drained + finish().
   ServeReport run(Workload& workload);
+
+  /// Incremental driving for external schedulers (the cluster router in
+  /// src/cluster): begin() arms the event loop on `workload` and
+  /// services virtual time 0, advance_to(t) moves the shard's clock to
+  /// `t` (>= now()) and services every event at or before it (t ==
+  /// now() re-services the current instant, e.g. after the driver
+  /// injected an arrival), next_event_time() is the next internal event
+  /// (infinity when drained), and finish() finalizes and returns the
+  /// report. The driver must deliver arrivals before advancing past
+  /// them; the engine itself never peeks beyond the workload it is
+  /// given.
+  void begin(Workload& workload);
+  double next_event_time() const;
+  void advance_to(double t);
+  /// Virtual clock of the engine (0 before begin()).
+  double now() const;
+  /// False while the executor is crashed and awaiting restart.
+  bool executor_up() const;
+  /// Whether the executor will be serving at time `t` (>= now()): up
+  /// already, or crashed with the restart due by `t`. The cluster
+  /// router's health probe -- a crashed shard with no queued work never
+  /// advances its own clock, so executor_up() alone would look down
+  /// forever and the machine could never rejoin placement.
+  bool executor_up_at(double t) const;
+  /// Submissions waiting in the batcher (the shard's queue depth).
+  std::size_t queue_depth() const;
+  /// Requests in the currently executing batch (0 when idle).
+  std::size_t in_flight() const;
+  ServeReport finish();
 
   const ServerConfig& config() const { return cfg_; }
   const PlanCache& plan_cache() const { return cache_; }
 
-  /// The telemetry of the most recent run() (null before the first run
-  /// or when telemetry is disabled). Valid until the next run() call.
+  /// The telemetry of the most recent run (null before the first run
+  /// or when telemetry is disabled). Valid until the next begin() call.
   const obs::Telemetry* telemetry() const { return tel_.get(); }
 
  private:
@@ -225,9 +256,15 @@ class Server {
     ServedPlan* plan = nullptr;
   };
 
+  /// Resumable event-loop state (server.cpp): everything run() used to
+  /// keep in locals, so an external driver can interleave many engines
+  /// on one virtual clock.
+  struct Engine;
+
   ServerConfig cfg_;
   PlanCache cache_;
   std::unique_ptr<obs::Telemetry> tel_;
+  std::unique_ptr<Engine> eng_;
 };
 
 }  // namespace parfft::serve

@@ -52,6 +52,16 @@ class Workload {
   /// True when every request has been popped (nothing scheduled and
   /// nothing will be scheduled later).
   virtual bool done() const = 0;
+
+  /// True when no request is scheduled right now and none can appear
+  /// without this server acting first (a closed-loop client blocked on a
+  /// completion, say) -- the server's cue that waiting out the batcher's
+  /// max_delay would be pure idle time. The default matches the
+  /// standalone engines: an empty peek() means nothing can arrive.
+  /// External feeders (the cluster router's per-shard queues) override
+  /// it: a shard's local queue being empty does not mean the global
+  /// workload is spent.
+  virtual bool exhausted() const { return !peek().has_value(); }
 };
 
 /// Poisson arrivals at `rate` requests per virtual second, shapes drawn

@@ -1,0 +1,327 @@
+/// \file test_cluster.cpp
+/// Multi-machine sharded serving tier (src/cluster): deterministic
+/// routing, the single-machine == standalone-server equivalence, shape
+/// affinity beating hash placement on skewed traces, machine-scoped
+/// fault domains, front-end-down admission and the global conservation
+/// identities.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace parfft::cluster {
+namespace {
+
+using serve::ClusterFaultPlan;
+using serve::FaultPlan;
+using serve::FaultSpec;
+using serve::JobShape;
+using serve::OpenLoopWorkload;
+using serve::ServeReport;
+using serve::ServerConfig;
+using serve::ShapeMix;
+
+serve::ClusterConfig test_machine() {
+  serve::ClusterConfig c;
+  c.machine = net::summit();
+  c.device = gpu::v100();
+  c.nranks = 12;
+  return c;
+}
+
+JobShape cube(int n) {
+  JobShape s;
+  s.n = {n, n, n};
+  s.options.decomp = core::Decomposition::Pencil;
+  s.options.overlap_batches = true;
+  return s;
+}
+
+ServerConfig shard_config(std::vector<JobShape> shapes) {
+  ServerConfig cfg;
+  cfg.cluster = test_machine();
+  cfg.shapes = std::move(shapes);
+  return cfg;
+}
+
+double unit_time(const JobShape& shape) {
+  core::Simulator sim(serve::to_sim_config(test_machine(), shape));
+  return sim.transform_time(1);
+}
+
+std::string report_json(const ClusterReport& r) {
+  std::ostringstream os;
+  r.write_json(os);
+  return os.str();
+}
+
+std::string report_json(const ServeReport& r) {
+  std::ostringstream os;
+  r.write_json(os);
+  return os.str();
+}
+
+// ------------------------------------------------------------ determinism
+
+/// Acceptance: a seeded >= 3 machine cluster run -- workload, faults,
+/// placement and all -- is byte-identical across repeated runs, report
+/// and combined telemetry snapshot alike.
+TEST(Cluster, SeededRunsAreByteIdentical) {
+  const std::vector<ShapeMix> mix = {{cube(32), 3.0}, {cube(64), 1.0}};
+  auto once = [&] {
+    ClusterOptions opt;
+    opt.shard = shard_config({cube(32), cube(64)});
+    opt.machines = 3;
+    opt.placement = Placement::Affinity;
+    FaultSpec spec;
+    spec.seed = 7;
+    spec.horizon = 1.0;
+    spec.crash_mtbf = 0.2;
+    spec.crash_mttr = 0.05;
+    spec.degrade_mtbf = 0.3;
+    spec.degrade_mttr = 0.1;
+    opt.faults = ClusterFaultPlan::generate(3, spec);
+    opt.shard.retry.max_attempts = 3;
+    opt.shard.retry.jitter_seed = 5;
+    Cluster cluster(opt);
+    OpenLoopWorkload load(mix, /*rate=*/3000, /*count=*/150, /*tenants=*/2,
+                          42);
+    const ClusterReport rep = cluster.run(load);
+    std::ostringstream snap;
+    cluster.write_snapshot(snap);
+    return std::make_pair(report_json(rep), snap.str());
+  };
+  const auto [rep_a, snap_a] = once();
+  const auto [rep_b, snap_b] = once();
+  EXPECT_EQ(rep_a, rep_b) << "same seeds -> byte-identical cluster report";
+  EXPECT_EQ(snap_a, snap_b) << "same seeds -> byte-identical snapshot";
+}
+
+// ------------------------------------------- single-machine equivalence
+
+/// Acceptance: a one-machine cluster is the standalone server. Same
+/// workload seed, same fault plan (crash + degrade + blackout to
+/// exercise every event source): the shard's ServeReport must be
+/// byte-identical to serve::Server::run()'s.
+TEST(Cluster, SingleMachineMatchesStandaloneServerExactly) {
+  const double t1 = unit_time(cube(32));
+  const std::vector<ShapeMix> mix = {{cube(32), 2.0}, {cube(64), 1.0}};
+  auto load = [&] {
+    return OpenLoopWorkload(mix, /*rate=*/2.0 / t1, /*count=*/80,
+                            /*tenants=*/2, 11);
+  };
+  FaultPlan faults;
+  faults.add_degrade(2.0 * t1, 6.0 * t1, 0.5);
+  faults.add_crash(10.5 * t1, 4.0 * t1);
+  faults.add_blackout(20.0 * t1, 22.0 * t1);
+
+  ServerConfig cfg = shard_config({cube(32), cube(64)});
+  cfg.retry.max_attempts = 4;
+  cfg.retry.backoff_base = 0.5 * t1;
+  cfg.retry.jitter_seed = 9;
+
+  ServerConfig standalone_cfg = cfg;
+  standalone_cfg.faults = faults;
+  serve::Server standalone(standalone_cfg);
+  OpenLoopWorkload standalone_load = load();
+  const ServeReport expect = standalone.run(standalone_load);
+
+  ClusterOptions opt;
+  opt.shard = cfg;
+  opt.machines = 1;
+  opt.placement = Placement::Load;
+  opt.faults.set_machine(0, faults);
+  Cluster cluster(opt);
+  OpenLoopWorkload cluster_load = load();
+  const ClusterReport rep = cluster.run(cluster_load);
+
+  ASSERT_EQ(rep.per_machine.size(), 1u);
+  EXPECT_EQ(report_json(rep.per_machine[0].report), report_json(expect))
+      << "one-machine cluster must replay the standalone event order";
+  EXPECT_EQ(rep.offered, expect.offered);
+  EXPECT_EQ(rep.completed, expect.completed);
+  EXPECT_EQ(rep.failed, expect.failed);
+  EXPECT_EQ(rep.frontend_shed, 0u);
+  rep.verify();
+}
+
+// -------------------------------------------------------- placement
+
+/// Shape-affinity routing on a skewed trace lands requests on warm
+/// caches strictly more often than hash spraying, and pays fewer plan
+/// setups overall.
+TEST(Cluster, AffinityBeatsHashPlacementOnSkewedTrace) {
+  const std::vector<ShapeMix> mix = {{cube(32), 6.0}, {cube(64), 2.0},
+                                     {cube(48), 1.0}};
+  auto run_with = [&](Placement placement) {
+    ClusterOptions opt;
+    opt.shard = shard_config({cube(32), cube(64), cube(48)});
+    opt.machines = 3;
+    opt.placement = placement;
+    Cluster cluster(opt);
+    OpenLoopWorkload load(mix, /*rate=*/4000, /*count=*/120, /*tenants=*/2,
+                          21);
+    return cluster.run(load);
+  };
+  const ClusterReport affinity = run_with(Placement::Affinity);
+  const ClusterReport hash = run_with(Placement::Hash);
+  affinity.verify();
+  hash.verify();
+  EXPECT_GT(affinity.affinity_hit_rate, hash.affinity_hit_rate)
+      << "sticky shape routing must beat cache-blind spraying";
+  auto setups = [](const ClusterReport& r) {
+    std::uint64_t misses = 0;
+    for (const MachineSlice& s : r.per_machine)
+      misses += s.report.cache_misses;
+    return misses;
+  };
+  EXPECT_LT(setups(affinity), setups(hash))
+      << "affinity pays plan setup once per shape, not once per shard";
+}
+
+// ------------------------------------------------------- fault domains
+
+/// Acceptance: a machine-scoped crash schedule produces per-shard (not
+/// all-or-nothing) downtime -- the crashed shard reports the outage and
+/// its own failures, the survivors' goodput is untouched, and the
+/// global conservation identities still hold.
+TEST(Cluster, MachineCrashLeavesSurvivorsGoodputIntact) {
+  const double t1 = unit_time(cube(32));
+  const std::vector<ShapeMix> mix = {{cube(32), 1.0}};
+  ClusterOptions opt;
+  opt.shard = shard_config({cube(32)});
+  opt.shard.batching.enabled = false;  // keep every shard provably busy
+  opt.machines = 3;
+  opt.placement = Placement::Load;
+  // Crash machine 0 mid-run while the cluster is overloaded; machines 1
+  // and 2 stay healthy.
+  opt.faults.machine(0).add_crash(5.5 * t1, 6.0 * t1);
+  Cluster cluster(opt);
+  OpenLoopWorkload load(mix, /*rate=*/6.0 / t1, /*count=*/120, /*tenants=*/2,
+                        33);
+  const ClusterReport rep = cluster.run(load);
+  rep.verify();
+
+  ASSERT_EQ(rep.per_machine.size(), 3u);
+  const ServeReport& crashed = rep.per_machine[0].report;
+  EXPECT_EQ(crashed.crashes, 1u);
+  EXPECT_GT(crashed.downtime, 0.0);
+  EXPECT_EQ(rep.crashes, 1u);
+  for (int m = 1; m < 3; ++m) {
+    const MachineSlice& s = rep.per_machine[m];
+    EXPECT_EQ(s.report.crashes, 0u) << "machine " << m;
+    EXPECT_EQ(s.report.downtime, 0.0) << "machine " << m;
+    EXPECT_EQ(s.report.failed, 0u) << "machine " << m;
+    EXPECT_EQ(s.report.completed, s.routed)
+        << "survivor " << m << " must complete everything routed to it";
+  }
+}
+
+/// Hash placement fails over around a blacked-out machine: the router
+/// diverts new placements, so the down machine's shard never sees (and
+/// never drops) an arrival, and nothing is lost cluster-wide.
+TEST(Cluster, HashFailoverRoutesAroundDownMachine) {
+  const double t1 = unit_time(cube(32));
+  const std::vector<ShapeMix> mix = {{cube(32), 1.0}};
+  ClusterOptions opt;
+  opt.shard = shard_config({cube(32)});
+  opt.machines = 3;
+  opt.placement = Placement::Hash;
+  // Machine 0 unreachable for the whole arrival window.
+  opt.faults.machine(0).add_blackout(0.0, 1000.0 * t1);
+  Cluster cluster(opt);
+  OpenLoopWorkload load(mix, /*rate=*/2.0 / t1, /*count=*/60, /*tenants=*/2,
+                        44);
+  const ClusterReport rep = cluster.run(load);
+  rep.verify();
+
+  EXPECT_GT(rep.failovers, 0u);
+  EXPECT_EQ(rep.per_machine[0].routed, 0u);
+  EXPECT_EQ(rep.per_machine[0].report.dropped, 0u)
+      << "failover happens at placement, not by bouncing off the blackout";
+  EXPECT_EQ(rep.completed, rep.offered);
+}
+
+// --------------------------------------------------- front-end admission
+
+/// Front-end blackout, Shed mode: arrivals inside the window are
+/// terminal at the router, counted in frontend_shed and failed, never
+/// in any shard.
+TEST(Cluster, FrontendBlackoutShedsWhenConfiguredTo) {
+  const double t1 = unit_time(cube(32));
+  const std::vector<ShapeMix> mix = {{cube(32), 1.0}};
+  ClusterOptions opt;
+  opt.shard = shard_config({cube(32)});
+  opt.machines = 2;
+  opt.placement = Placement::Load;
+  opt.admission.frontend_down = AdmissionConfig::FrontendDown::Shed;
+  opt.faults.frontend().add_blackout(0.0, 3.0 * t1);
+  Cluster cluster(opt);
+  OpenLoopWorkload load(mix, /*rate=*/2.0 / t1, /*count=*/40, /*tenants=*/2,
+                        55);
+  const ClusterReport rep = cluster.run(load);
+  rep.verify();
+
+  EXPECT_GT(rep.frontend_shed, 0u);
+  EXPECT_EQ(rep.spooled, 0u);
+  EXPECT_EQ(rep.offered, rep.routed + rep.frontend_shed);
+  EXPECT_GE(rep.failed, rep.frontend_shed);
+  for (const MachineSlice& s : rep.per_machine)
+    EXPECT_EQ(s.report.dropped, 0u) << "shed at the router, not the shard";
+}
+
+/// Front-end blackout, Spool mode: the same arrivals are held at the
+/// router and re-admitted when the blackout lifts -- nothing is lost.
+TEST(Cluster, FrontendBlackoutSpoolsWhenConfiguredTo) {
+  const double t1 = unit_time(cube(32));
+  const std::vector<ShapeMix> mix = {{cube(32), 1.0}};
+  ClusterOptions opt;
+  opt.shard = shard_config({cube(32)});
+  opt.machines = 2;
+  opt.placement = Placement::Load;
+  opt.admission.frontend_down = AdmissionConfig::FrontendDown::Spool;
+  opt.faults.frontend().add_blackout(0.0, 3.0 * t1);
+  Cluster cluster(opt);
+  OpenLoopWorkload load(mix, /*rate=*/2.0 / t1, /*count=*/40, /*tenants=*/2,
+                        55);
+  const ClusterReport rep = cluster.run(load);
+  rep.verify();
+
+  EXPECT_GT(rep.spooled, 0u);
+  EXPECT_EQ(rep.frontend_shed, 0u);
+  EXPECT_EQ(rep.routed, rep.offered);
+  EXPECT_EQ(rep.completed, rep.offered)
+      << "spooled arrivals are served after the blackout lifts";
+}
+
+/// The global admission limit bounds the aggregate queue depth across
+/// shards: overload sheds at the router while per-shard queues stay
+/// unbounded (no shard-level rejects).
+TEST(Cluster, GlobalAdmissionLimitShedsAcrossShards) {
+  const double t1 = unit_time(cube(32));
+  const std::vector<ShapeMix> mix = {{cube(32), 1.0}};
+  ClusterOptions opt;
+  opt.shard = shard_config({cube(32)});
+  opt.shard.batching.enabled = false;
+  opt.machines = 2;
+  opt.placement = Placement::Load;
+  opt.admission.global_queue_limit = 4;
+  Cluster cluster(opt);
+  OpenLoopWorkload load(mix, /*rate=*/20.0 / t1, /*count=*/100, /*tenants=*/2,
+                        66);
+  const ClusterReport rep = cluster.run(load);
+  rep.verify();
+
+  EXPECT_GT(rep.frontend_shed, 0u) << "overload must trip the global limit";
+  for (const MachineSlice& s : rep.per_machine)
+    EXPECT_EQ(s.report.rejected, 0u)
+        << "admission control is global, not per shard";
+  EXPECT_EQ(rep.completed + rep.failed, rep.offered);
+}
+
+}  // namespace
+}  // namespace parfft::cluster

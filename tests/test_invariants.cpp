@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/paranoid.hpp"
 #include "netsim/flowsim.hpp"
 #include "obs/tracer.hpp"
@@ -205,6 +206,85 @@ TEST(FlowSimInvariants, NoLinkExceedsItsCapacity) {
     EXPECT_GT(link.bytes, 0.0) << link.name;
   }
   for (const net::Flow& f : flows) EXPECT_GE(f.finish, f.start);
+}
+
+// -------------------------------------------------- cluster identities
+
+/// A full sharded-cluster pipeline: 3 machines with decorrelated fault
+/// schedules, a blacked-out front end, global admission and affinity
+/// placement, all at once.
+cluster::ClusterReport run_cluster_pipeline(bool paranoid) {
+  const bool prev = set_paranoid(paranoid);
+  cluster::ClusterOptions opt;
+  opt.shard = pipeline_config();
+  opt.machines = 3;
+  opt.placement = cluster::Placement::Affinity;
+  opt.admission.global_queue_limit = 48;
+  FaultSpec spec;
+  spec.seed = 13;
+  spec.horizon = 200.0;
+  spec.crash_mtbf = 40.0;
+  spec.crash_mttr = 2.0;
+  spec.degrade_mtbf = 25.0;
+  spec.degrade_mttr = 5.0;
+  spec.blackout_mtbf = 60.0;
+  spec.blackout_mttr = 2.0;
+  opt.faults = ClusterFaultPlan::generate(3, spec);
+  cluster::Cluster c(opt);
+  OpenLoopWorkload load(pipeline_mix(), /*rate=*/2.0, /*count=*/120,
+                        /*tenants=*/3, /*seed=*/99);
+  cluster::ClusterReport rep = c.run(load);
+  set_paranoid(prev);
+  return rep;
+}
+
+TEST(ClusterReportVerify, AcceptsRealRuns) {
+  const cluster::ClusterReport rep = run_cluster_pipeline(true);
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_NO_THROW(rep.verify());
+}
+
+TEST(ClusterReportVerify, RejectsBrokenGlobalConservation) {
+  cluster::ClusterReport rep = run_cluster_pipeline(false);
+  ++rep.completed;  // one request now terminates twice, cluster-wide
+  EXPECT_THROW(rep.verify(), Error);
+
+  cluster::ClusterReport rep2 = run_cluster_pipeline(false);
+  ++rep2.frontend_shed;  // a shed request the workload never offered
+  EXPECT_THROW(rep2.verify(), Error);
+}
+
+TEST(ClusterReportVerify, RejectsShardRollupMismatch) {
+  // The global totals must be exactly the per-shard sums: drop one
+  // shard's contribution and the rollup identity breaks.
+  cluster::ClusterReport rep = run_cluster_pipeline(false);
+  ASSERT_FALSE(rep.per_machine.empty());
+  ++rep.per_machine[0].routed;
+  EXPECT_THROW(rep.verify(), Error);
+
+  cluster::ClusterReport rep2 = run_cluster_pipeline(false);
+  ++rep2.crashes;  // a crash no shard experienced
+  EXPECT_THROW(rep2.verify(), Error);
+
+  cluster::ClusterReport rep3 = run_cluster_pipeline(false);
+  ASSERT_FALSE(rep3.per_machine.empty());
+  // More warm placements than placements is impossible.
+  rep3.per_machine[0].warm_routed = rep3.per_machine[0].routed + 1;
+  EXPECT_THROW(rep3.verify(), Error);
+}
+
+/// The router's side of the clock-skew invariant: a shard's virtual
+/// clock can never be driven backwards, so no shard can drift ahead of
+/// the router that advances it.
+TEST(ClusterClock, ShardClockCannotRunBackwards) {
+  Server server(pipeline_config());
+  OpenLoopWorkload load(pipeline_mix(), /*rate=*/2.0, /*count=*/4,
+                        /*tenants=*/1, /*seed=*/7);
+  server.begin(load);
+  double t = server.next_event_time();
+  server.advance_to(t);
+  ASSERT_GT(server.now(), 0.0);
+  EXPECT_THROW(server.advance_to(server.now() * 0.5), Error);
 }
 
 // -------------------------------------------------- negative paranoid tests

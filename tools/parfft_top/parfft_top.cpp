@@ -22,6 +22,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
@@ -91,7 +92,32 @@ bool validate(const JValue& root, std::string& why) {
     why = "missing \"recorder\" object";
     return false;
   }
+  // Optional cluster extension: a per-machine section, one summary
+  // object per shard, each carrying a numeric id.
+  if (const JValue* machines = root.get("machines")) {
+    if (!machines->is_arr()) { why = "\"machines\" is not an array"; return false; }
+    for (const JValue& m : machines->arr) {
+      const JValue* id = m.get("id");
+      if (!m.is_obj() || !id || id->kind != JValue::Kind::Number) {
+        why = "machines entry has no numeric \"id\"";
+        return false;
+      }
+    }
+  }
   return true;
+}
+
+/// Splits a cluster-snapshot series name "machine/<id>/<rest>" into its
+/// machine column and plain name; "-" for untagged series.
+std::pair<std::string, std::string> split_machine(const std::string& name) {
+  const std::string prefix = "machine/";
+  if (name.rfind(prefix, 0) == 0) {
+    const std::size_t slash = name.find('/', prefix.size());
+    if (slash != std::string::npos && slash > prefix.size())
+      return {name.substr(prefix.size(), slash - prefix.size()),
+              name.substr(slash + 1)};
+  }
+  return {"-", name};
 }
 
 void render(std::ostream& os, const JValue& root, const std::string& path) {
@@ -101,14 +127,30 @@ void render(std::ostream& os, const JValue& root, const std::string& path) {
      << (root.get("enabled") && root.get("enabled")->b ? "on" : "off")
      << "\n\n";
 
+  if (const JValue* machines = root.get("machines");
+      machines && !machines->arr.empty()) {
+    parfft::Table t({"machine", "now", "series", "requests", "slo",
+                     "alerts", "recorded", "dumps"});
+    for (const JValue& m : machines->arr) {
+      t.add_row({fmt(m.num_or("id", -1)), fmt(m.num_or("now", 0)),
+                 fmt(m.num_or("series", 0)), fmt(m.num_or("requests", 0)),
+                 fmt(m.num_or("slo", 0)), fmt(m.num_or("alerts", 0)),
+                 fmt(m.num_or("recorded", 0)), fmt(m.num_or("dumps", 0))});
+    }
+    t.print(os);
+    os << "\n";
+  }
+
   const JValue* series = root.get("series");
   if (series && !series->obj.empty()) {
-    parfft::Table t({"series", "count", "mean", "p50", "p99", "max",
-                     "activity (newest right)"});
+    parfft::Table t({"machine", "series", "count", "mean", "p50", "p99",
+                     "max", "activity (newest right)"});
     for (const auto& [name, s] : series->obj) {
-      t.add_row({name, fmt(s.num_or("count", 0)), fmt(s.num_or("mean", 0)),
-                 fmt(s.num_or("p50", 0)), fmt(s.num_or("p99", 0)),
-                 fmt(s.num_or("max", 0)), sparkline(*s.get("windows"))});
+      const auto [machine, plain] = split_machine(name);
+      t.add_row({machine, plain, fmt(s.num_or("count", 0)),
+                 fmt(s.num_or("mean", 0)), fmt(s.num_or("p50", 0)),
+                 fmt(s.num_or("p99", 0)), fmt(s.num_or("max", 0)),
+                 sparkline(*s.get("windows"))});
     }
     t.print(os);
     os << "\n";
@@ -116,7 +158,7 @@ void render(std::ostream& os, const JValue& root, const std::string& path) {
 
   const JValue* slo = root.get("slo");
   if (slo && !slo->arr.empty()) {
-    parfft::Table t({"tenant", "state", "attainment", "objective",
+    parfft::Table t({"machine", "tenant", "state", "attainment", "objective",
                      "burn short", "burn long", "budget"});
     for (const JValue& m : slo->arr) {
       const double att = m.num_or("attainment", 1.0);
@@ -128,7 +170,9 @@ void render(std::ostream& os, const JValue& root, const std::string& path) {
       std::string bar = "[";
       for (int i = 0; i < 10; ++i) bar += i < fill ? '#' : '-';
       bar += ']';
-      t.add_row({fmt(m.num_or("tenant", 0)), m.str_or("state", "?"),
+      const double machine = m.num_or("machine", -1);
+      t.add_row({machine >= 0 ? fmt(machine) : "-",
+                 fmt(m.num_or("tenant", 0)), m.str_or("state", "?"),
                  fmt(att), fmt(obj), fmt(m.num_or("burn_short", 0)),
                  fmt(m.num_or("burn_long", 0)), bar});
     }
