@@ -11,11 +11,21 @@
 /// seeds; a fixed seed reprints byte-identical tables.
 ///
 /// `--smoke` runs a reduced request count (CI).
+///
+/// `--chaos [--seed=N]` runs the survival-layer chaos grid instead:
+/// correlated crash + blackout + overload cells, each run twice
+/// (survival off, then breakers + hedging + paced spooling on) with the
+/// full conservation identities checked on every report. The grid seed
+/// defaults to a fresh entropy draw and is ALWAYS printed, so any CI
+/// failure reproduces exactly with --chaos --seed=N.
 
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_common.hpp"
 #include "cluster/cluster.hpp"
+#include "common/random.hpp"
+#include "common/stopwatch.hpp"
 #include "serve/server.hpp"
 
 using namespace parfft;
@@ -223,12 +233,130 @@ void sweep_admission(std::uint64_t requests) {
   std::printf("\n");
 }
 
+/// The survival-layer chaos grid: correlated crash + blackout + overload
+/// cells, each run survival-off then survival-on (breakers, hedging,
+/// paced spool re-admission) from the SAME fault + workload seeds.
+/// Every report passes verify() -- under PARFFT_PARANOID the run itself
+/// asserts the extended conservation identities -- and the table prints
+/// the goodput delta the survival layer buys per cell. The grid seed is
+/// randomized per invocation (and printed), so repeated CI runs walk the
+/// fault space instead of re-testing one point; there is deliberately no
+/// hard dominance assert here -- that lives in test_cluster and
+/// perf_baseline on pinned seeds.
+void sweep_chaos(std::uint64_t requests, std::uint64_t seed) {
+  const serve::ClusterConfig c = machine_config();
+  const double t1 = unit_time(c, sweep_mix()[0].shape);
+  const int machines = 3;
+
+  std::printf("chaos seed: %llu (rerun with --chaos --seed=%llu)\n\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+
+  struct Cell {
+    const char* name;
+    double crash_mtbf;    ///< in t1 units (0 = no crashes)
+    double degrade_mtbf;  ///< in t1 units
+    double blackout_mtbf; ///< front-end + machine blackouts, t1 units
+    double overload;      ///< offered rate per machine, in 1/t1
+  };
+  const Cell cells[] = {
+      {"calm", 0, 120, 0, 2.0},
+      {"crashy", 30, 60, 0, 2.5},
+      {"partitioned", 60, 60, 40, 2.5},
+      {"correlated", 25, 25, 30, 3.0},
+  };
+
+  Table t({"cell", "survival", "done", "failed", "goodput/s", "p99",
+           "hedges", "wins", "trips", "brownout"});
+  for (std::size_t i = 0; i < sizeof(cells) / sizeof(cells[0]); ++i) {
+    const Cell& cell = cells[i];
+    const double rate = cell.overload * machines / t1;
+    const double horizon = 2.0 * static_cast<double>(requests) / rate;
+    auto run_with = [&](bool survival) {
+      cl::ClusterOptions opt;
+      opt.shard = shard_config(c, t1);
+      opt.shard.retry.deadline = 60 * t1;
+      opt.shard.retry.jitter_seed = seed + i;
+      opt.machines = machines;
+      opt.placement = cl::Placement::Affinity;
+      serve::FaultSpec spec;
+      // Each cell draws its own decorrelated stream of the grid seed.
+      spec.seed = Rng(seed).split(i).seed();
+      spec.horizon = horizon;
+      if (cell.crash_mtbf > 0) {
+        spec.crash_mtbf = cell.crash_mtbf * t1;
+        spec.crash_mttr = 8 * t1;
+      }
+      spec.degrade_mtbf = cell.degrade_mtbf * t1;
+      spec.degrade_mttr = 10 * t1;
+      spec.degrade_scale = 0.1;
+      if (cell.blackout_mtbf > 0) {
+        spec.blackout_mtbf = cell.blackout_mtbf * t1;
+        spec.blackout_mttr = 4 * t1;
+      }
+      opt.faults = serve::ClusterFaultPlan::generate(machines, spec);
+      opt.admission.frontend_down = cl::AdmissionConfig::FrontendDown::Spool;
+      if (survival) {
+        opt.admission.spool_drain_batch = 4;
+        opt.admission.spool_drain_interval = 0.5 * t1;
+        opt.survival.breaker.enabled = true;
+        opt.survival.breaker.failure_threshold = 3;
+        opt.survival.breaker.open_duration = 6 * t1;
+        opt.survival.breaker.seed = seed;
+        opt.survival.hedge.enabled = true;
+        opt.survival.hedge.hedge_after = 10 * t1;
+      }
+      opt.label = std::string("cluster/chaos_") + cell.name +
+                  (survival ? "_on" : "_off");
+      cl::Cluster tier(opt);
+      serve::OpenLoopWorkload load(sweep_mix(), rate, requests, /*tenants=*/4,
+                                   seed);
+      const cl::ClusterReport rep = tier.run(load);
+      rep.verify();
+      return rep;
+    };
+    for (const bool survival : {false, true}) {
+      const cl::ClusterReport rep = run_with(survival);
+      t.add_row({cell.name, survival ? "on" : "off",
+                 std::to_string(rep.completed), std::to_string(rep.failed),
+                 format_fixed(rep.goodput, 1), format_time(rep.latency.p99),
+                 std::to_string(rep.hedges_placed),
+                 std::to_string(rep.hedge_wins),
+                 std::to_string(rep.breaker_trips),
+                 std::to_string(rep.brownout_shed)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nall %d cells passed ClusterReport::verify() in both modes\n",
+              static_cast<int>(sizeof(cells) / sizeof(cells[0])));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  for (int i = 1; i < argc; ++i)
+  bool chaos = false;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      seed_set = true;
+    }
+  }
+
+  if (chaos) {
+    banner("cluster_sweep --chaos",
+           "survival-layer chaos grid: correlated crash + blackout + "
+           "overload, survival off vs on",
+           "every cell runs twice from the same seeds; the survival layer "
+           "(breakers, hedged failover, paced spooling) must keep the "
+           "conservation identities intact while it buys goodput");
+    sweep_chaos(smoke ? 240 : 1200, seed_set ? seed : entropy_seed());
+    return 0;
+  }
 
   banner("cluster_sweep",
          "multi-machine sharded tier: placement, machine faults, admission",

@@ -396,6 +396,104 @@ void suite_cluster() {
   put("cluster.failovers", static_cast<double>(rep.failovers));
 }
 
+/// The survival layer's pinned cells. Three scenarios, all deterministic
+/// from kSeed:
+///  - rolling drain of every machine (the zero-loss restart contract is
+///    asserted right here, not just in tests) -- pins the restart's tail
+///    cost;
+///  - hedged failover against a NIC-degraded shard -- pins how often the
+///    speculative copy actually wins;
+///  - one fixed-seed chaos cell (generated correlated crash + degrade +
+///    blackout schedules) with breakers + hedging + paced spooling on --
+///    pins the goodput the survival layer must keep delivering.
+void suite_cluster_survival() {
+  const serve::ClusterConfig c = cluster();
+  const double t1 = unit_time(c, serve_mix()[0].shape);
+
+  {
+    cl::ClusterOptions opt;
+    opt.shard = serve_cfg(c, t1);
+    opt.machines = 3;
+    opt.placement = cl::Placement::Affinity;
+    opt.label = "perf/cluster_drain";
+    opt.survival.drains = {{0, 20 * t1, 5 * t1, -1},
+                           {1, 40 * t1, 5 * t1, -1},
+                           {2, 60 * t1, 5 * t1, -1}};
+    cl::Cluster tier(opt);
+    serve::OpenLoopWorkload load(serve_mix(), 4.0 / t1, /*requests=*/300,
+                                 /*tenants=*/4, kSeed);
+    const cl::ClusterReport rep = tier.run(load);
+    rep.verify();
+    PARFFT_CHECK(rep.drains == 3, "rolling restart skipped a machine");
+    PARFFT_CHECK(rep.failed == 0, "rolling restart lost requests");
+    put("cluster.drain_p99", hist_quantile(rep.latencies, 0.99));
+    put("cluster.drain_handovers", static_cast<double>(rep.drain_handovers),
+        "higher");
+  }
+
+  {
+    cl::ClusterOptions opt;
+    opt.shard = serve_cfg(c, t1);
+    opt.machines = 3;
+    opt.placement = cl::Placement::Hash;
+    opt.label = "perf/cluster_hedge";
+    opt.faults.machine(0).add_degrade(0.0, 1e6 * t1, 0.05);
+    opt.survival.hedge.enabled = true;
+    opt.survival.hedge.hedge_after = 12 * t1;
+    cl::Cluster tier(opt);
+    serve::OpenLoopWorkload load(serve_mix(), 6.0 / t1, /*requests=*/300,
+                                 /*tenants=*/4, kSeed);
+    const cl::ClusterReport rep = tier.run(load);
+    rep.verify();
+    PARFFT_CHECK(rep.hedges_placed > 0, "hedge cell placed no hedges");
+    put("cluster.hedge_win_rate",
+        static_cast<double>(rep.hedge_wins) /
+            static_cast<double>(rep.hedges_placed),
+        "higher");
+    put("cluster.hedge_p99", hist_quantile(rep.latencies, 0.99));
+  }
+
+  {
+    cl::ClusterOptions opt;
+    opt.shard = serve_cfg(c, t1);
+    opt.shard.retry.max_attempts = 3;
+    opt.shard.retry.backoff_base = 0.5 * t1;
+    opt.shard.retry.jitter_seed = kSeed;
+    opt.shard.retry.deadline = 80 * t1;
+    opt.machines = 3;
+    opt.placement = cl::Placement::Affinity;
+    opt.label = "perf/cluster_chaos";
+    serve::FaultSpec spec;
+    spec.seed = kSeed;
+    spec.horizon = 150 * t1;
+    spec.crash_mtbf = 40 * t1;
+    spec.crash_mttr = 8 * t1;
+    spec.degrade_mtbf = 40 * t1;
+    spec.degrade_mttr = 10 * t1;
+    spec.degrade_scale = 0.1;
+    spec.blackout_mtbf = 50 * t1;
+    spec.blackout_mttr = 4 * t1;
+    opt.faults = serve::ClusterFaultPlan::generate(3, spec);
+    opt.admission.frontend_down = cl::AdmissionConfig::FrontendDown::Spool;
+    opt.admission.spool_drain_batch = 4;
+    opt.admission.spool_drain_interval = 0.5 * t1;
+    opt.survival.breaker.enabled = true;
+    opt.survival.breaker.failure_threshold = 3;
+    opt.survival.breaker.open_duration = 6 * t1;
+    opt.survival.breaker.seed = kSeed;
+    opt.survival.hedge.enabled = true;
+    opt.survival.hedge.hedge_after = 10 * t1;
+    cl::Cluster tier(opt);
+    serve::OpenLoopWorkload load(serve_mix(), 6.0 / t1, /*requests=*/300,
+                                 /*tenants=*/4, kSeed);
+    const cl::ClusterReport rep = tier.run(load);
+    rep.verify();
+    put("cluster.chaos_goodput", rep.goodput, "higher");
+    put("cluster.chaos_completed", static_cast<double>(rep.completed),
+        "higher");
+  }
+}
+
 void write_bench_json(std::ostream& os, const serve::ServeReport& serve_rep,
                       const serve::ServeReport* fault_rep) {
   os << "{\n  \"schema\": \"parfft-bench-v1\",\n  \"suite\": "
@@ -454,6 +552,7 @@ int main(int argc, char** argv) {
     suite_overhead();
     const serve::ServeReport fault_rep = suite_fault();
     suite_cluster();
+    suite_cluster_survival();
 
     std::ofstream f(out);
     PARFFT_CHECK(static_cast<bool>(f), "cannot open output " + out);

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/survival.hpp"
 #include "serve/server.hpp"
 
 namespace parfft::cluster {
@@ -66,6 +67,14 @@ struct AdmissionConfig {
     Spool,  ///< hold at the router, re-admit when the blackout lifts
   };
   FrontendDown frontend_down = FrontendDown::Shed;
+
+  /// Paced spool re-admission at blackout end. 0 = legacy behavior: the
+  /// whole spool re-admits in one burst at the blackout's end instant
+  /// (which can blow straight through global_queue_limit's intent by
+  /// arriving as one spike). > 0: spooled arrivals release in batches of
+  /// this size, `spool_drain_interval` apart, in arrival order.
+  std::size_t spool_drain_batch = 0;
+  double spool_drain_interval = 0;
 };
 
 struct ClusterOptions {
@@ -81,6 +90,10 @@ struct ClusterOptions {
   /// Machine-scoped fault schedules plus the front end's own. Empty =
   /// fault-free everywhere.
   serve::ClusterFaultPlan faults;
+  /// Circuit breakers, hedged failover, brownout admission and rolling
+  /// drains. Default-off: with `survival.any()` false the router takes
+  /// the exact pre-survival code paths (byte-identical seeded runs).
+  SurvivalConfig survival;
   std::string label = "cluster";
   /// Combined parfft-telemetry-v1 snapshot of all shards, written after
   /// each run ("" = none; see obs::write_cluster_snapshot).
@@ -112,10 +125,40 @@ struct ClusterReport {
   std::uint64_t spooled = 0;    ///< arrivals held through a front-end blackout
   std::uint64_t failovers = 0;  ///< placements diverted off a down shard
 
-  std::uint64_t completed = 0;     ///< sum over shards
-  std::uint64_t failed = 0;        ///< shard failures + frontend_shed
-  std::uint64_t deadline_met = 0;  ///< sum over shards
+  std::uint64_t completed = 0;     ///< distinct requests completed
+  std::uint64_t failed = 0;        ///< distinct requests failed (+ shed)
+  std::uint64_t deadline_met = 0;  ///< completions within deadline
   std::uint64_t crashes = 0;       ///< executor crashes across all shards
+
+  // --- Survival-layer accounting (all 0 with SurvivalConfig off). A
+  // hedged request has TWO shard-level placements but still exactly ONE
+  // cluster-level outcome; the router suppresses the loser:
+  //   hedges_placed == hedge_wasted + hedge_cancelled + hedge_dup_failed.
+  std::uint64_t hedges_placed = 0;  ///< speculative copies placed
+  std::uint64_t hedge_wins = 0;     ///< copy finished before the primary
+  /// Loser completed anyway (both copies ran to completion; the second
+  /// result was discarded at the router).
+  std::uint64_t hedge_wasted = 0;
+  /// Loser was still queued when the winner finished and was withdrawn
+  /// from its shard (terminal `cancelled` there).
+  std::uint64_t hedge_cancelled = 0;
+  /// Loser failed on its shard while the other copy survived (or had
+  /// already won): the failure is not a cluster-level failure.
+  std::uint64_t hedge_dup_failed = 0;
+
+  std::uint64_t brownout_shed = 0;  ///< frontend_shed due to brownout stages
+  int brownout_peak_stage = 0;      ///< worst stage reached (0..3)
+  std::uint64_t breaker_trips = 0;  ///< transitions into Open
+  std::uint64_t breaker_probes = 0; ///< half-open probe placements
+  std::uint64_t drains = 0;           ///< drain events executed
+  std::uint64_t drain_handovers = 0;  ///< shape pins moved to successors
+  std::uint64_t cache_preloads = 0;   ///< successor plans preloaded
+  std::uint64_t affinity_repins = 0;  ///< pins returned to their home shard
+
+  /// Every survival-layer state transition in order (breaker, brownout,
+  /// drain, hedge, affinity re-pin) -- the audit trail the lint rule's
+  /// "no silent transitions" contract feeds.
+  std::vector<SurvivalEvent> survival_log;
 
   double makespan = 0;    ///< router clock at the last event
   double throughput = 0;  ///< completed / makespan
@@ -126,18 +169,25 @@ struct ClusterReport {
   double affinity_hit_rate = 0;
 
   serve::LatencySummary latency;  ///< merged over all shards
-  /// Merged per-request latencies, shard-major in machine order (each
-  /// shard's slice in its own completion order).
+  /// Merged per-request latencies: shard-major in machine order (each
+  /// shard's slice in its own completion order) without hedging; global
+  /// completion order with hedging (the router counts outcomes as the
+  /// winning copies finish, measured from the ORIGINAL routed arrival).
   std::vector<double> latencies;
 
   std::vector<MachineSlice> per_machine;  ///< ascending machine id
 
   /// Throws parfft::Error if the cluster conservation identities are
-  /// broken: offered == routed + frontend_shed, routed == sum of slice
-  /// routed == sum of shard offered, completed + failed == offered
-  /// globally, every shard report passes its own verify(), and the
-  /// derived figures are consistent. Cluster::run() calls this before
-  /// returning under PARFFT_PARANOID; callable from tests in any build.
+  /// broken: offered == routed + frontend_shed, routed + hedges_placed
+  /// == sum of slice routed == sum of shard offered, completed + failed
+  /// == offered globally with every hedged duplicate's second outcome
+  /// suppressed exactly once (hedges_placed == hedge_wasted +
+  /// hedge_cancelled + hedge_dup_failed), every shard report passes its
+  /// own verify(), and the derived figures are consistent. With the
+  /// survival layer off every hedge/breaker/drain counter is zero and
+  /// the identities reduce to the pre-survival ones. Cluster::run()
+  /// calls this before returning under PARFFT_PARANOID; callable from
+  /// tests in any build.
   void verify() const;
 
   /// Machine-readable JSON: the cluster totals flat, one nested

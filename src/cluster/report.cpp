@@ -18,7 +18,7 @@ void ClusterReport::verify() const {
                "cluster report: per-machine slice count != machines");
 
   std::uint64_t routed_sum = 0, completed_sum = 0, failed_sum = 0;
-  std::uint64_t met_sum = 0, crash_sum = 0, warm_sum = 0;
+  std::uint64_t met_sum = 0, crash_sum = 0, warm_sum = 0, cancelled_sum = 0;
   for (const MachineSlice& s : per_machine) {
     // Every shard must satisfy the single-machine identities on its own
     // slice of traffic before the global ones can mean anything.
@@ -35,25 +35,49 @@ void ClusterReport::verify() const {
     met_sum += s.report.deadline_met;
     crash_sum += s.report.crashes;
     warm_sum += s.warm_routed;
+    cancelled_sum += s.report.cancelled;
   }
 
   // Global admission conservation: every generated request was either
   // placed on exactly one shard or terminally shed at the front end,
-  // and the shard totals roll up without loss or double counting.
-  PARFFT_CHECK(routed == routed_sum,
-               "cluster report: routed != sum of shard routed");
+  // and the shard totals roll up without loss or double counting. A
+  // hedged request places TWICE but ends ONCE: shard placements exceed
+  // distinct routed requests by exactly hedges_placed, and each pair's
+  // surplus terminal outcome is suppressed as exactly one of wasted
+  // (loser completed), cancelled (loser withdrawn while queued) or
+  // duplicate-failed (loser failed). With the survival layer off every
+  // hedge counter is zero and these are the original identities.
+  PARFFT_CHECK(routed_sum == routed + hedges_placed,
+               "cluster report: shard placements != routed + hedges placed");
   PARFFT_CHECK(offered == routed + frontend_shed,
                "cluster report: offered != routed + frontend shed");
-  PARFFT_CHECK(completed == completed_sum,
-               "cluster report: completed != sum of shard completed");
-  PARFFT_CHECK(failed == failed_sum + frontend_shed,
-               "cluster report: failed != shard failures + frontend shed");
+  PARFFT_CHECK(completed_sum == completed + hedge_wasted,
+               "cluster report: shard completions != completed + wasted");
+  PARFFT_CHECK(cancelled_sum == hedge_cancelled,
+               "cluster report: shard cancellations != hedge cancellations");
+  PARFFT_CHECK(failed + hedge_dup_failed == failed_sum + frontend_shed,
+               "cluster report: failed + duplicate failures != shard "
+               "failures + frontend shed");
   PARFFT_CHECK(completed + failed == offered,
                "cluster report: completed + failed != offered");
-  PARFFT_CHECK(deadline_met == met_sum,
-               "cluster report: deadline_met != sum over shards");
+  PARFFT_CHECK(hedges_placed ==
+                   hedge_wasted + hedge_cancelled + hedge_dup_failed,
+               "cluster report: a hedged pair without exactly one "
+               "suppressed outcome");
+  PARFFT_CHECK(hedge_wins <= hedges_placed,
+               "cluster report: hedge wins exceed hedges placed");
+  PARFFT_CHECK(brownout_shed <= frontend_shed,
+               "cluster report: brownout shed exceeds frontend shed");
+  PARFFT_CHECK(brownout_peak_stage >= 0 && brownout_peak_stage <= 3,
+               "cluster report: brownout stage outside 0..3");
   PARFFT_CHECK(deadline_met <= completed,
                "cluster report: deadline_met exceeds completed");
+  // The router counts a hedged pair's deadline from the winning copy;
+  // shards additionally count wasted copies, so the shard sum brackets
+  // the cluster figure (equality without hedging).
+  PARFFT_CHECK(deadline_met <= met_sum &&
+                   met_sum <= deadline_met + hedge_wasted,
+               "cluster report: shard deadline_met outside hedge bounds");
   PARFFT_CHECK(crashes == crash_sum,
                "cluster report: crashes != sum over shards");
   PARFFT_CHECK(latencies.size() == completed,
@@ -62,11 +86,12 @@ void ClusterReport::verify() const {
   PARFFT_CHECK(makespan >= 0, "cluster report: negative makespan");
   PARFFT_CHECK(affinity_hit_rate >= 0.0 && affinity_hit_rate <= 1.0,
                "cluster report: affinity hit rate outside [0, 1]");
-  if (routed > 0)
+  if (routed + hedges_placed > 0)
     PARFFT_CHECK(std::fabs(affinity_hit_rate -
                            static_cast<double>(warm_sum) /
-                               static_cast<double>(routed)) < 1e-9,
-                 "cluster report: affinity hit rate != warm / routed");
+                               static_cast<double>(routed + hedges_placed)) <
+                     1e-9,
+                 "cluster report: affinity hit rate != warm / placements");
   if (makespan > 0) {
     PARFFT_CHECK(std::fabs(throughput * makespan -
                            static_cast<double>(completed)) < 1e-6,
@@ -100,6 +125,19 @@ void ClusterReport::write_json(std::ostream& os) const {
   os << ",\"makespan\":" << makespan << ",\"throughput\":" << throughput
      << ",\"goodput\":" << goodput
      << ",\"affinity_hit_rate\":" << affinity_hit_rate;
+  os << ",\"hedges_placed\":" << hedges_placed
+     << ",\"hedge_wins\":" << hedge_wins
+     << ",\"hedge_wasted\":" << hedge_wasted
+     << ",\"hedge_cancelled\":" << hedge_cancelled
+     << ",\"hedge_dup_failed\":" << hedge_dup_failed;
+  os << ",\"brownout_shed\":" << brownout_shed
+     << ",\"brownout_peak_stage\":" << brownout_peak_stage
+     << ",\"breaker_trips\":" << breaker_trips
+     << ",\"breaker_probes\":" << breaker_probes;
+  os << ",\"drains\":" << drains
+     << ",\"drain_handovers\":" << drain_handovers
+     << ",\"cache_preloads\":" << cache_preloads
+     << ",\"affinity_repins\":" << affinity_repins;
   os << ',';
   write_latency(os, "latency", latency);
   os << ",\"per_machine\":[";
@@ -110,6 +148,14 @@ void ClusterReport::write_json(std::ostream& os) const {
        << ",\"warm_routed\":" << s.warm_routed << ",\"report\":";
     s.report.write_json(os);
     os << '}';
+  }
+  os << ']';
+  os << ",\"survival_log\":[";
+  for (std::size_t i = 0; i < survival_log.size(); ++i) {
+    const SurvivalEvent& e = survival_log[i];
+    if (i) os << ',';
+    os << "{\"t\":" << e.t << ",\"machine\":" << e.machine << ",\"kind\":\""
+       << e.kind << "\",\"detail\":\"" << e.detail << "\"}";
   }
   os << "]}";
 }

@@ -1,0 +1,119 @@
+#include "cluster/survival.hpp"
+
+#include "common/paranoid.hpp"
+#include "common/random.hpp"
+
+namespace parfft::cluster {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+void ShardBreaker::set_state(double t, BreakerState next) {
+  if (next == state_) return;
+  if (on_transition) on_transition(t, state_, next);
+  // The one sanctioned write: on_transition above has already seen it.
+  state_ = next;  // parfft-lint: allow(alert-transitions)
+  if (next == BreakerState::HalfOpen) {
+    probes_outstanding_ = 0;
+    probe_successes_ = 0;
+  }
+  if (next == BreakerState::Closed) consecutive_failures_ = 0;
+}
+
+bool ShardBreaker::allows(double t, std::uint64_t id) {
+  if (state_ == BreakerState::Open && t >= open_until_)
+    set_state(t, BreakerState::HalfOpen);
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open:
+      return false;
+    case BreakerState::HalfOpen: {
+      if (probes_outstanding_ >= cfg_.probe_count) return false;
+      // Seeded per-request coin: deterministic, uncorrelated with the
+      // placement hash (different split stream).
+      const std::uint64_t coin =
+          Rng(cfg_.seed + id).split(static_cast<std::uint64_t>(machine_))
+              .seed() %
+          1000000;
+      return static_cast<double>(coin) < cfg_.probe_admit_prob * 1e6;
+    }
+  }
+  return false;
+}
+
+void ShardBreaker::record_probe() {
+  PARFFT_PARANOID_ASSERT(state_ == BreakerState::HalfOpen);
+  ++probes_outstanding_;
+}
+
+void ShardBreaker::on_success(double t) {
+  consecutive_failures_ = 0;
+  if (state_ != BreakerState::HalfOpen) return;
+  if (probes_outstanding_ > 0) --probes_outstanding_;
+  if (++probe_successes_ >= cfg_.probe_count)
+    set_state(t, BreakerState::Closed);
+}
+
+void ShardBreaker::on_failure(double t) {
+  if (state_ == BreakerState::HalfOpen) {
+    // One failed probe is proof enough: back to fully open.
+    trip(t);
+    return;
+  }
+  if (state_ == BreakerState::Closed &&
+      ++consecutive_failures_ >= cfg_.failure_threshold)
+    trip(t);
+}
+
+void ShardBreaker::trip(double t) {
+  PARFFT_PARANOID_ASSERT(cfg_.open_duration >= 0);
+  open_until_ = t + cfg_.open_duration;
+  set_state(t, BreakerState::Open);
+  consecutive_failures_ = 0;
+}
+
+double BrownoutController::threshold(int stage) const {
+  switch (stage) {
+    case 1: return cfg_.stage1_burn;
+    case 2: return cfg_.stage2_burn;
+    case 3: return cfg_.stage3_burn;
+    default: return 0;
+  }
+}
+
+void BrownoutController::set_stage(double t, int next) {
+  if (next == stage_) return;
+  if (on_transition) on_transition(t, stage_, next);
+  // The one sanctioned write: on_transition above has already seen it.
+  stage_ = next;  // parfft-lint: allow(alert-transitions)
+}
+
+int BrownoutController::evaluate(double t, double burn) {
+  // Entry: rise immediately to the highest stage whose threshold the
+  // burn rate meets.
+  int entered = 0;
+  for (int s = 3; s >= 1; --s)
+    if (burn >= threshold(s)) {
+      entered = s;
+      break;
+    }
+  if (entered > stage_) {
+    set_stage(t, entered);
+    return stage_;
+  }
+  // Exit with hysteresis: step down one stage at a time, and only once
+  // the burn rate has fallen well below the current stage's entry
+  // threshold (clear_ratio), so the stage cannot flap around it.
+  while (stage_ > 0 && burn < threshold(stage_) * cfg_.clear_ratio)
+    set_stage(t, stage_ - 1);
+  return stage_;
+}
+
+}  // namespace parfft::cluster

@@ -1,0 +1,208 @@
+#pragma once
+/// \file survival.hpp
+/// Cluster survival layer: the router-side mechanisms that keep a
+/// sharded deployment serving through correlated trouble instead of
+/// merely accounting for it.
+///
+///  - Circuit breakers (ShardBreaker): a per-machine closed -> open ->
+///    half-open state machine driven by that shard's terminal outcomes
+///    and SLO burn state. An open breaker stops NEW placements on a sick
+///    machine before its queue is lost to the next crash; half-open
+///    admits a seeded trickle of probe requests whose outcomes decide
+///    between closing again and re-opening.
+///  - Hedged cross-shard failover (HedgeConfig): a request stuck queued
+///    on its shard past a deadline-risk threshold is speculatively
+///    re-placed on a healthy shard; first result wins, the losing queued
+///    copy is cancelled, and the duplicate outcome is suppressed at the
+///    router so the global conservation identities still end every
+///    request exactly once.
+///  - Brownout admission (BrownoutController): staged degradation keyed
+///    to the aggregate SLO burn rate -- shed the lowest-priority tenants
+///    first, then shrink batching delay, then shed everything -- with
+///    hysteresis so the stage does not flap around a threshold.
+///  - Rolling drains (DrainEvent): take a machine out of placement, let
+///    it finish in-flight work, hand its sticky shape pins and plan-cache
+///    warm list to a successor, then hold it out for a restart window.
+///
+/// Everything here is deterministic on the cluster's virtual clock:
+/// probe admission uses a seeded per-request coin, and every state
+/// transition is appended to the run's survival log AND emitted as a
+/// critical obs Alert flight event (no silent state changes -- enforced
+/// by the `alert-transitions` lint rule).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace parfft::cluster {
+
+/// Per-shard circuit breaker policy.
+struct BreakerConfig {
+  bool enabled = false;
+  /// Consecutive terminal failures that trip a closed breaker.
+  int failure_threshold = 3;
+  /// Also trip when the shard's own SLO monitors page (burn-rate state
+  /// from the telemetry layer), so a machine can be fenced off before it
+  /// produces `failure_threshold` hard failures.
+  bool trip_on_page = true;
+  /// Virtual seconds an open breaker blocks placement before it
+  /// half-opens and starts probing.
+  double open_duration = 1.0;
+  /// Consecutive probe successes required to close from half-open; also
+  /// bounds concurrently outstanding probes.
+  int probe_count = 2;
+  /// Probability a half-open breaker admits a given request as a probe
+  /// (seeded per-request coin; 1.0 = admit up to probe_count).
+  double probe_admit_prob = 1.0;
+  /// Stream for the probe coin (mixed with the request id).
+  std::uint64_t seed = 0;
+};
+
+enum class BreakerState {
+  Closed,    ///< normal placement
+  Open,      ///< no placements; waiting out open_duration
+  HalfOpen,  ///< probe placements only
+};
+
+const char* breaker_state_name(BreakerState s);
+
+/// Tail-latency hedging across shards.
+struct HedgeConfig {
+  bool enabled = false;
+  /// Virtual seconds a request may sit queued on its primary shard
+  /// before the router speculatively re-places a copy elsewhere.
+  double hedge_after = 0;
+};
+
+/// Staged brownout admission keyed to the aggregate burn rate.
+struct BrownoutConfig {
+  bool enabled = false;
+  /// Burn-rate thresholds (worst tenant across shards, min of short and
+  /// long windows -- the same signal that drives SLO paging) entering
+  /// stages 1..3. Stage 1 sheds low-priority tenants, stage 2 also
+  /// shrinks the batching delay, stage 3 sheds everything.
+  double stage1_burn = 1.5;
+  double stage2_burn = 3.0;
+  double stage3_burn = 6.0;
+  /// Hysteresis: a stage is left only once the burn rate falls below
+  /// `threshold(stage) * clear_ratio`, not the instant it dips under the
+  /// entry threshold.
+  double clear_ratio = 0.5;
+  /// Tenants with id >= this are "low priority" (shed from stage 1 on).
+  int low_priority_from = 1 << 30;
+  /// Stage >= 2 multiplies every shard's batching max_delay by this.
+  double batch_delay_factor = 0.25;
+};
+
+/// One scheduled rolling-drain step: at `at`, machine `machine` stops
+/// taking placements and finishes its in-flight work; once idle it hands
+/// its shape pins and plan-cache warm list to `successor` (-1 = the
+/// least-loaded healthy machine at handover time), then stays out of
+/// placement for `restart_hold` virtual seconds (the simulated restart).
+struct DrainEvent {
+  int machine = 0;
+  double at = 0;
+  double restart_hold = 0;
+  int successor = -1;
+};
+
+/// The full survival-layer switchboard. Default-constructed (any() ==
+/// false) the router byte-identically reproduces the pre-survival
+/// behavior.
+struct SurvivalConfig {
+  BreakerConfig breaker;
+  HedgeConfig hedge;
+  BrownoutConfig brownout;
+  std::vector<DrainEvent> drains;
+  /// Re-pin a failed-over shape-affinity entry back to its original
+  /// (home) shard once that shard is placeable again, so a recovered
+  /// machine wins its warm traffic back instead of idling forever.
+  /// Effective only while some other survival feature or drain is
+  /// configured (any() gates the whole layer).
+  bool affinity_repin = true;
+
+  bool any() const {
+    return breaker.enabled || hedge.enabled || brownout.enabled ||
+           !drains.empty();
+  }
+};
+
+/// One logged survival-layer state transition (also emitted as a
+/// critical obs Alert flight event on the affected machine).
+struct SurvivalEvent {
+  double t = 0;
+  int machine = -1;  ///< -1 = cluster-wide (brownout)
+  std::string kind;  ///< "breaker", "brownout", "drain", "hedge", "affinity"
+  std::string detail;
+};
+
+/// The per-machine breaker state machine. Pure policy: the router feeds
+/// it terminal outcomes and asks allows(); it never touches the shard.
+class ShardBreaker {
+ public:
+  ShardBreaker(const BreakerConfig& cfg, int machine)
+      : cfg_(cfg), machine_(machine) {}
+
+  BreakerState state() const { return state_; }
+
+  /// Fires on every state change with (t, from, to) BEFORE the change is
+  /// visible through state() -- the router logs and emits the Alert span.
+  std::function<void(double, BreakerState, BreakerState)> on_transition;
+
+  /// Whether a placement of request `id` at `t` may land on this shard.
+  /// Open breakers lazily half-open once open_duration has elapsed.
+  /// Half-open admits at most probe_count outstanding probes, each gated
+  /// by a seeded coin on (seed, id, machine). Probe accounting is NOT
+  /// advanced here -- the router scans several candidate shards per
+  /// placement and only the chosen one records a probe (record_probe()).
+  bool allows(double t, std::uint64_t id);
+
+  /// The router placed a request on this shard while half-open: one
+  /// outstanding probe.
+  void record_probe();
+
+  /// Terminal outcome feedback from the shard this breaker guards.
+  void on_success(double t);
+  void on_failure(double t);
+
+  /// Trip straight to Open (SLO page on the shard's monitors).
+  void trip(double t);
+
+ private:
+  void set_state(double t, BreakerState next);
+
+  BreakerConfig cfg_;
+  int machine_;
+  BreakerState state_ = BreakerState::Closed;
+  int consecutive_failures_ = 0;
+  int probes_outstanding_ = 0;
+  int probe_successes_ = 0;
+  double open_until_ = 0;
+};
+
+/// The staged brownout controller: evaluate() maps the current aggregate
+/// burn rate to a stage 0..3 with hysteresis.
+class BrownoutController {
+ public:
+  explicit BrownoutController(const BrownoutConfig& cfg) : cfg_(cfg) {}
+
+  int stage() const { return stage_; }
+
+  /// Fires on every stage change with (t, from, to) before stage()
+  /// reflects it.
+  std::function<void(double, int, int)> on_transition;
+
+  /// Re-evaluates the stage for burn rate `burn` at `t` and returns the
+  /// (possibly unchanged) stage.
+  int evaluate(double t, double burn);
+
+ private:
+  double threshold(int stage) const;
+  void set_stage(double t, int next);
+
+  BrownoutConfig cfg_;
+  int stage_ = 0;
+};
+
+}  // namespace parfft::cluster

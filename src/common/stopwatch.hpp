@@ -10,6 +10,7 @@
 /// themselves pure virtual-time functions of the seed.
 
 #include <chrono>
+#include <cstdint>
 
 namespace parfft {
 
@@ -30,6 +31,23 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point t0_;
 };
+
+/// Entropy for *choosing* a seed, never for running one: a SplitMix64
+/// hash of the monotonic clock, used by chaos harnesses
+/// (bench/cluster_sweep --chaos) to pick a fresh grid seed per
+/// invocation. The chosen seed is always printed so any run reproduces
+/// exactly with --seed=N; once a seed exists, everything downstream is
+/// the usual pure virtual-time function of it. Lives here for the same
+/// reason as Stopwatch: this header is the sanctioned wall-clock read.
+inline std::uint64_t entropy_seed() {
+  std::uint64_t z = static_cast<std::uint64_t>(
+                        std::chrono::steady_clock::now().time_since_epoch()
+                            .count()) +
+                    0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 /// Best-of-N wall time of `fn` in seconds: the minimum over `reps`
 /// repetitions, the standard scheduler-noise filter for overhead

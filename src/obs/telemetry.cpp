@@ -273,13 +273,13 @@ std::vector<AlertTransition> SloMonitor::evaluate(double t) {
   if (static_cast<int>(want) > static_cast<int>(state_)) {
     // Escalate immediately; hysteresis only delays the all-clear.
     out.push_back({t, tenant_, state_, want, burn_short_, burn_long_});
-    state_ = want;
+    state_ = want;  // parfft-lint: allow(alert-transitions)
     clean_ = 0;
   } else if (static_cast<int>(want) < static_cast<int>(state_)) {
     ++clean_;
     if (clean_ >= policy_.clear_after) {
       out.push_back({t, tenant_, state_, want, burn_short_, burn_long_});
-      state_ = want;
+      state_ = want;  // parfft-lint: allow(alert-transitions)
       clean_ = 0;
     }
   } else {

@@ -23,6 +23,20 @@ double Batcher::next_deadline() const {
   return d;
 }
 
+std::optional<Request> Batcher::remove(std::uint64_t id) {
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    auto& q = it->second;
+    for (auto r = q.begin(); r != q.end(); ++r) {
+      if (r->id != id) continue;
+      Request out = std::move(*r);
+      q.erase(r);
+      if (q.empty()) groups_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<Batch> Batcher::flush() {
   std::vector<Batch> out;
   for (auto& [shape, q] : groups_) {

@@ -10,8 +10,10 @@
 /// (bigger batches pipeline better).
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "serve/request.hpp"
@@ -43,7 +45,19 @@ class Batcher {
 
   const BatchPolicy& policy() const { return policy_; }
 
+  /// Live policy adjustment: brownout admission (src/cluster) shrinks the
+  /// coalescing window under burn-rate pressure and restores it when the
+  /// pressure clears. Affects queued heads immediately (next_deadline()
+  /// re-derives from the new value).
+  void set_max_delay(double max_delay) { policy_.max_delay = max_delay; }
+
   void push(const Request& r) { groups_[r.shape_id].push_back(r); }
+
+  /// Removes and returns the queued request with `id`, if present.
+  /// First-result-wins hedge cancellation (src/cluster): the losing copy
+  /// leaves the queue without ever dispatching. Deterministic scan over
+  /// the ordered groups.
+  std::optional<Request> remove(std::uint64_t id);
 
   bool empty() const { return groups_.empty(); }
   std::size_t pending() const;

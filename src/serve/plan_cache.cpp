@@ -56,6 +56,31 @@ bool PlanCache::warm(const JobShape& shape) const {
   return entries_.find(shape_key(cluster_, shape)) != entries_.end();
 }
 
+bool PlanCache::preload(const JobShape& shape) {
+  const std::string key = shape_key(cluster_, shape);
+  if (entries_.find(key) != entries_.end()) return false;
+  if (capacity_ > 0 && entries_.size() >= capacity_) return false;
+  auto plan = std::make_unique<ServedPlan>(shape, cluster_);
+  // Cold (LRU) end: the successor's own traffic decides whether the
+  // handed-over plan stays hot; the next real miss evicts preloads
+  // before anything requests actually warmed.
+  lru_.push_back(key);
+  auto [it, inserted] =
+      entries_.emplace(key, Entry{std::move(plan), std::prev(lru_.end())});
+  PARFFT_ASSERT(inserted);
+  ++preloads_;
+  PARFFT_IF_PARANOID(check_invariants());
+  return true;
+}
+
+std::vector<JobShape> PlanCache::resident_shapes() const {
+  std::vector<JobShape> shapes;
+  shapes.reserve(entries_.size());
+  for (const std::string& key : lru_)
+    shapes.push_back(entries_.find(key)->second.plan->shape());
+  return shapes;
+}
+
 std::size_t PlanCache::invalidate_all() {
   const std::size_t n = entries_.size();
   entries_.clear();
@@ -72,11 +97,13 @@ void PlanCache::check_invariants() const {
                "plan cache: resident plans exceed capacity");
   PARFFT_CHECK(hits_ + misses_ == lookups_,
                "plan cache: hits + misses != lookups");
-  // Every miss inserted exactly one plan; every removal was either a
-  // capacity eviction or a crash invalidation (disjoint classes). If a
-  // removal were ever double-counted, this conservation identity breaks.
-  PARFFT_CHECK(misses_ == entries_.size() + evictions_ + invalidations_,
-               "plan cache: misses != resident + evictions + invalidations");
+  // Every miss or preload inserted exactly one plan; every removal was
+  // either a capacity eviction or a crash invalidation (disjoint
+  // classes). If a removal were ever double-counted, this conservation
+  // identity breaks.
+  PARFFT_CHECK(
+      misses_ + preloads_ == entries_.size() + evictions_ + invalidations_,
+      "plan cache: misses + preloads != resident + evictions + invalidations");
   for (const std::string& key : lru_)
     PARFFT_CHECK(entries_.count(key) == 1,
                  "plan cache: LRU key without a resident entry");

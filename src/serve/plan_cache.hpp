@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "serve/request.hpp"
 
@@ -94,6 +95,19 @@ class PlanCache {
   /// perturbing that shard's hit accounting.
   bool warm(const JobShape& shape) const;
 
+  /// Proactive warm-up for a shape this cache has not served yet: builds
+  /// the plan and inserts it at the cold (LRU) end without charging setup
+  /// time or counting a miss -- the rolling-drain handover (src/cluster)
+  /// rebuilds a successor's warm set during the drain window, off the
+  /// request path. Never evicts: returns false (and does nothing) when
+  /// the shape is already resident or the cache is full, so a handover
+  /// cannot push out plans the successor's own traffic keeps hot.
+  bool preload(const JobShape& shape);
+
+  /// Shapes currently resident, most recently used first: the warm list
+  /// a draining shard hands its successor.
+  std::vector<JobShape> resident_shapes() const;
+
   std::size_t resident() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
@@ -104,16 +118,20 @@ class PlanCache {
   std::uint64_t evictions() const { return evictions_; }
   /// Crash-forced removals via invalidate_all().
   std::uint64_t invalidations() const { return invalidations_; }
+  /// Plans inserted by preload() (drain handovers), never counted as
+  /// misses and never charged setup time.
+  std::uint64_t preloads() const { return preloads_; }
   /// Total virtual seconds of plan setup charged by misses so far.
   double setup_charged() const { return setup_charged_; }
 
   /// Throws parfft::Error if the cache accounting identities are broken:
   /// size <= capacity, hits + misses == lookups, the LRU list and entry
-  /// map agree, and every miss is accounted for as resident, evicted
-  /// (capacity pressure) or invalidated (crash loss) -- eviction and
-  /// invalidation are disjoint by construction and this identity proves
-  /// no removal was double-counted. Run after every mutation under
-  /// PARFFT_PARANOID; callable directly from tests in any build.
+  /// map agree, and every insertion (miss or preload) is accounted for
+  /// as resident, evicted (capacity pressure) or invalidated (crash
+  /// loss) -- eviction and invalidation are disjoint by construction and
+  /// this identity proves no removal was double-counted. Run after every
+  /// mutation under PARFFT_PARANOID; callable directly from tests in any
+  /// build.
   void check_invariants() const;
 
  private:
@@ -130,6 +148,7 @@ class PlanCache {
   std::map<std::string, Entry> entries_;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
+  std::uint64_t preloads_ = 0;
   double setup_charged_ = 0;
 };
 

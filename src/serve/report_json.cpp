@@ -24,6 +24,7 @@ void ServeReport::write_json(std::ostream& os) const {
   os << '{';
   os << "\"offered\":" << offered << ",\"admitted\":" << admitted
      << ",\"completed\":" << completed << ",\"failed\":" << failed
+     << ",\"cancelled\":" << cancelled
      << ",\"rejected\":" << rejected << ",\"dropped\":" << dropped
      << ",\"aborted\":" << aborted << ",\"shed\":" << shed
      << ",\"retries\":" << retries << ",\"hedges\":" << hedges
@@ -50,7 +51,8 @@ void ServeReport::write_json(std::ostream& os) const {
     if (i) os << ',';
     os << "{\"tenant\":" << t.tenant << ",\"offered\":" << t.offered
        << ",\"completed\":" << t.completed << ",\"failed\":" << t.failed
-       << ",\"shed\":" << t.shed << ",\"p50\":" << t.p50
+       << ",\"cancelled\":" << t.cancelled << ",\"shed\":" << t.shed
+       << ",\"p50\":" << t.p50
        << ",\"p95\":" << t.p95 << ",\"p99\":" << t.p99
        << ",\"mean\":" << t.mean << ",\"max\":" << t.max
        << ",\"slo_latency\":" << t.slo_latency

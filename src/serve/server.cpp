@@ -42,12 +42,12 @@ LatencySummary summarize_latencies(std::vector<double> samples) {
 }
 
 void ServeReport::verify() const {
-  PARFFT_CHECK(completed + failed == offered,
-               "serve report: completed + failed != offered");
+  PARFFT_CHECK(completed + failed + cancelled == offered,
+               "serve report: completed + failed + cancelled != offered");
   // Every terminal outcome was reached by some submission attempt; the
   // attempt traffic (first submissions + retries + hedges) can only
   // exceed the terminal count, never undershoot it.
-  PARFFT_CHECK(offered + retries + hedges >= completed + failed,
+  PARFFT_CHECK(offered + retries + hedges >= completed + failed + cancelled,
                "serve report: fewer attempts than terminal outcomes");
   PARFFT_CHECK(admitted <= offered + retries,
                "serve report: more primaries admitted than submitted");
@@ -67,19 +67,21 @@ void ServeReport::verify() const {
   // Per-tenant sections (absent on hand-built reports) obey the same
   // conservation identity tenant by tenant and sum to the run totals.
   if (!tenants.empty()) {
-    std::uint64_t t_off = 0, t_comp = 0, t_fail = 0, t_shed = 0;
+    std::uint64_t t_off = 0, t_comp = 0, t_fail = 0, t_canc = 0, t_shed = 0;
     for (const TenantReport& t : tenants) {
-      PARFFT_CHECK(t.completed + t.failed == t.offered,
-                   "serve report: tenant completed + failed != offered");
+      PARFFT_CHECK(t.completed + t.failed + t.cancelled == t.offered,
+                   "serve report: tenant completed + failed + cancelled != "
+                   "offered");
       PARFFT_CHECK(t.shed <= t.failed,
                    "serve report: tenant shed requests not all failed");
       t_off += t.offered;
       t_comp += t.completed;
       t_fail += t.failed;
+      t_canc += t.cancelled;
       t_shed += t.shed;
     }
     PARFFT_CHECK(t_off == offered && t_comp == completed &&
-                     t_fail == failed && t_shed == shed,
+                     t_fail == failed && t_canc == cancelled && t_shed == shed,
                  "serve report: tenant sections do not sum to run totals");
   }
 }
@@ -111,13 +113,15 @@ struct Server::Engine {
   std::uint32_t fl_failed = 0;
   std::uint32_t fl_shed = 0;
   std::uint32_t fl_backoff = 0;
+  std::uint32_t fl_cancelled = 0;  // lazily interned; see cancel_queued()
   std::map<int, std::uint32_t> fl_dispatch;  // per batch shape
 
   // Per-tenant terminal accounting. Kept on the event loop's own
   // counters -- never on the telemetry monitors -- so the per-tenant
   // report sections are byte-identical whether telemetry is enabled.
   struct TenantAgg {
-    std::uint64_t offered = 0, completed = 0, failed = 0, shed = 0;
+    std::uint64_t offered = 0, completed = 0, failed = 0, cancelled = 0,
+                  shed = 0;
     std::uint64_t in_slo = 0;  ///< completed within the tenant's target
     std::unique_ptr<obs::Histogram> lat;
     double lat_max = 0;
@@ -208,6 +212,34 @@ struct Server::Engine {
     if (it == retry_req.end()) return;
     retry_q.erase({it->second.arrival, id});
     retry_req.erase(it);
+  }
+
+  bool queued(std::uint64_t id) const {
+    const auto it = live.find(id);
+    return it != live.end() && it->second.st == State::Queued;
+  }
+
+  // External withdrawal of a queued request (the cluster router
+  // cancelling the losing copy of a cross-shard hedge): terminal as
+  // `cancelled`, never dispatched here, no SLO charge. Cold path -- the
+  // flight-event name is interned on first use so runs that never cancel
+  // keep an identical intern table.
+  bool cancel_queued(std::uint64_t id, double t) {
+    auto it = live.find(id);
+    if (it == live.end() || it->second.st != State::Queued) return false;
+    std::optional<Request> r = batcher.remove(id);
+    PARFFT_ASSERT(r.has_value());
+    live.erase(it);
+    cancel_retry(id);
+    for (auto h = hedge_q.begin(); h != hedge_q.end();)
+      h = h->first.second == id ? hedge_q.erase(h) : std::next(h);
+    ++rep.cancelled;
+    ++tenant_agg[r->tenant].cancelled;
+    if (fl_cancelled == 0) fl_cancelled = tel.intern("cancelled");
+    tel.flight(t, 0.0, obs::Category::Request, fl_cancelled, r->tenant);
+    if (run) run->metrics.counter("serve/cancelled").add(1);
+    workload.on_complete(*r, t);
+    return true;
   }
 
   // Terminal failure or resubmission after a failed attempt at `t`.
@@ -634,7 +666,7 @@ struct Server::Engine {
     // driver has routed everything; standalone workloads report a
     // constant, so the refresh is a no-op for them.
     rep.offered = workload.offered();
-    PARFFT_ASSERT(rep.completed + rep.failed == rep.offered);
+    PARFFT_ASSERT(rep.completed + rep.failed + rep.cancelled == rep.offered);
 
     // A crash's scheduled downtime past the end of useful work is not
     // service time lost.
@@ -682,6 +714,7 @@ struct Server::Engine {
       tr.offered = ta.offered;
       tr.completed = ta.completed;
       tr.failed = ta.failed;
+      tr.cancelled = ta.cancelled;
       tr.shed = ta.shed;
       if (ta.lat) {
         tr.p50 = ta.lat->quantile(0.50);
@@ -790,6 +823,20 @@ std::size_t Server::in_flight() const {
   return eng_ && eng_->busy
              ? static_cast<std::size_t>(eng_->flight.batch.size())
              : 0;
+}
+
+bool Server::queued(std::uint64_t id) const {
+  return eng_ != nullptr && eng_->queued(id);
+}
+
+bool Server::cancel_queued(std::uint64_t id, double t) {
+  PARFFT_ASSERT(eng_ != nullptr);
+  return eng_->cancel_queued(id, t);
+}
+
+void Server::set_batch_max_delay(double max_delay) {
+  PARFFT_ASSERT(eng_ != nullptr);
+  eng_->batcher.set_max_delay(max_delay);
 }
 
 ServeReport Server::finish() {

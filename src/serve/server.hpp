@@ -102,6 +102,9 @@ struct TenantReport {
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  /// Withdrawn while queued by the submitter (cluster hedge losers);
+  /// neither a success nor a failure, and never charged to the SLO.
+  std::uint64_t cancelled = 0;
   std::uint64_t shed = 0;
   double p50 = 0, p95 = 0, p99 = 0;  ///< histogram-derived, completed only
   double mean = 0, max = 0;
@@ -117,15 +120,21 @@ struct TenantReport {
 
 /// What one Server::run() produced.
 ///
-/// Terminal accounting: every offered request ends exactly once, either
-/// `completed` or `failed` (completed + failed == offered). The
-/// attempt-level counters (rejected, dropped, aborted, shed, retries,
-/// hedges) describe the intermediate outcomes that led there.
+/// Terminal accounting: every offered request ends exactly once --
+/// `completed`, `failed`, or `cancelled` (completed + failed + cancelled
+/// == offered; cancelled is 0 outside the cluster tier's hedged
+/// failover). The attempt-level counters (rejected, dropped, aborted,
+/// shed, retries, hedges) describe the intermediate outcomes that led
+/// there.
 struct ServeReport {
   std::uint64_t offered = 0;    ///< requests the workload generated
   std::uint64_t admitted = 0;   ///< submissions accepted past admission
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;     ///< permanently failed (attempts/deadline out)
+  /// Withdrawn while queued via Server::cancel_queued -- the cluster
+  /// router cancelling the losing copy of a cross-shard hedge. Terminal
+  /// (the id never dispatches here) but neither success nor failure.
+  std::uint64_t cancelled = 0;
   std::uint64_t rejected = 0;   ///< submissions bounced by the queue limit
   std::uint64_t dropped = 0;    ///< submissions lost to arrival blackouts
   std::uint64_t aborted = 0;    ///< requests lost to crashes (in flight or queued)
@@ -174,9 +183,9 @@ struct ServeReport {
   std::vector<std::string> flight_dumps;
 
   /// Throws parfft::Error if the report's conservation identities are
-  /// broken: completed + failed == offered (every request terminal
-  /// exactly once), attempt traffic >= terminals, deadline_met <=
-  /// completed, latency samples match completions, and the time
+  /// broken: completed + failed + cancelled == offered (every request
+  /// terminal exactly once), attempt traffic >= terminals, deadline_met
+  /// <= completed, latency samples match completions, and the time
   /// aggregates are sane (0 <= busy_time <= makespan). Server::run()
   /// calls this before returning under PARFFT_PARANOID; callable
   /// directly from tests in any build.
@@ -228,14 +237,36 @@ class Server {
   std::size_t queue_depth() const;
   /// Requests in the currently executing batch (0 when idle).
   std::size_t in_flight() const;
+  /// True while request `id` sits in the queue (admitted, not yet
+  /// dispatched): the window in which a hedged duplicate elsewhere can
+  /// still save it, and the window in which cancel_queued() works.
+  bool queued(std::uint64_t id) const;
+  /// Withdraws a queued request: removed from the batcher, terminal as
+  /// `cancelled` (not failed -- no SLO charge, no retry). The cluster
+  /// router calls this on the losing copy of a cross-shard hedge the
+  /// instant the winning copy completes. Returns false (and does
+  /// nothing) unless the id is currently queued.
+  bool cancel_queued(std::uint64_t id, double t);
+  /// Live batching-policy adjustment during a run: brownout admission
+  /// shrinks the coalescing window under burn-rate pressure and restores
+  /// it when the pressure clears. Only valid between begin() and
+  /// finish(); the next begin() resets to the configured policy.
+  void set_batch_max_delay(double max_delay);
   ServeReport finish();
 
   const ServerConfig& config() const { return cfg_; }
   const PlanCache& plan_cache() const { return cache_; }
+  /// Mutable cache access for the cluster router's drain handover
+  /// (PlanCache::preload of a draining shard's warm list).
+  PlanCache& plan_cache_mut() { return cache_; }
 
   /// The telemetry of the most recent run (null before the first run
   /// or when telemetry is disabled). Valid until the next begin() call.
   const obs::Telemetry* telemetry() const { return tel_.get(); }
+  /// Mutable telemetry access for the cluster survival layer, which
+  /// records breaker/brownout/drain transitions as Alert flight events
+  /// on the affected machine's recorder.
+  obs::Telemetry* telemetry_mut() { return tel_.get(); }
 
  private:
   /// One dispatched batch. Execution progress is tracked as a fraction of

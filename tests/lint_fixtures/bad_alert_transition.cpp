@@ -1,0 +1,25 @@
+// Negative fixture for the alert-transitions rule: survival state written
+// directly instead of through set_state()/set_stage(), so the transition
+// never reaches on_transition -- no survival_log entry, no Alert span.
+// Not compiled -- scanned by parfft_lint's fixture tests.
+
+#include "cluster/survival.hpp"
+
+namespace parfft::cluster {
+
+struct LeakyBreaker {
+  BreakerState st = BreakerState::Closed;  // declaration: exempt
+  int stage_ = 0;                          // declaration: exempt
+};
+
+void silently_trips(LeakyBreaker& b) {
+  // A raw enum write: the breaker "opens" but nobody is told.
+  b.st = BreakerState::Open;
+}
+
+void silently_browns_out(LeakyBreaker& b) {
+  // A raw stage write: admission tightens with no audit trail.
+  b.stage_ = 3;
+}
+
+}  // namespace parfft::cluster

@@ -39,6 +39,18 @@
 ///                   paranoid nesting checks only fire at runtime on
 ///                   traced configurations. Tests that leak spans on
 ///                   purpose annotate the begin line.
+///   alert-transitions
+///                   a direct write to survival-layer state (a
+///                   BreakerState value, or the state_/stage_ members of
+///                   ShardBreaker/BrownoutController) in src/cluster.
+///                   Those transitions must flow through set_state() /
+///                   set_stage(), whose on_transition hooks the router
+///                   turns into survival_log entries and obs Alert spans
+///                   -- a raw assignment is a silent transition the audit
+///                   trail never sees. Declarations with initializers are
+///                   exempt (the object is being born, not transitioned);
+///                   the sanctioned setters themselves carry allow
+///                   annotations.
 ///
 /// Allowlist mechanism: a line (or the line above it) containing
 ///   // parfft-lint: allow(<rule>)
@@ -621,6 +633,60 @@ void check_span_pairing(const FileText& f, std::vector<Finding>& out) {
   }
 }
 
+// ----------------------------------------------------- alert-transitions
+
+/// Survival state (ShardBreaker::state_, BrownoutController::stage_) may
+/// only change through set_state()/set_stage(): those fire the
+/// on_transition hooks that become ClusterReport::survival_log entries
+/// and obs Alert spans (the "no silent transitions" contract in
+/// survival.hpp). A raw assignment changes behavior without leaving a
+/// trace, which is exactly the failure mode a post-incident audit cannot
+/// survive. Scoped to src/cluster (and explicit file arguments, for the
+/// fixture); a declaration with initializer -- the type token directly
+/// before the target -- is creation, not transition, and is exempt.
+void check_alert_transitions(const FileText& f, std::vector<Finding>& out,
+                             bool explicit_file) {
+  if (!explicit_file && !path_contains(f.path, "src/cluster")) return;
+  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '=') continue;
+      if (i + 1 < s.size() && s[i + 1] == '=') {
+        ++i;  // == comparison
+        continue;
+      }
+      if (i > 0 && std::strchr("=!<>+-*/%&|^", s[i - 1]))
+        continue;  // compound assignment or comparison fragment
+      // The identifier being assigned, immediately left of the '='.
+      std::size_t e = i;
+      while (e > 0 && s[e - 1] == ' ') --e;
+      std::size_t b = e;
+      while (b > 0 && ident_char(s[b - 1])) --b;
+      const std::string target = s.substr(b, e - b);
+      // `BreakerState state_ = ...;` / `int stage_ = 0;`: a type token
+      // precedes the target, so this is a declaration's initializer.
+      std::size_t d = b;
+      while (d > 0 && s[d - 1] == ' ') --d;
+      const bool declared = d > 0 && ident_char(s[d - 1]);
+      const bool member_write =
+          !declared && (target == "state_" || target == "stage_");
+      const bool enum_write =
+          !declared && s.find("BreakerState::", i) != std::string::npos &&
+          find_word(s.substr(0, i), "BreakerState") == std::string::npos;
+      if (!member_write && !enum_write) continue;
+      if (allowed(f, ln + 1, "alert-transitions")) continue;
+      out.push_back(
+          {f.path, ln + 1, "alert-transitions",
+           "direct write to survival state" +
+               (target.empty() ? std::string() : " (" + target + ")") +
+               "; breaker/brownout transitions must go through set_state()/"
+               "set_stage() so on_transition logs them as survival events "
+               "and Alert spans -- or annotate "
+               "'parfft-lint: allow(alert-transitions)'"});
+    }
+  }
+}
+
 // ----------------------------------------------------------------- driver
 
 bool scannable(const fs::path& p) {
@@ -667,7 +733,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: parfft_lint [--expect=rule,...] <file-or-dir>...\n"
                    "rules: wall-clock unordered-iter float-eq "
-                   "include-hygiene span-pairing\n";
+                   "include-hygiene span-pairing alert-transitions\n";
       return 0;
     } else {
       collect(arg, files);
@@ -695,6 +761,7 @@ int main(int argc, char** argv) {
     check_float_eq(f, findings, explicit_file);
     check_include_hygiene(f, findings);
     check_span_pairing(f, findings);
+    check_alert_transitions(f, findings, explicit_file);
   }
 
   for (const Finding& v : findings)
