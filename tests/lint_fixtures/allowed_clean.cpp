@@ -31,3 +31,25 @@ bool exact_sentinel(double scale) {
   // `scale` is stored and compared untouched; equality is exact by design.
   return scale != 1.0;  // parfft-lint: allow(float-eq)
 }
+
+struct Node {
+  int id = 0;
+};
+
+int stable_scratch_lookup(Node* n) {
+  // The map is a per-call scratch index that never reaches ordered
+  // output; iteration order is irrelevant by construction.
+  // parfft-lint: allow(pointer-key)
+  static std::unordered_map<Node*, int> scratch;
+  return scratch.count(n) ? scratch[n] : n->id;
+}
+
+struct Books {
+  unsigned long completed = 0;
+};
+
+inline void replay_ledger(Books& rep) {
+  // A replay/repair path deliberately rebuilding the ledger: the write
+  // is the sanctioned mutation point of this (fixture) type.
+  rep.completed += 1;  // parfft-lint: allow(accounting)
+}

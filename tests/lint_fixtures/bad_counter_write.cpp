@@ -1,0 +1,39 @@
+// Negative fixture for the accounting rule (never compiled).
+//
+// The fields written below are indexed by tools/lint/accounting.def:
+// they are extracted from the real ServeReport/ClusterReport/PlanCache
+// headers, and this file is not one of the sanctioned writer files, so
+// every mutation here is exactly the "silent counter drift" the rule
+// exists to catch -- a write that bypasses the owning event loop and
+// would let the verify()/check_invariants() conservation identities
+// (completed + failed + cancelled == offered, hits + misses == lookups)
+// go stale without any test noticing. The ctest case
+// lint_fixture_accounting runs parfft_lint --expect=accounting over
+// this file to prove the pass catches all of the write spellings.
+
+#include <cstdint>
+
+struct FakeServeReport {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
+
+class FakeCache {
+ public:
+  void touch();
+
+ private:
+  std::uint64_t hits_ = 0;  // declaration initializer: exempt (born, not mutated)
+};
+
+inline void cook_the_books(FakeServeReport& rep) {
+  rep.completed += 7;    // compound member write
+  rep.failed = 0;        // plain member write
+  ++rep.offered;         // prefix increment through a member access
+  rep.completed--;       // postfix decrement through a member access
+}
+
+inline void FakeCache::touch() {
+  hits_ = 42;  // bare write to a trailing-underscore counter
+}

@@ -1,0 +1,37 @@
+// Negative fixture for the pointer-key rule (never compiled).
+//
+// Every construct here orders or hashes by allocation address: a
+// std::map keyed by a raw pointer iterates in address order, an
+// unordered_set of pointers hashes addresses, std::hash over a pointer
+// type is an address hash by definition, and a reinterpret_cast of a
+// pointer to uintptr_t is the manual spelling of the same hazard.
+// Addresses differ across runs (allocator state, ASLR), so any ordered
+// output derived from them diverges between otherwise byte-identical
+// seeded runs -- the divergence class the regex-era rules missed.
+// The ctest case lint_fixture_pointer-key runs parfft_lint
+// --expect=pointer-key over this file to prove the pass catches it.
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+struct Flow {
+  double rate = 0;
+};
+
+struct Tracker {
+  // Pointer-keyed ordered map: iteration order is address order.
+  std::map<Flow*, double> rates;
+  // Pointer-keyed unordered set: bucket order is an address hash.
+  std::unordered_set<const Flow*> active;
+};
+
+inline std::size_t flow_bucket(const Flow* f) {
+  // Address hash, spelled with std::hash over a pointer type.
+  return std::hash<const Flow*>{}(f);
+}
+
+inline std::uint64_t flow_key(const Flow* f) {
+  // Address hash, spelled manually.
+  return reinterpret_cast<std::uintptr_t>(f) * 0x9e3779b97f4a7c15ull;
+}

@@ -1,0 +1,15 @@
+// Negative fixture for the layering rule (never compiled).
+//
+// This file classifies as module `core` (its path runs through
+// src/core/), and tools/lint/layers.def places `serve` two layers ABOVE
+// core: the simulator must not know the serving tier exists. The
+// include below is therefore an upward edge -- the exact inversion the
+// acceptance gate demands fail the build -- and together with
+// ../serve/uses_core.cpp it also closes a core <-> serve include cycle.
+// The ctest case lint_fixture_layering runs parfft_lint
+// --expect=layering over the layering_tree directory to prove the
+// whole-program pass catches both.
+
+#include "serve/server.hpp"
+
+void core_peeks_at_the_serving_tier() {}

@@ -1,0 +1,10 @@
+// Part of the layering negative fixture (never compiled).
+//
+// This edge (serve -> core) is DOWNWARD and legal on its own; it exists
+// so that together with src/core/bad_upward.cpp's upward edge the
+// module graph contains a genuine core -> serve -> core cycle, proving
+// the pass reports cycles as well as individual upward edges.
+
+#include "core/plan.hpp"
+
+void serve_uses_core_legally() {}

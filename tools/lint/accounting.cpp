@@ -1,0 +1,354 @@
+/// \file accounting.cpp
+/// The cross-TU accounting-discipline pass. The conservation identities
+/// `ServeReport::verify()` / `ClusterReport::verify()` /
+/// `PlanCache::check_invariants()` enforce at runtime (completed +
+/// failed + cancelled == offered, hits + misses == lookups, the hedge
+/// ledger, ...) only hold because every counter is mutated from one
+/// accessor file per type. This pass makes that discipline static:
+///
+///   1. accounting.def names each counter-bearing type, the header its
+///      fields live in, and the sanctioned writer files;
+///   2. the fields are extracted from the header itself (arithmetic data
+///      members of the struct/class), so the index tracks the code and
+///      a new counter is covered the moment it is declared;
+///   3. every TU in scope is scanned for direct writes (=, +=, -=, ++,
+///      --) to an indexed field; a write outside the type's sanctioned
+///      writers is a finding.
+///
+/// Struct-style report fields (ServeReport.offered, ...) are matched as
+/// member accesses (`x.offered = ...`); private counters following the
+/// trailing-underscore convention (PlanCache::hits_) are also matched as
+/// bare writes inside member functions. Bare writes to non-underscore
+/// names are ignored -- `completed` is far too common a local-variable
+/// name to index globally.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<std::string> kArithmeticTypes = {
+    "std::uint64_t", "std::uint32_t", "std::uint16_t", "std::uint8_t",
+    "std::int64_t",  "std::int32_t",  "std::size_t",   "std::ptrdiff_t",
+    "uint64_t",      "int64_t",       "size_t",        "int",
+    "long",          "unsigned",      "double",        "float",
+    "bool"};
+
+/// Extracts the arithmetic data members of `type` from the stripped
+/// header text: lines whose brace depth is 1 inside the type's body and
+/// that declare one or more members of an arithmetic type. Function
+/// declarations (declarator followed by '(') are skipped.
+bool extract_fields(const FileText& header, const std::string& type,
+                    std::set<std::string>& fields, std::string& err) {
+  // Locate `struct <type>` / `class <type>` followed by '{' (a ';'
+  // first means a forward declaration; keep looking).
+  std::size_t body_line = 0, body_col = 0;
+  bool found = false;
+  for (std::size_t ln = 0; ln < header.code.size() && !found; ++ln) {
+    const std::string& s = header.code[ln];
+    for (const char* kw : {"struct", "class"}) {
+      std::size_t p = find_word(s, kw);
+      if (p == std::string::npos) continue;
+      std::size_t q = find_word(s, type, p);
+      if (q == std::string::npos) continue;
+      // Scan forward (across lines) for '{' before any ';'.
+      std::size_t l = ln, c = q + type.size();
+      for (; l < header.code.size() && l < ln + 4; ++l, c = 0) {
+        const std::string& t = header.code[l];
+        bool stop = false;
+        for (; c < t.size(); ++c) {
+          if (t[c] == '{') {
+            body_line = l;
+            body_col = c + 1;
+            found = true;
+            stop = true;
+            break;
+          }
+          if (t[c] == ';') {
+            stop = true;  // forward declaration
+            break;
+          }
+        }
+        if (stop) break;
+      }
+      if (found) break;
+    }
+  }
+  if (!found) {
+    err = "type '" + type + "' not found in " + header.path;
+    return false;
+  }
+  // Walk the body tracking depth; examine lines that *start* at depth 1
+  // (directly inside the type, outside nested classes/method bodies).
+  int depth = 1;
+  for (std::size_t ln = body_line; ln < header.code.size() && depth > 0;
+       ++ln) {
+    const std::string& s = header.code[ln];
+    std::size_t col = ln == body_line ? body_col : 0;
+    const int depth_at_start = depth;
+    std::size_t stmt_end = s.size();
+    for (std::size_t i = col; i < s.size(); ++i) {
+      if (s[i] == '{') ++depth;
+      if (s[i] == '}' && --depth == 0) {
+        stmt_end = i;
+        break;
+      }
+    }
+    if (depth_at_start != 1) continue;
+    std::string t = s.substr(col, stmt_end - col);
+    // Trim and match a leading arithmetic type token.
+    const std::size_t b = t.find_first_not_of(' ');
+    if (b == std::string::npos) continue;
+    t = t.substr(b);
+    if (t.rfind("static", 0) == 0 || t.rfind("constexpr", 0) == 0) continue;
+    std::string matched;
+    for (const std::string& ty : kArithmeticTypes) {
+      if (t.rfind(ty, 0) == 0 && t.size() > ty.size() &&
+          !ident_char(t[ty.size()])) {
+        matched = ty;
+        break;
+      }
+    }
+    if (matched.empty()) continue;
+    // Parse comma-separated declarators up to ';'.
+    std::string rest = t.substr(matched.size());
+    const std::size_t semi = rest.find(';');
+    if (semi == std::string::npos) continue;  // no multi-line declarations
+    rest = rest.substr(0, semi);
+    std::stringstream decls(rest);
+    std::string d;
+    bool function_line = false;
+    std::vector<std::string> names;
+    while (std::getline(decls, d, ',')) {
+      std::size_t i = d.find_first_not_of(' ');
+      if (i == std::string::npos) continue;
+      std::size_t e = i;
+      while (e < d.size() && ident_char(d[e])) ++e;
+      if (e == i) continue;
+      std::size_t after = e;
+      while (after < d.size() && d[after] == ' ') ++after;
+      if (after < d.size() && d[after] == '(') {
+        function_line = true;  // a method returning an arithmetic type
+        break;
+      }
+      names.push_back(d.substr(i, e - i));
+    }
+    if (function_line) continue;
+    for (std::string& n : names) fields.insert(std::move(n));
+  }
+  if (fields.empty()) {
+    err = "no arithmetic members extracted for '" + type + "' from " +
+          header.path + " (is the accounting.def entry stale?)";
+    return false;
+  }
+  return true;
+}
+
+bool sanctioned(const std::string& path, const CounterType& t) {
+  for (const std::string& w : t.writers) {
+    if (path.size() >= w.size() &&
+        path.compare(path.size() - w.size(), w.size(), w) == 0)
+      return true;
+  }
+  return false;
+}
+
+/// The identifier ending at `e` (exclusive, spaces already skipped) and
+/// whether it is written through a member access (./->).
+struct Target {
+  std::string name;
+  bool member = false;
+  std::size_t begin = 0;  ///< index of the identifier's first char
+};
+
+Target target_left_of(const std::string& s, std::size_t e) {
+  while (e > 0 && s[e - 1] == ' ') --e;
+  std::size_t b = e;
+  while (b > 0 && ident_char(s[b - 1])) --b;
+  Target t;
+  t.name = s.substr(b, e - b);
+  t.begin = b;
+  std::size_t d = b;
+  while (d > 0 && s[d - 1] == ' ') --d;
+  t.member = (d >= 1 && s[d - 1] == '.') ||
+             (d >= 2 && s[d - 2] == '-' && s[d - 1] == '>');
+  return t;
+}
+
+Target target_right_of(const std::string& s, std::size_t b) {
+  while (b < s.size() && s[b] == ' ') ++b;
+  // Parse an access chain a.b->c; the final component is the field.
+  Target t;
+  t.begin = b;
+  bool member = false;
+  while (b < s.size()) {
+    std::size_t e = b;
+    while (e < s.size() && ident_char(s[e])) ++e;
+    if (e == b) break;
+    t.name = s.substr(b, e - b);
+    if (e < s.size() && s[e] == '.') {
+      member = true;
+      b = e + 1;
+    } else if (e + 1 < s.size() && s[e] == '-' && s[e + 1] == '>') {
+      member = true;
+      b = e + 2;
+    } else {
+      break;
+    }
+  }
+  t.member = member;
+  return t;
+}
+
+}  // namespace
+
+bool parse_counter_spec(const std::string& path, CounterSpec& spec,
+                        std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot read accounting spec " + path;
+    return false;
+  }
+  spec.path = path;
+  // Header paths in the spec are repo-relative; the spec itself lives at
+  // <repo>/tools/lint/accounting.def.
+  const fs::path root =
+      fs::absolute(fs::path(path)).parent_path().parent_path().parent_path();
+  std::string line;
+  std::size_t ln = 0;
+  std::set<std::string> skipped;
+  while (std::getline(in, line)) {
+    ++ln;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::stringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw)) continue;
+    const std::string at = path + ":" + std::to_string(ln) + ": ";
+    if (kw == "type") {
+      CounterType t;
+      if (!(ss >> t.name >> t.header)) {
+        err = at + "expected 'type <Name> <header>'";
+        return false;
+      }
+      const fs::path hp = root / t.header;
+      std::ifstream hin(hp);
+      if (!hin) {
+        err = at + "cannot read header " + hp.generic_string();
+        return false;
+      }
+      std::stringstream buf;
+      buf << hin.rdbuf();
+      FileText htext;
+      htext.path = fs::path(hp).generic_string();
+      build_file_text(htext, buf.str());
+      if (!extract_fields(htext, t.name, t.fields, err)) {
+        err = at + err;
+        return false;
+      }
+      spec.types.push_back(std::move(t));
+    } else if (kw == "writer") {
+      if (spec.types.empty()) {
+        err = at + "'writer' before any 'type'";
+        return false;
+      }
+      std::string w;
+      if (!(ss >> w)) {
+        err = at + "expected 'writer <path-suffix>'";
+        return false;
+      }
+      spec.types.back().writers.push_back(w);
+    } else if (kw == "skip") {
+      // Drop a field from the index (a config knob sharing a struct with
+      // counters, say) -- applied to every type after parsing.
+      std::string fname;
+      while (ss >> fname) skipped.insert(fname);
+    } else {
+      err = at + "unknown keyword '" + kw +
+            "' (expected 'type', 'writer' or 'skip')";
+      return false;
+    }
+  }
+  if (spec.types.empty()) {
+    err = path + ": no types defined";
+    return false;
+  }
+  for (CounterType& t : spec.types)
+    for (const std::string& sfield : skipped) t.fields.erase(sfield);
+  for (std::size_t i = 0; i < spec.types.size(); ++i)
+    for (const std::string& fname : spec.types[i].fields)
+      spec.by_field[fname].push_back(i);
+  return true;
+}
+
+void check_accounting(const FileText& f, const CounterSpec& spec,
+                      std::vector<Finding>& out) {
+  if (!f.explicit_file && !path_contains(f.path, "src/")) return;
+  auto report = [&](std::size_t ln, const Target& t) {
+    if (t.name.empty()) return;
+    // Bare writes only match trailing-underscore (private counter)
+    // names; struct report fields must be member accesses.
+    if (!t.member && t.name.back() != '_') return;
+    const auto it = spec.by_field.find(t.name);
+    if (it == spec.by_field.end()) return;
+    std::string owners;
+    std::string writers;
+    for (const std::size_t idx : it->second) {
+      const CounterType& ct = spec.types[idx];
+      if (sanctioned(f.path, ct)) return;
+      if (!owners.empty()) owners += "/";
+      owners += ct.name;
+      for (const std::string& w : ct.writers) {
+        if (!writers.empty()) writers += ", ";
+        writers += w;
+      }
+    }
+    if (allowed(f, ln + 1, "accounting")) return;
+    out.push_back(
+        {f.path, ln + 1, "accounting",
+         "direct write to " + owners + " counter '" + t.name +
+             "' outside its sanctioned accessor file(s) (" + writers +
+             "); the verify()/check_invariants() conservation identities "
+             "depend on single-point mutation -- route the update through "
+             "the owning layer or annotate "
+             "'parfft-lint: allow(accounting)'"});
+  };
+
+  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '=') {
+        if (i + 1 < s.size() && s[i + 1] == '=') {
+          ++i;  // == comparison
+          continue;
+        }
+        if (i > 0 && std::string("=!<>").find(s[i - 1]) != std::string::npos)
+          continue;  // comparison fragment (<=, >=, !=, ==)
+        std::size_t e = i;
+        if (i > 0 &&
+            std::string("+-*/%&|^").find(s[i - 1]) != std::string::npos)
+          e = i - 1;  // compound assignment: target sits left of the op
+        Target t = target_left_of(s, e);
+        // A declaration's initializer (`std::uint64_t hits_ = 0;`) is
+        // the field being born, not mutated: a type token precedes it.
+        std::size_t d = t.begin;
+        while (d > 0 && s[d - 1] == ' ') --d;
+        const bool declared = !t.member && d > 0 && ident_char(s[d - 1]);
+        if (!declared) report(ln, t);
+      } else if (i + 1 < s.size() && (s[i] == '+' || s[i] == '-') &&
+                 s[i + 1] == s[i]) {
+        report(ln, target_left_of(s, i));       // postfix x++ / x--
+        report(ln, target_right_of(s, i + 2));  // prefix ++x / --x
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace lint

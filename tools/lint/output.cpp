@@ -1,0 +1,166 @@
+/// \file output.cpp
+/// Deterministic ordering, baseline suppressions and the SARIF 2.1.0
+/// writer. Findings are sorted by (file, line, rule, message) before any
+/// output, so the report is byte-stable regardless of filesystem
+/// traversal order or which files came from the cache.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace lint {
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
+std::string rel_path(const std::string& path) {
+  // From the first src/bench/tests/tools/examples component on: stable
+  // across checkout locations, which is what baselines and SARIF need.
+  static const std::vector<std::string> kTops = {"src", "bench", "tests",
+                                                 "tools", "examples"};
+  std::size_t comp = 0;
+  while (comp != std::string::npos) {
+    const std::size_t end = path.find('/', comp);
+    const std::string c =
+        path.substr(comp, end == std::string::npos ? std::string::npos
+                                                   : end - comp);
+    for (const std::string& top : kTops)
+      if (c == top) return path.substr(comp);
+    if (end == std::string::npos) break;
+    comp = end + 1;
+  }
+  return path;
+}
+
+bool load_baseline(const std::string& path, Baseline& b, std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot read baseline " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim trailing whitespace so a comment-only or blank line is skipped.
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r'))
+      line.pop_back();
+    if (line.empty()) continue;
+    b.keys.insert(line);
+  }
+  b.loaded = true;
+  return true;
+}
+
+std::size_t apply_baseline(std::vector<Finding>& findings, const Baseline& b,
+                           std::vector<std::string>& stale) {
+  if (!b.loaded) return 0;
+  std::set<std::string> used;
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  std::size_t suppressed = 0;
+  for (Finding& v : findings) {
+    const std::string key = v.rule + "\t" + rel_path(v.file) + "\t" +
+                            std::to_string(v.line);
+    if (b.keys.count(key)) {
+      used.insert(key);
+      ++suppressed;
+    } else {
+      kept.push_back(std::move(v));
+    }
+  }
+  findings = std::move(kept);
+  for (const std::string& key : b.keys)
+    if (!used.count(key)) stale.push_back(key);
+  return suppressed;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n"
+         "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"parfft_lint\",\n"
+         "          \"informationUri\": "
+         "\"docs/static-analysis.md\",\n"
+         "          \"rules\": [\n";
+  const std::vector<Rule>& rules = registry();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << rules[i].name
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rules[i].summary) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << '\n';
+  }
+  out << "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  // Rule index for SARIF's ruleIndex cross-reference.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < rules.size(); ++i) index[rules[i].name] = i;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& v = findings[i];
+    out << "        {\"ruleId\": \"" << v.rule << "\", \"ruleIndex\": "
+        << (index.count(v.rule) ? index[v.rule] : 0)
+        << ", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(v.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(rel_path(v.file))
+        << "\"}, \"region\": {\"startLine\": " << v.line << "}}}]}"
+        << (i + 1 < findings.size() ? "," : "") << '\n';
+  }
+  out << "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace lint

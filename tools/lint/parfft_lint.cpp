@@ -1,700 +1,65 @@
 /// \file parfft_lint.cpp
-/// Determinism lint for the ParFFT tree.
+/// Driver of the ParFFT whole-program analyzer.
 ///
 /// Every performance number in this repository is a deterministic
-/// virtual-time estimate: seeded runs must be byte-identical (the fault
-/// layer's tests assert exactly that). The hazards that silently break
-/// such determinism are always the same few, so this checker scans the
-/// sources for them and fails the build when one appears:
+/// virtual-time estimate and the repo's architecture rests on two
+/// invariants the compiler cannot see: the strict module layer order
+/// (tools/lint/layers.def) and the accounting discipline behind the
+/// ServeReport/ClusterReport/PlanCache conservation identities
+/// (tools/lint/accounting.def). This tool makes violations of either --
+/// plus the classic determinism hazards -- a build failure.
 ///
-///   wall-clock      wall-clock or entropy reads (system_clock::now,
-///                   time(), rand(), std::random_device, a
-///                   default-seeded mt19937): results would depend on the
-///                   host instead of the seed. All randomness must flow
-///                   through parfft::Rng (src/common/random.hpp), which
-///                   is why src/common is allowlisted.
-///   unordered-iter  iteration over std::unordered_map/set whose body
-///                   looks effectful (writes results, traces, reports):
-///                   unordered iteration order varies across libstdc++
-///                   versions and hash seeds, so anything emitted from
-///                   such a loop is nondeterministic. Order-insensitive
-///                   loops can be annotated (see below).
-///   float-eq        == / != against a floating-point literal in src/:
-///                   exact comparison against a computed double is almost
-///                   always a rounding-sensitive bug. Exact *sentinel*
-///                   comparisons (a value stored and compared untouched)
-///                   are fine and must say so with an allow annotation.
-///   include-hygiene a header that uses a common std:: component without
-///                   directly including its header: such headers compile
-///                   only by transitive luck and break standalone TUs
-///                   (the CMake header-self-sufficiency check compiles
-///                   each public header alone; this is the textual
-///                   counterpart with precise line numbers).
-///   span-pairing    unbalanced obs::Tracer begin()/end() calls. A parent
-///                   span opened with tracer.begin() must be closed by a
-///                   tracer.end() in the same file (per tracer receiver,
-///                   textually balanced and never closing more than was
-///                   opened): a leaked parent span corrupts every later
-///                   depth/attribution computed from the trace, and the
-///                   paranoid nesting checks only fire at runtime on
-///                   traced configurations. Tests that leak spans on
-///                   purpose annotate the begin line.
-///   alert-transitions
-///                   a direct write to survival-layer state (a
-///                   BreakerState value, or the state_/stage_ members of
-///                   ShardBreaker/BrownoutController) in src/cluster.
-///                   Those transitions must flow through set_state() /
-///                   set_stage(), whose on_transition hooks the router
-///                   turns into survival_log entries and obs Alert spans
-///                   -- a raw assignment is a silent transition the audit
-///                   trail never sees. Declarations with initializers are
-///                   exempt (the object is being born, not transitioned);
-///                   the sanctioned setters themselves carry allow
-///                   annotations.
+/// Passes (see lint.hpp for the pipeline layout; docs/static-analysis.md
+/// for the full rule reference):
+///   per-file   wall-clock, unordered-iter, float-eq, include-hygiene,
+///              span-pairing, alert-transitions, pointer-key, accounting
+///   whole-tree layering (include graph vs layers.def: upward edges,
+///              same-layer cross-includes, unknown modules, cycles)
 ///
 /// Allowlist mechanism: a line (or the line above it) containing
 ///   // parfft-lint: allow(<rule>)
 /// suppresses findings of <rule> on that line. Files under src/common/
-/// are exempt from wall-clock (the blessed Rng lives there). The
-/// float-eq rule only applies under src/ -- tests legitimately compare
-/// doubles exactly when asserting byte-identical seeded runs.
+/// are exempt from wall-clock (the blessed Rng lives there); float-eq,
+/// alert-transitions, pointer-key and accounting are scoped to src/
+/// (explicit file arguments are always in scope, which is how the
+/// fixture tests drive the tool).
 ///
-/// Usage: parfft_lint [--expect=rule[,rule...]] <file-or-dir>...
+/// Usage: parfft_lint [options] <file-or-dir>...
+///   --layers=FILE    layer spec; enables the layering pass
+///   --counters=FILE  accounting spec; enables the accounting pass
+///   --cache=FILE     incremental cache keyed by content hash
+///   --baseline=FILE  suppress grandfathered findings listed in FILE
+///   --sarif=FILE     write a SARIF 2.1.0 log of the findings
+///   --expect=r[,r]   negative-fixture mode: exit 0 iff every listed
+///                    rule fired at least once (unknown rule names are a
+///                    usage error -- the list is validated against the
+///                    rule registry)
+///
 /// Directories are scanned recursively for .cpp/.hpp, skipping build/
-/// and lint_fixtures/ (explicit file arguments are always scanned, which
-/// is how the fixture tests drive the tool). With --expect, the exit
-/// status is inverted per rule: success means every listed rule fired at
-/// least once -- the negative-fixture mode ctest uses to prove each rule
-/// class actually catches its hazard.
+/// and lint_fixtures/. Findings are sorted by (file, line, rule) before
+/// printing, so output is byte-stable across traversal orders; the
+/// summary line reports how many files were re-analysed vs served from
+/// the cache. Exit 0 clean, 1 findings, 2 usage error.
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <set>
 #include <sstream>
-#include <string>
-#include <vector>
+
+#include "lint.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct FileText {
-  std::string path;
-  std::vector<std::string> raw;      ///< original lines (for allow scan)
-  std::vector<std::string> code;     ///< comments/strings blanked out
-  std::set<std::pair<std::size_t, std::string>> allows;  ///< (line, rule)
-};
-
-/// True when `path` (generic form) contains the directory component
-/// `dir` (e.g. "src/common").
-bool path_contains(const std::string& path, const std::string& dir) {
-  return path.find(dir) != std::string::npos;
-}
-
-/// Blanks comments and string/char literal contents, preserving line
-/// structure so findings keep their line numbers. The allow directives
-/// are collected from comment text before it is erased.
-void strip(FileText& f) {
-  enum class St { Code, Line, Block, Str, Chr };
-  St st = St::Code;
-  f.code.reserve(f.raw.size());
-  for (std::size_t ln = 0; ln < f.raw.size(); ++ln) {
-    const std::string& in = f.raw[ln];
-    // Allow directives live in comments; scan the raw line.
-    const std::string tag = "parfft-lint: allow(";
-    for (std::size_t at = in.find(tag); at != std::string::npos;
-         at = in.find(tag, at + 1)) {
-      std::size_t b = at + tag.size();
-      const std::size_t e = in.find(')', b);
-      if (e == std::string::npos) break;
-      std::stringstream rules(in.substr(b, e - b));
-      std::string r;
-      while (std::getline(rules, r, ',')) {
-        r.erase(std::remove_if(r.begin(), r.end(), ::isspace), r.end());
-        // The directive suppresses its own line and the next one, so it
-        // can sit above the offending statement.
-        f.allows.insert({ln + 1, r});
-        f.allows.insert({ln + 2, r});
-      }
-    }
-    std::string out;
-    out.reserve(in.size());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const char c = in[i];
-      const char n = i + 1 < in.size() ? in[i + 1] : '\0';
-      switch (st) {
-        case St::Code:
-          if (c == '/' && n == '/') {
-            st = St::Line;
-            i = in.size();  // rest of line is comment
-          } else if (c == '/' && n == '*') {
-            st = St::Block;
-            out += "  ";
-            ++i;
-          } else if (c == '"') {
-            st = St::Str;
-            out += '"';
-          } else if (c == '\'') {
-            st = St::Chr;
-            out += '\'';
-          } else {
-            out += c;
-          }
-          break;
-        case St::Block:
-          if (c == '*' && n == '/') {
-            st = St::Code;
-            out += "  ";
-            ++i;
-          } else {
-            out += ' ';
-          }
-          break;
-        case St::Str:
-          if (c == '\\') {
-            out += "  ";
-            ++i;
-          } else if (c == '"') {
-            st = St::Code;
-            out += '"';
-          } else {
-            out += ' ';
-          }
-          break;
-        case St::Chr:
-          if (c == '\\') {
-            out += "  ";
-            ++i;
-          } else if (c == '\'') {
-            st = St::Code;
-            out += '\'';
-          } else {
-            out += ' ';
-          }
-          break;
-        case St::Line:
-          break;
-      }
-    }
-    if (st == St::Line) st = St::Code;  // // comments end with the line
-    f.code.push_back(std::move(out));
-  }
-}
-
-bool allowed(const FileText& f, std::size_t line1, const std::string& rule) {
-  return f.allows.count({line1, rule}) > 0 || f.allows.count({line1, "all"}) > 0;
-}
-
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Position of `token` in `s` at a word boundary, from `from`.
-std::size_t find_word(const std::string& s, const std::string& token,
-                      std::size_t from = 0) {
-  for (std::size_t p = s.find(token, from); p != std::string::npos;
-       p = s.find(token, p + 1)) {
-    const bool lb = p == 0 || !ident_char(s[p - 1]);
-    const std::size_t e = p + token.size();
-    const bool rb = e >= s.size() || !ident_char(s[e]);
-    if (lb && rb) return p;
-  }
-  return std::string::npos;
-}
-
-// ------------------------------------------------------------ wall-clock
-
-void check_wall_clock(const FileText& f, std::vector<Finding>& out) {
-  if (path_contains(f.path, "src/common/")) return;  // Rng + units live here
-  static const std::vector<std::pair<std::string, std::string>> kTokens = {
-      {"system_clock", "wall-clock read (std::chrono::system_clock)"},
-      {"steady_clock", "wall-clock read (std::chrono::steady_clock)"},
-      {"high_resolution_clock", "wall-clock read"},
-      {"gettimeofday", "wall-clock read (gettimeofday)"},
-      {"clock_gettime", "wall-clock read (clock_gettime)"},
-      {"random_device", "nondeterministic entropy (std::random_device)"},
-      {"rand", "C PRNG with hidden global state (rand)"},
-      {"srand", "C PRNG with hidden global state (srand)"},
-      {"getrandom", "nondeterministic entropy (getrandom)"},
-  };
-  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    if (allowed(f, ln + 1, "wall-clock")) continue;
-    for (const auto& [tok, why] : kTokens) {
-      std::size_t p = find_word(s, tok);
-      if (p == std::string::npos) continue;
-      // rand/srand only count as calls.
-      if ((tok == "rand" || tok == "srand")) {
-        std::size_t q = p + tok.size();
-        while (q < s.size() && s[q] == ' ') ++q;
-        if (q >= s.size() || s[q] != '(') continue;
-      }
-      out.push_back({f.path, ln + 1, "wall-clock",
-                     why + "; derive all timing/randomness from the seeded "
-                           "virtual clock or parfft::Rng"});
-      break;
-    }
-    // `time(` as a C-library call: the argument must look like time()'s
-    // time_t* parameter (nullptr/0/NULL/&x), which distinguishes it from
-    // a variable or constructor named `time`.
-    for (std::size_t p = find_word(s, "time"); p != std::string::npos;
-         p = find_word(s, "time", p + 1)) {
-      std::size_t q = p + 4;
-      while (q < s.size() && s[q] == ' ') ++q;
-      if (q >= s.size() || s[q] != '(') continue;
-      const bool member = p >= 1 && (s[p - 1] == '.' ||
-                                     (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>'));
-      if (member) continue;
-      std::size_t a = q + 1;
-      while (a < s.size() && s[a] == ' ') ++a;
-      const bool timey =
-          s.compare(a, 7, "nullptr") == 0 || s.compare(a, 4, "NULL") == 0 ||
-          (a < s.size() && s[a] == '&') ||
-          (a < s.size() && s[a] == '0' && a + 1 < s.size() && s[a + 1] == ')');
-      if (!timey) continue;
-      out.push_back({f.path, ln + 1, "wall-clock",
-                     "wall-clock read (time()); use virtual time"});
-      break;
-    }
-    // Default-constructed mt19937 seeds from a fixed default but is a
-    // smell: every engine must be seeded through parfft::Rng.
-    for (std::size_t p = find_word(s, "mt19937"); p != std::string::npos;
-         p = find_word(s, "mt19937", p + 1)) {
-      std::size_t q = p + 7;
-      if (q + 3 <= s.size() && s.compare(q, 3, "_64") == 0) q += 3;
-      while (q < s.size() && s[q] == ' ') ++q;
-      // Skip an optional variable name.
-      while (q < s.size() && ident_char(s[q])) ++q;
-      while (q < s.size() && s[q] == ' ') ++q;
-      const bool argless =
-          q >= s.size() || s[q] == ';' ||
-          (s[q] == '(' && q + 1 < s.size() && s[q + 1] == ')') ||
-          (s[q] == '{' && q + 1 < s.size() && s[q + 1] == '}');
-      if (argless) {
-        out.push_back({f.path, ln + 1, "wall-clock",
-                       "default-seeded mt19937; seed explicitly via "
-                       "parfft::Rng"});
-        break;
-      }
-    }
-  }
-}
-
-// -------------------------------------------------------- unordered-iter
-
-/// Identifiers declared in this file as std::unordered_map/set.
-std::set<std::string> unordered_vars(const FileText& f) {
-  std::set<std::string> vars;
-  for (const std::string& s : f.code) {
-    for (const char* type : {"unordered_map", "unordered_set",
-                             "unordered_multimap", "unordered_multiset"}) {
-      std::size_t p = find_word(s, type);
-      if (p == std::string::npos) continue;
-      // Skip the template argument list to find the declared name.
-      std::size_t q = p + std::strlen(type);
-      if (q < s.size() && s[q] == '<') {
-        int depth = 0;
-        for (; q < s.size(); ++q) {
-          if (s[q] == '<') ++depth;
-          if (s[q] == '>' && --depth == 0) {
-            ++q;
-            break;
-          }
-        }
-      }
-      while (q < s.size() && (s[q] == ' ' || s[q] == '&' || s[q] == '*')) ++q;
-      std::size_t b = q;
-      while (q < s.size() && ident_char(s[q])) ++q;
-      if (q > b) vars.insert(s.substr(b, q - b));
-    }
-  }
-  return vars;
-}
-
-/// Does the statement starting at (line, col) -- the body of a for loop --
-/// look effectful? Scans the balanced braces (or the single statement) for
-/// sinks that leak iteration order into results, traces or reports.
-bool effectful_body(const FileText& f, std::size_t line, std::size_t col,
-                    std::size_t* end_line) {
-  static const std::vector<std::string> kSinks = {
-      "push_back", "emplace_back", "emplace",  "insert", "append", "add",
-      "observe",   "record",       "complete", "sample", "write",  "print",
-      "result",    "results",      "trace",    "tracer", "report", "rep",
-      "out",       "<<",           "+=",
-  };
-  int depth = 0;
-  bool braced = false;
-  std::string body;
-  std::size_t ln = line;
-  std::size_t i = col;
-  for (; ln < f.code.size(); ++ln, i = 0) {
-    const std::string& s = f.code[ln];
-    for (; i < s.size(); ++i) {
-      const char c = s[i];
-      if (c == '{') {
-        ++depth;
-        braced = true;
-      } else if (c == '}') {
-        --depth;
-        if (braced && depth == 0) {
-          *end_line = ln;
-          goto scan;
-        }
-      } else if (c == ';' && !braced && depth == 0) {
-        *end_line = ln;
-        goto scan;
-      }
-      body += c;
-    }
-    body += '\n';
-  }
-  *end_line = f.code.size();
-scan:
-  for (const std::string& sink : kSinks) {
-    if (sink == "<<" || sink == "+=") {
-      if (body.find(sink) != std::string::npos) return true;
-    } else if (find_word(body, sink) != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-void check_unordered_iter(const FileText& f, std::vector<Finding>& out) {
-  const std::set<std::string> vars = unordered_vars(f);
-  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    std::size_t p = find_word(s, "for");
-    if (p == std::string::npos) continue;
-    std::size_t open = s.find('(', p);
-    if (open == std::string::npos) continue;
-    // Find the range expression of a range-for (text after ':' inside the
-    // for parens) or an iterator loop over `x.begin()`.
-    int depth = 0;
-    std::size_t close = open;
-    for (; close < s.size(); ++close) {
-      if (s[close] == '(') ++depth;
-      if (s[close] == ')' && --depth == 0) break;
-    }
-    if (close >= s.size()) close = s.size();
-    const std::string head = s.substr(open + 1, close - open - 1);
-    bool over_unordered = false;
-    const std::size_t colon = head.find(':');
-    std::string range =
-        colon != std::string::npos ? head.substr(colon + 1) : head;
-    if (range.find("unordered_") != std::string::npos) over_unordered = true;
-    for (const std::string& v : vars) {
-      if (find_word(range, v) != std::string::npos) over_unordered = true;
-    }
-    if (!over_unordered) continue;
-    if (colon == std::string::npos &&
-        range.find(".begin") == std::string::npos &&
-        range.find(".cbegin") == std::string::npos)
-      continue;  // plain for over an index; order is the index order
-    std::size_t end_line = ln;
-    if (!effectful_body(f, ln, close + 1, &end_line)) continue;
-    if (allowed(f, ln + 1, "unordered-iter")) continue;
-    out.push_back(
-        {f.path, ln + 1, "unordered-iter",
-         "iteration over an unordered container feeds results/traces/"
-         "reports; unordered order is not deterministic across stdlibs -- "
-         "iterate a sorted view or use std::map"});
-  }
-}
-
-// -------------------------------------------------------------- float-eq
-
-bool float_literal_at(const std::string& s, std::size_t i, bool backwards) {
-  // Forward: digits '.' digits [exp]; also ".5". Backwards: scan left.
-  if (backwards) {
-    // Find the token ending at i (exclusive); it must look like a float.
-    std::size_t e = i;
-    while (e > 0 && s[e - 1] == ' ') --e;
-    std::size_t b = e;
-    while (b > 0 && (std::isdigit(static_cast<unsigned char>(s[b - 1])) ||
-                     s[b - 1] == '.' || s[b - 1] == 'e' || s[b - 1] == 'E' ||
-                     s[b - 1] == 'f' || s[b - 1] == 'F' || s[b - 1] == '+' ||
-                     s[b - 1] == '-'))
-      --b;
-    const std::string tok = s.substr(b, e - b);
-    if (b > 0 && ident_char(s[b - 1])) return false;  // identifier tail
-    return tok.find('.') != std::string::npos &&
-           tok.find_first_of("0123456789") != std::string::npos;
-  }
-  std::size_t b = i;
-  while (b < s.size() && s[b] == ' ') ++b;
-  if (b < s.size() && (s[b] == '+' || s[b] == '-')) ++b;
-  std::size_t d = b;
-  bool dot = false, digit = false;
-  while (d < s.size() &&
-         (std::isdigit(static_cast<unsigned char>(s[d])) || s[d] == '.')) {
-    dot |= s[d] == '.';
-    digit |= std::isdigit(static_cast<unsigned char>(s[d])) != 0;
-    ++d;
-  }
-  if (d < s.size() && ident_char(s[d]) && s[d] != 'e' && s[d] != 'E' &&
-      s[d] != 'f' && s[d] != 'F')
-    return false;  // e.g. 1.5x -- not a literal (cannot happen in valid C++)
-  return dot && digit;
-}
-
-void check_float_eq(const FileText& f, std::vector<Finding>& out,
-                    bool explicit_file) {
-  if (!explicit_file && !path_contains(f.path, "src/")) return;
-  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
-      if (!((s[i] == '=' || s[i] == '!') && s[i + 1] == '=')) continue;
-      if (i > 0 && (s[i - 1] == '=' || s[i - 1] == '<' || s[i - 1] == '>'))
-        continue;  // ===, <=, >= fragments
-      if (i + 2 < s.size() && s[i + 2] == '=') continue;
-      const bool lhs = i > 0 && float_literal_at(s, i, /*backwards=*/true);
-      const bool rhs = float_literal_at(s, i + 2, /*backwards=*/false);
-      if (!lhs && !rhs) continue;
-      if (allowed(f, ln + 1, "float-eq")) continue;
-      out.push_back(
-          {f.path, ln + 1, "float-eq",
-           "exact ==/!= against a floating-point literal; computed doubles "
-           "compare unreliably -- use a tolerance, or annotate "
-           "'parfft-lint: allow(float-eq)' if this is an exact sentinel"});
-      ++i;
-    }
-  }
-}
-
-// ------------------------------------------------------- include-hygiene
-
-void check_include_hygiene(const FileText& f, std::vector<Finding>& out) {
-  if (f.path.size() < 4 || f.path.substr(f.path.size() - 4) != ".hpp") return;
-  // token -> acceptable headers (any one suffices).
-  static const std::vector<std::pair<std::string, std::vector<std::string>>>
-      kNeeds = {
-          {"std::vector", {"<vector>"}},
-          {"std::string", {"<string>"}},
-          {"std::map", {"<map>"}},
-          {"std::multimap", {"<map>"}},
-          {"std::unordered_map", {"<unordered_map>"}},
-          {"std::unordered_set", {"<unordered_set>"}},
-          {"std::set", {"<set>"}},
-          {"std::list", {"<list>"}},
-          {"std::deque", {"<deque>"}},
-          {"std::array", {"<array>"}},
-          {"std::optional", {"<optional>"}},
-          {"std::function", {"<functional>"}},
-          {"std::atomic", {"<atomic>"}},
-          {"std::mutex", {"<mutex>"}},
-          {"std::lock_guard", {"<mutex>"}},
-          {"std::unique_lock", {"<mutex>"}},
-          {"std::condition_variable", {"<condition_variable>"}},
-          {"std::thread", {"<thread>"}},
-          {"std::unique_ptr", {"<memory>"}},
-          {"std::shared_ptr", {"<memory>"}},
-          {"std::pair", {"<utility>"}},
-          {"std::uint64_t", {"<cstdint>"}},
-          {"std::int64_t", {"<cstdint>"}},
-          {"std::uint32_t", {"<cstdint>"}},
-          {"std::int32_t", {"<cstdint>"}},
-          {"std::uint8_t", {"<cstdint>"}},
-          {"std::size_t", {"<cstddef>", "<cstdint>", "<cstdio>", "<cstring>"}},
-          {"std::byte", {"<cstddef>"}},
-          {"std::complex", {"<complex>"}},
-          {"std::ostream", {"<iosfwd>", "<ostream>", "<iostream>"}},
-          {"std::istream", {"<iosfwd>", "<istream>", "<iostream>"}},
-      };
-  std::set<std::string> includes;
-  for (const std::string& s : f.raw) {
-    std::size_t p = s.find("#include");
-    if (p == std::string::npos) continue;
-    std::size_t b = s.find_first_of("<\"", p);
-    if (b == std::string::npos) continue;
-    std::size_t e = s.find_first_of(">\"", b + 1);
-    if (e == std::string::npos) continue;
-    includes.insert(s.substr(b, e - b + 1));
-  }
-  for (const auto& [token, headers] : kNeeds) {
-    bool have = false;
-    for (const std::string& h : headers) have |= includes.count(h) > 0;
-    if (have) continue;
-    for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
-      if (f.code[ln].find(token) == std::string::npos) continue;
-      // Word-boundary check on the tail component.
-      const std::size_t p = f.code[ln].find(token);
-      const std::size_t e = p + token.size();
-      if (e < f.code[ln].size() && ident_char(f.code[ln][e])) continue;
-      if (allowed(f, ln + 1, "include-hygiene")) continue;
-      out.push_back({f.path, ln + 1, "include-hygiene",
-                     "uses " + token + " without including " + headers[0] +
-                         "; headers must be self-sufficient"});
-      break;  // one finding per missing header per file
-    }
-  }
-}
-
-// ---------------------------------------------------------- span-pairing
-
-/// Identifiers declared in this file as (obs::)Tracer variables; the
-/// member name `tracer` (RunTrace::tracer) is always a tracer receiver.
-std::set<std::string> tracer_vars(const FileText& f) {
-  std::set<std::string> vars = {"tracer"};
-  for (const std::string& s : f.code) {
-    for (std::size_t p = find_word(s, "Tracer"); p != std::string::npos;
-         p = find_word(s, "Tracer", p + 1)) {
-      std::size_t q = p + 6;
-      while (q < s.size() && (s[q] == ' ' || s[q] == '&')) ++q;
-      std::size_t b = q;
-      while (q < s.size() && ident_char(s[q])) ++q;
-      if (q > b) vars.insert(s.substr(b, q - b));
-    }
-  }
-  return vars;
-}
-
-void check_span_pairing(const FileText& f, std::vector<Finding>& out) {
-  const std::set<std::string> vars = tracer_vars(f);
-  // The identifier immediately left of the '.' / '->' before position `p`.
-  auto receiver = [](const std::string& s, std::size_t p) -> std::string {
-    std::size_t e;
-    if (p >= 1 && s[p - 1] == '.') {
-      e = p - 1;
-    } else if (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>') {
-      e = p - 2;
-    } else {
-      return {};
-    }
-    std::size_t b = e;
-    while (b > 0 && ident_char(s[b - 1])) --b;
-    return s.substr(b, e - b);
-  };
-
-  struct OpenSpan {
-    std::size_t line;  ///< 1-based line of the begin()
-    bool allow;        ///< suppressed via the allow mechanism
-  };
-  std::map<std::string, std::vector<OpenSpan>> open;
-  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    // (column, receiver, +1 begin / -1 end) events of this line, in order.
-    struct Event {
-      std::size_t col;
-      std::string recv;
-      int delta;
-    };
-    std::vector<Event> events;
-    for (const auto& [tok, delta] :
-         {std::pair<const char*, int>{"begin", +1}, {"end", -1}}) {
-      const std::size_t len = std::strlen(tok);
-      for (std::size_t p = find_word(s, tok); p != std::string::npos;
-           p = find_word(s, tok, p + 1)) {
-        std::size_t q = p + len;
-        while (q < s.size() && s[q] == ' ') ++q;
-        if (q >= s.size() || s[q] != '(') continue;
-        const std::string r = receiver(s, p);
-        if (vars.count(r) == 0) continue;  // container .begin()/.end() etc.
-        events.push_back({p, r, delta});
-      }
-    }
-    std::sort(events.begin(), events.end(),
-              [](const Event& a, const Event& b) { return a.col < b.col; });
-    for (const Event& e : events) {
-      std::vector<OpenSpan>& stack = open[e.recv];
-      if (e.delta > 0) {
-        stack.push_back({ln + 1, allowed(f, ln + 1, "span-pairing")});
-      } else if (!stack.empty()) {
-        stack.pop_back();
-      } else if (!allowed(f, ln + 1, "span-pairing")) {
-        out.push_back({f.path, ln + 1, "span-pairing",
-                       "tracer end() without an open begin() in this file; "
-                       "parent spans must be opened and closed in the same "
-                       "scope"});
-      }
-    }
-  }
-  for (const auto& [recv, stack] : open) {
-    (void)recv;
-    for (const OpenSpan& o : stack) {
-      if (o.allow) continue;
-      out.push_back({f.path, o.line, "span-pairing",
-                     "tracer begin() without a matching end() in this file; "
-                     "a leaked parent span corrupts span nesting -- close "
-                     "it in the same scope or annotate "
-                     "'parfft-lint: allow(span-pairing)'"});
-    }
-  }
-}
-
-// ----------------------------------------------------- alert-transitions
-
-/// Survival state (ShardBreaker::state_, BrownoutController::stage_) may
-/// only change through set_state()/set_stage(): those fire the
-/// on_transition hooks that become ClusterReport::survival_log entries
-/// and obs Alert spans (the "no silent transitions" contract in
-/// survival.hpp). A raw assignment changes behavior without leaving a
-/// trace, which is exactly the failure mode a post-incident audit cannot
-/// survive. Scoped to src/cluster (and explicit file arguments, for the
-/// fixture); a declaration with initializer -- the type token directly
-/// before the target -- is creation, not transition, and is exempt.
-void check_alert_transitions(const FileText& f, std::vector<Finding>& out,
-                             bool explicit_file) {
-  if (!explicit_file && !path_contains(f.path, "src/cluster")) return;
-  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      if (s[i] != '=') continue;
-      if (i + 1 < s.size() && s[i + 1] == '=') {
-        ++i;  // == comparison
-        continue;
-      }
-      if (i > 0 && std::strchr("=!<>+-*/%&|^", s[i - 1]))
-        continue;  // compound assignment or comparison fragment
-      // The identifier being assigned, immediately left of the '='.
-      std::size_t e = i;
-      while (e > 0 && s[e - 1] == ' ') --e;
-      std::size_t b = e;
-      while (b > 0 && ident_char(s[b - 1])) --b;
-      const std::string target = s.substr(b, e - b);
-      // `BreakerState state_ = ...;` / `int stage_ = 0;`: a type token
-      // precedes the target, so this is a declaration's initializer.
-      std::size_t d = b;
-      while (d > 0 && s[d - 1] == ' ') --d;
-      const bool declared = d > 0 && ident_char(s[d - 1]);
-      const bool member_write =
-          !declared && (target == "state_" || target == "stage_");
-      const bool enum_write =
-          !declared && s.find("BreakerState::", i) != std::string::npos &&
-          find_word(s.substr(0, i), "BreakerState") == std::string::npos;
-      if (!member_write && !enum_write) continue;
-      if (allowed(f, ln + 1, "alert-transitions")) continue;
-      out.push_back(
-          {f.path, ln + 1, "alert-transitions",
-           "direct write to survival state" +
-               (target.empty() ? std::string() : " (" + target + ")") +
-               "; breaker/brownout transitions must go through set_state()/"
-               "set_stage() so on_transition logs them as survival events "
-               "and Alert spans -- or annotate "
-               "'parfft-lint: allow(alert-transitions)'"});
-    }
-  }
-}
-
-// ----------------------------------------------------------------- driver
 
 bool scannable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp";
 }
 
-void collect(const fs::path& root, std::vector<std::pair<fs::path, bool>>& out) {
+void collect(const fs::path& root,
+             std::vector<std::pair<fs::path, bool>>& out) {
   if (fs::is_regular_file(root)) {
     out.push_back({root, /*explicit_file=*/true});
     return;
@@ -715,8 +80,39 @@ void collect(const fs::path& root, std::vector<std::pair<fs::path, bool>>& out) 
     if (it->is_regular_file() && scannable(it->path()))
       files.push_back(it->path());
   }
-  std::sort(files.begin(), files.end());  // deterministic report order
+  std::sort(files.begin(), files.end());
   for (const fs::path& p : files) out.push_back({p, false});
+}
+
+std::string file_contents(const fs::path& p, bool& ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+void usage(std::ostream& os) {
+  os << "usage: parfft_lint [options] <file-or-dir>...\n"
+        "options:\n"
+        "  --layers=FILE    layer spec (enables the layering pass)\n"
+        "  --counters=FILE  accounting spec (enables the accounting pass)\n"
+        "  --cache=FILE     incremental content-hash finding cache\n"
+        "  --baseline=FILE  baseline suppressions "
+        "(rule<TAB>path<TAB>line)\n"
+        "  --sarif=FILE     write SARIF 2.1.0 output\n"
+        "  --expect=r[,r]   negative-fixture mode (exit 0 iff each rule "
+        "fired)\n"
+        "rules:\n";
+  for (const lint::Rule& r : lint::registry()) {
+    const std::string name = r.name;
+    os << "  " << name << std::string(name.size() < 18 ? 18 - name.size() : 1, ' ')
+       << r.summary << "\n";
+  }
 }
 
 }  // namespace
@@ -724,19 +120,49 @@ void collect(const fs::path& root, std::vector<std::pair<fs::path, bool>>& out) 
 int main(int argc, char** argv) {
   std::vector<std::string> expect;
   std::vector<std::pair<fs::path, bool>> files;
+  std::string layers_path, counters_path, cache_path, baseline_path,
+      sarif_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) {
+      return arg.substr(std::string(flag).size());
+    };
     if (arg.rfind("--expect=", 0) == 0) {
-      std::stringstream ss(arg.substr(9));
+      std::stringstream ss(value("--expect="));
       std::string r;
       while (std::getline(ss, r, ',')) expect.push_back(r);
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      layers_path = value("--layers=");
+    } else if (arg.rfind("--counters=", 0) == 0) {
+      counters_path = value("--counters=");
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      cache_path = value("--cache=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value("--baseline=");
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = value("--sarif=");
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: parfft_lint [--expect=rule,...] <file-or-dir>...\n"
-                   "rules: wall-clock unordered-iter float-eq "
-                   "include-hygiene span-pairing alert-transitions\n";
+      usage(std::cout);
       return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "parfft_lint: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
     } else {
       collect(arg, files);
+    }
+  }
+  // --expect names are validated against the registry: a typo'd or
+  // removed rule must be a hard error, not a fixture that silently
+  // stops testing anything.
+  for (const std::string& r : expect) {
+    if (!lint::known_rule(r)) {
+      std::cerr << "parfft_lint: --expect names unknown rule '" << r
+                << "'; known rules:";
+      for (const lint::Rule& known : lint::registry())
+        std::cerr << ' ' << known.name;
+      std::cerr << "\n";
+      return 2;
     }
   }
   if (files.empty()) {
@@ -744,36 +170,124 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Finding> findings;
-  for (const auto& [path, explicit_file] : files) {
-    FileText f;
-    f.path = fs::path(path).generic_string();
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "parfft_lint: cannot read " << f.path << "\n";
-      return 2;
-    }
-    std::string line;
-    while (std::getline(in, line)) f.raw.push_back(line);
-    strip(f);
-    check_wall_clock(f, findings);
-    check_unordered_iter(f, findings);
-    check_float_eq(f, findings, explicit_file);
-    check_include_hygiene(f, findings);
-    check_span_pairing(f, findings);
-    check_alert_transitions(f, findings, explicit_file);
+  std::string err;
+  lint::LayerSpec layers;
+  if (!layers_path.empty() &&
+      !lint::parse_layer_spec(layers_path, layers, err)) {
+    std::cerr << "parfft_lint: " << err << "\n";
+    return 2;
+  }
+  lint::CounterSpec counters;
+  if (!counters_path.empty() &&
+      !lint::parse_counter_spec(counters_path, counters, err)) {
+    std::cerr << "parfft_lint: " << err << "\n";
+    return 2;
+  }
+  lint::Baseline baseline;
+  if (!baseline_path.empty() &&
+      !lint::load_baseline(baseline_path, baseline, err)) {
+    std::cerr << "parfft_lint: " << err << "\n";
+    return 2;
   }
 
-  for (const Finding& v : findings)
+  // The configuration hash: any change to the tool, the specs or the
+  // headers the counter index is extracted from invalidates the cache.
+  std::uint64_t config = lint::fnv1a("parfft-lint-config-v1");
+  for (const std::string& spec_path : {layers_path, counters_path}) {
+    if (spec_path.empty()) continue;
+    bool ok = false;
+    config = lint::fnv1a(file_contents(spec_path, ok), config);
+  }
+  for (const lint::CounterType& t : counters.types) {
+    std::string joined = t.name;
+    for (const std::string& fname : t.fields) joined += "," + fname;
+    config = lint::fnv1a(joined, config);
+  }
+
+  lint::Cache cache;
+  if (!cache_path.empty()) cache.load(cache_path, config);
+
+  // Per-file analysis (cache-aware). FileReports are kept alive for the
+  // whole-program layering pass.
+  std::vector<std::pair<std::string, lint::FileReport>> reports;
+  reports.reserve(files.size());
+  std::size_t analysed = 0, cached = 0;
+  for (const auto& [path, explicit_file] : files) {
+    const std::string generic = fs::path(path).generic_string();
+    bool ok = false;
+    const std::string content = file_contents(path, ok);
+    if (!ok) {
+      std::cerr << "parfft_lint: cannot read " << generic << "\n";
+      return 2;
+    }
+    const std::uint64_t hash = lint::fnv1a(content);
+    if (const lint::FileReport* hit = cache.lookup(generic, hash, explicit_file)) {
+      reports.emplace_back(generic, *hit);
+      ++cached;
+    } else {
+      lint::FileText f;
+      f.path = generic;
+      f.explicit_file = explicit_file;
+      lint::build_file_text(f, content);
+      lint::FileReport rep;
+      lint::run_file_rules(f, rep);
+      if (counters.loaded()) lint::check_accounting(f, counters, rep.findings);
+      reports.emplace_back(generic, std::move(rep));
+      ++analysed;
+    }
+    cache.put(generic, hash, explicit_file, reports.back().second);
+  }
+
+  std::vector<lint::Finding> findings;
+  for (const auto& [path, rep] : reports) {
+    (void)path;
+    findings.insert(findings.end(), rep.findings.begin(), rep.findings.end());
+  }
+  if (layers.loaded()) {
+    std::vector<std::pair<std::string, const lint::FileReport*>> facts;
+    facts.reserve(reports.size());
+    for (const auto& [path, rep] : reports) facts.emplace_back(path, &rep);
+    lint::check_layering(facts, layers, findings);
+  }
+
+  lint::sort_findings(findings);
+  std::vector<std::string> stale;
+  const std::size_t suppressed =
+      lint::apply_baseline(findings, baseline, stale);
+  for (const std::string& key : stale) {
+    std::string shown = key;
+    for (char& c : shown)
+      if (c == '\t') c = ' ';
+    std::cerr << "parfft_lint: note: stale baseline entry (" << shown
+              << ") -- the finding no longer exists; prune it\n";
+  }
+
+  for (const lint::Finding& v : findings)
     std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
               << v.message << "\n";
+
+  if (!sarif_path.empty() && !lint::write_sarif(sarif_path, findings)) {
+    std::cerr << "parfft_lint: cannot write SARIF to " << sarif_path << "\n";
+    return 2;
+  }
+  if (!cache_path.empty() && !cache.save(cache_path, config))
+    std::cerr << "parfft_lint: warning: cannot write cache " << cache_path
+              << "\n";
+
+  std::cerr << "parfft_lint: " << findings.size() << " finding(s)"
+            << (suppressed ? " (+" + std::to_string(suppressed) +
+                                 " baselined)"
+                           : "")
+            << "; analysed " << analysed << " file(s), " << cached
+            << " cached\n";
 
   if (!expect.empty()) {
     // Negative-fixture mode: succeed iff every expected rule fired.
     bool ok = true;
     for (const std::string& r : expect) {
-      const bool hit = std::any_of(findings.begin(), findings.end(),
-                                   [&](const Finding& v) { return v.rule == r; });
+      const bool hit =
+          std::any_of(findings.begin(), findings.end(),
+                      [&](const lint::Finding& v) { return v.rule == r; });
       if (!hit) {
         std::cerr << "parfft_lint: expected a '" << r
                   << "' violation but none was found\n";
@@ -782,9 +296,5 @@ int main(int argc, char** argv) {
     }
     return ok ? 0 : 1;
   }
-  if (!findings.empty()) {
-    std::cerr << "parfft_lint: " << findings.size() << " finding(s)\n";
-    return 1;
-  }
-  return 0;
+  return findings.empty() ? 0 : 1;
 }
